@@ -1,0 +1,205 @@
+// Benchmarks regenerating the paper's evaluation, one per table and
+// figure, at a reduced scale that preserves every reported shape (who
+// wins, by roughly what factor, where curves peak). Run the cmd/reorgbench
+// tool with -scale quick or -scale full for the larger versions; see
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// The Benchmark*_ experiments report throughput/latency via the harness
+// tables logged with -v; the ablation benchmarks at the bottom quantify
+// the design choices DESIGN.md calls out (migration batching §4.3, the
+// two-lock extension §4.2, TRT purging §4.5).
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/reorg"
+	"repro/internal/workload"
+)
+
+// benchScale is smaller than harness.QuickScale so the whole suite runs
+// in minutes; the shapes survive (PQR's pathology scales with partition
+// size and MPL, so it is visible even here).
+func benchScale() harness.Scale {
+	p := workload.DefaultParams()
+	p.NumPartitions = 5
+	p.ObjectsPerPartition = 510
+	p.MPL = 15
+	return harness.Scale{
+		Name:            "bench",
+		Params:          p,
+		NRDuration:      1500 * time.Millisecond,
+		MPLs:            []int{1, 5, 15},
+		PartitionSizes:  []int{255, 510, 1020},
+		UpdateProbs:     []float64{0, 0.5, 1},
+		GlueFactors:     []float64{0, 0.2},
+		PathLens:        []int{2, 8},
+		PartitionCounts: []int{2, 5},
+	}
+}
+
+// runExperiment executes one registered experiment once per iteration and
+// logs its table.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, sc); err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + buf.String())
+	}
+}
+
+func BenchmarkTable1Parameters(b *testing.B)            { runExperiment(b, "table1") }
+func BenchmarkFig6MPLThroughput(b *testing.B)           { runExperiment(b, "fig6") }
+func BenchmarkFig7MPLResponseTime(b *testing.B)         { runExperiment(b, "fig7") }
+func BenchmarkTable2ResponseAnalysis(b *testing.B)      { runExperiment(b, "table2") }
+func BenchmarkFig8PartitionSizeThroughput(b *testing.B) { runExperiment(b, "fig8") }
+func BenchmarkFig9PartitionSizeResponseTime(b *testing.B) {
+	runExperiment(b, "fig9")
+}
+func BenchmarkFig10UpdateProbThroughput(b *testing.B)   { runExperiment(b, "fig10") }
+func BenchmarkFig11UpdateProbResponseTime(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkSec534GlueFactor(b *testing.B)            { runExperiment(b, "glue") }
+func BenchmarkSec534PathLength(b *testing.B)            { runExperiment(b, "pathlen") }
+func BenchmarkSec534PartitionCount(b *testing.B)        { runExperiment(b, "partitions") }
+func BenchmarkSec534EqualDurationPQRvsIRA(b *testing.B) { runExperiment(b, "equal-duration") }
+
+// reorgCell builds a workload and reorganizes partition 1 with the given
+// options (no concurrent transactions: these ablations isolate the
+// reorganizer's own cost), reporting duration-derived metrics.
+func reorgCell(b *testing.B, opts reorg.Options, mutate func(*workload.Params)) reorg.Stats {
+	b.Helper()
+	params := benchScale().Params
+	params.MPL = 0
+	if mutate != nil {
+		mutate(&params)
+	}
+	cfg := db.DefaultConfig()
+	w, err := workload.Build(cfg, params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.DB.Close()
+	r := reorg.New(w.DB, 1, opts)
+	if err := r.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return r.Stats()
+}
+
+// BenchmarkAblationBatchSize quantifies §4.3: grouping object migrations
+// into one transaction amortizes the commit flush, trading recovery
+// granularity for reorganization speed.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(name("batch", batch), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := reorgCell(b, reorg.Options{Mode: reorg.ModeIRA, BatchSize: batch}, nil)
+				b.ReportMetric(st.Duration().Seconds(), "reorg-s")
+				b.ReportMetric(float64(st.Migrated)/st.Duration().Seconds(), "objects/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTwoLockVsBasic quantifies §4.2: the two-lock extension
+// holds far fewer simultaneous locks at the price of one transaction per
+// parent update.
+func BenchmarkAblationTwoLockVsBasic(b *testing.B) {
+	for _, mode := range []reorg.Mode{reorg.ModeIRA, reorg.ModeIRATwoLock} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := reorgCell(b, reorg.Options{Mode: mode}, nil)
+				b.ReportMetric(float64(st.MaxLocksHeld), "max-locks")
+				b.ReportMetric(st.Duration().Seconds(), "reorg-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationOfflineVsOnline measures the pure cost of on-line
+// operation on an otherwise idle system: IRA's per-object transactions
+// versus the off-line single-transaction algorithm.
+func BenchmarkAblationOfflineVsOnline(b *testing.B) {
+	for _, mode := range []reorg.Mode{reorg.ModeOffline, reorg.ModeIRA} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := reorgCell(b, reorg.Options{Mode: mode}, nil)
+				b.ReportMetric(st.Duration().Seconds(), "reorg-s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTRTPurge quantifies §4.5: with the strict-2PL purge
+// enabled, completed transactions' delete tuples leave the TRT early.
+// The metric is TRT tuples purged during an IRA run under reference
+// churn.
+func BenchmarkAblationTRTPurge(b *testing.B) {
+	run := func(b *testing.B, strict bool) {
+		params := benchScale().Params
+		params.MPL = 8
+		params.RefChurnProb = 0.3
+		cfg := db.DefaultConfig()
+		cfg.Strict2PL = strict
+		w, err := workload.Build(cfg, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer w.DB.Close()
+		rec := metrics.NewRecorder()
+		driver := workload.NewDriver(w, rec)
+		driver.Start()
+		r := reorg.New(w.DB, 1, reorg.Options{Mode: reorg.ModeIRA})
+		err = r.Run()
+		driver.Stop()
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := r.Stats()
+		b.ReportMetric(float64(st.TRTPurged), "tuples-purged")
+		b.ReportMetric(st.Duration().Seconds(), "reorg-s")
+	}
+	b.Run("strict2PL-purge-on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, true)
+		}
+	})
+	b.Run("relaxed2PL-purge-off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, false)
+		}
+	})
+}
+
+// BenchmarkReorgScalesWithPartitionSize reports reorganization duration
+// versus partition size for IRA — the cost side of Figure 8's story.
+func BenchmarkReorgScalesWithPartitionSize(b *testing.B) {
+	for _, size := range []int{255, 510, 1020} {
+		b.Run(name("objects", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := reorgCell(b, reorg.Options{Mode: reorg.ModeIRA},
+					func(p *workload.Params) { p.ObjectsPerPartition = size })
+				b.ReportMetric(st.Duration().Seconds(), "reorg-s")
+				b.ReportMetric(float64(st.ParentsUpdated), "parent-updates")
+			}
+		})
+	}
+}
+
+func name(prefix string, v int) string {
+	return fmt.Sprintf("%s=%d", prefix, v)
+}

@@ -1,0 +1,81 @@
+// Command reorgbench regenerates the paper's evaluation (§5): every
+// figure and table comparing NR (no reorganization), IRA, and PQR.
+//
+// Usage:
+//
+//	reorgbench -list
+//	reorgbench -exp fig6                # one experiment, quick scale
+//	reorgbench -exp all -scale full     # the whole evaluation, paper scale
+//
+// Quick scale preserves the paper's shapes (who wins, by what factor,
+// where curves peak) in minutes; full scale uses the exact Table 1
+// parameters and takes correspondingly longer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		expID   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
+		list    = flag.Bool("list", false, "list available experiments")
+		seed    = flag.Int64("seed", 1, "workload random seed")
+		verbose = flag.Bool("v", false, "print per-experiment timing")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.All() {
+			fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+		}
+		if *expID == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	var sc harness.Scale
+	switch *scale {
+	case "quick":
+		sc = harness.QuickScale()
+	case "full":
+		sc = harness.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (quick or full)\n", *scale)
+		os.Exit(2)
+	}
+	sc.Params.Seed = *seed
+
+	var exps []harness.Experiment
+	if *expID == "all" {
+		exps = harness.All()
+	} else {
+		e, ok := harness.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *expID)
+			os.Exit(2)
+		}
+		exps = []harness.Experiment{e}
+	}
+
+	for _, e := range exps {
+		fmt.Printf("== %s — %s (scale: %s) ==\n", e.ID, e.Title, sc.Name)
+		start := time.Now()
+		if err := e.Run(os.Stdout, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("-- %s completed in %s\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+}

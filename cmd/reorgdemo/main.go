@@ -1,0 +1,143 @@
+// Command reorgdemo narrates one on-line reorganization step by step: it
+// builds a small fragmented database, starts concurrent readers, and runs
+// IRA while printing what each phase of the algorithm does — the fuzzy
+// traversal, the TRT, exact parent locking, and the migration itself.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/db"
+	"repro/internal/lock"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+)
+
+func main() {
+	cfg := db.DefaultConfig()
+	d := db.Open(cfg)
+	defer d.Close()
+	d.CreatePartition(0) // root partition
+	d.CreatePartition(1) // the partition we will reorganize
+
+	fmt.Println("== building a fragmented partition ==")
+	tx, _ := d.Begin()
+	var objs []oid.OID
+	for i := 0; i < 400; i++ {
+		o, err := tx.Create(1, []byte(fmt.Sprintf("object-%03d", i)), nil)
+		if err != nil {
+			panic(err)
+		}
+		objs = append(objs, o)
+	}
+	// Chain survivors into a list reachable from a persistent root, and
+	// delete the rest to fragment the pages.
+	var kept []oid.OID
+	for i, o := range objs {
+		if i%3 == 0 {
+			kept = append(kept, o)
+		} else if err := tx.Delete(o); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i+1 < len(kept); i++ {
+		if err := tx.InsertRef(kept[i], kept[i+1]); err != nil {
+			panic(err)
+		}
+	}
+	root, _ := tx.Create(0, []byte("persistent-root"), []oid.OID{kept[0]})
+	if err := tx.Commit(); err != nil {
+		panic(err)
+	}
+
+	st, _ := d.Store().PartitionStats(1)
+	fmt.Printf("partition 1: %d objects, %d pages, %d dead bytes (%.1f%% fragmentation)\n",
+		st.Objects, st.Pages, st.DeadBytes, 100*st.Fragmentation())
+	fmt.Printf("ERT of partition 1: %d referenced objects, %d external references\n",
+		d.ERT(1).Children(), d.ERT(1).Refs())
+	fmt.Printf("sample object %q lives at %v\n\n", "object-000", kept[0])
+
+	fmt.Println("== starting concurrent readers ==")
+	var stop atomic.Bool
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				tx, err := d.Begin()
+				if err != nil {
+					return
+				}
+				cur := root
+				for i := 0; i < 8; i++ {
+					if err := tx.Lock(cur, lock.Shared); err != nil {
+						break
+					}
+					obj, err := tx.Read(cur)
+					if err != nil || len(obj.Refs) == 0 {
+						break
+					}
+					reads.Add(1)
+					cur = obj.Refs[rng.Intn(len(obj.Refs))]
+				}
+				tx.Commit()
+			}
+		}(int64(g))
+	}
+
+	fmt.Println("\n== running IRA (compaction plan) ==")
+	r := reorg.New(d, 1, reorg.Options{
+		Mode:            reorg.ModeIRA,
+		CheckpointEvery: 50,
+		OnCheckpoint: func(s *reorg.State) {
+			fmt.Printf("  checkpoint: %d objects known, %d migrated, TRT holds %d tuples\n",
+				len(s.Objects), len(s.Migrated), len(s.TRT.Tuples))
+		},
+	})
+	start := time.Now()
+	if err := r.Run(); err != nil {
+		panic(err)
+	}
+	stats := r.Stats()
+	stop.Store(true)
+	wg.Wait()
+
+	fmt.Printf("\nIRA finished in %s:\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  traversed %d live objects (fuzzy traversal from the ERT)\n", stats.Traversed)
+	fmt.Printf("  migrated  %d objects, rewriting %d parent references\n", stats.Migrated, stats.ParentsUpdated)
+	fmt.Printf("  peak locks held by the reorganizer: %d\n", stats.MaxLocksHeld)
+	fmt.Printf("  deadlock retries: %d, TRT tuples purged: %d\n", stats.Retries, stats.TRTPurged)
+	fmt.Printf("  concurrent readers completed %d object reads meanwhile\n", reads.Load())
+
+	if _, err := d.Store().TrimPages(1); err != nil {
+		panic(err)
+	}
+	st, _ = d.Store().PartitionStats(1)
+	fmt.Printf("\npartition 1 after compaction: %d objects, %d pages, %d dead bytes\n",
+		st.Objects, st.Pages, st.DeadBytes)
+	tx2, _ := d.Begin()
+	obj, err := tx2.Read(root)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sample object %q now lives at %v (followed from the root)\n", "object-000", obj.Refs[0])
+	tx2.Commit()
+
+	rep, err := check.Verify(d, []oid.OID{root})
+	if err != nil {
+		panic(err)
+	}
+	if err := rep.Err(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nconsistency check: %d objects, %d references, no dangling pointers, ERT exact\n",
+		rep.Objects, rep.Refs)
+}

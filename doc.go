@@ -1,0 +1,43 @@
+// Package repro is a from-scratch Go reproduction of "On-line
+// Reorganization in Object Databases" (Lakhamraju, Rastogi, Seshadri,
+// Sudarshan — SIGMOD 2000).
+//
+// The repository contains the complete system the paper describes: a
+// partitioned, memory-resident object storage manager with physical
+// references, strict/relaxed two-phase locking, ARIES-style write-ahead
+// logging and restart recovery, External and Temporary Reference Tables
+// maintained by a log analyzer — and, on top of it, the paper's
+// contribution: the Incremental Reorganization Algorithm (IRA), its
+// two-lock and relaxed-2PL extensions, the PQR baseline it is evaluated
+// against, and a benchmark harness that regenerates every figure and
+// table of the paper's evaluation.
+//
+// Layout:
+//
+//	internal/oid        physical object identifiers
+//	internal/page       slotted pages
+//	internal/storage    partitioned object store
+//	internal/exthash    extendible hashing (TRT/ERT substrate)
+//	internal/latch      striped object latches
+//	internal/lock       lock manager (S/X, timeouts, lock history)
+//	internal/wal        write-ahead log with simulated flush device
+//	internal/recovery   ARIES restart recovery
+//	internal/txn        — folded into internal/db (transactions)
+//	internal/ert        External Reference Tables
+//	internal/trt        Temporary Reference Tables
+//	internal/analyzer   the log analyzer maintaining ERT/TRT
+//	internal/db         the object database (Brahmā's role)
+//	internal/object     stored object format
+//	internal/check      whole-database consistency checker
+//	internal/reorg      IRA, extensions, PQR, offline, GC   ← the paper
+//	internal/workload   the §5.2 experimental workload
+//	internal/metrics    response-time statistics
+//	internal/harness    experiment runner (figures 6–11, tables 1–2, §5.3.4)
+//	cmd/reorgbench      regenerate the evaluation
+//	cmd/reorgck         consistency stress checker
+//	cmd/reorgdemo       narrated walkthrough
+//	examples/...        quickstart, compaction, gc, clustering
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,101 @@
+// Copying garbage collection with physical references (paper §4.6).
+//
+// The reorganization algorithm doubles as a partitioned copying collector:
+// the fuzzy traversal provably finds every live object of the partition
+// (Lemma 3.1), those are evacuated to a fresh partition, and the old
+// partition — now containing only garbage — is reclaimed wholesale. No
+// prior collector in the literature could do this when references are
+// physical; that combination is the paper's headline capability.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/db"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+)
+
+func main() {
+	d := db.Open(db.DefaultConfig())
+	defer d.Close()
+	must(d.CreatePartition(0)) // roots
+	must(d.CreatePartition(1)) // from-space
+
+	// A live linked structure and a lot of garbage, including garbage
+	// cycles and garbage pointing at live objects — the cases that break
+	// naive reference counting.
+	tx, err := d.Begin()
+	must(err)
+	var live []oid.OID
+	for i := 0; i < 50; i++ {
+		o, err := tx.Create(1, []byte(fmt.Sprintf("live-%02d", i)), nil)
+		must(err)
+		if i > 0 {
+			must(tx.InsertRef(live[i-1], o))
+		}
+		live = append(live, o)
+	}
+	root, err := tx.Create(0, []byte("root"), []oid.OID{live[0]})
+	must(err)
+
+	var garbage []oid.OID
+	for i := 0; i < 120; i++ {
+		o, err := tx.Create(1, []byte(fmt.Sprintf("garbage-%03d", i)), nil)
+		must(err)
+		garbage = append(garbage, o)
+	}
+	for i, g := range garbage {
+		// Garbage cycle edges plus edges into the live list.
+		must(tx.InsertRef(g, garbage[(i+1)%len(garbage)]))
+		if i%10 == 0 {
+			must(tx.InsertRef(g, live[i%len(live)]))
+		}
+	}
+	must(tx.Commit())
+
+	st, _ := d.Store().PartitionStats(1)
+	fmt.Printf("from-space: %d objects (%d live, %d garbage), %d pages\n",
+		st.Objects, len(live), len(garbage), st.Pages)
+
+	// Collect: evacuate live objects of partition 1 into partition 2,
+	// reclaim everything else, drop partition 1.
+	stats, err := reorg.CollectPartition(d, 1, 2, reorg.Options{Mode: reorg.ModeIRA})
+	must(err)
+	fmt.Printf("collector: traversed %d live objects, evacuated %d, reclaimed %d garbage objects\n",
+		stats.Traversed, stats.Migrated, stats.Garbage)
+	if d.Store().HasPartition(1) {
+		panic("from-space still exists")
+	}
+	st2, _ := d.Store().PartitionStats(2)
+	fmt.Printf("to-space: %d objects in %d densely packed pages\n", st2.Objects, st2.Pages)
+
+	// The live list is fully intact, at new addresses, via physical refs.
+	rep, err := check.Verify(d, []oid.OID{root})
+	must(err)
+	must(rep.Err())
+	if rep.Reachable != len(live)+1 {
+		panic(fmt.Sprintf("reachable = %d, want %d", rep.Reachable, len(live)+1))
+	}
+	tx2, err := d.Begin()
+	must(err)
+	cur, count := root, 0
+	for {
+		obj, err := tx2.Read(cur)
+		must(err)
+		if len(obj.Refs) == 0 {
+			break
+		}
+		cur = obj.Refs[0]
+		count++
+	}
+	must(tx2.Commit())
+	fmt.Printf("walked the live list end to end: %d hops, all references valid\n", count)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Schema evolution (paper §1): "Schema Evolution could cause an increase
+// in object size. Such objects may have to be moved since they no longer
+// fit in their current location."
+//
+// The example widens every "v1" record with new fields. Records whose
+// page has room grow in place; the ones that no longer fit are migrated
+// on-line — only those, using the reorganizer's Filter — and rewritten to
+// the v2 representation in flight via the Transform hook, while readers
+// keep traversing the collection.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/check"
+	"repro/internal/db"
+	"repro/internal/lock"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+	"repro/internal/storage"
+)
+
+func main() {
+	cfg := db.DefaultConfig()
+	cfg.PageSize = 1024
+	cfg.FillFactor = 0.85 // default headroom: a little room to grow in place
+	d := db.Open(cfg)
+	defer d.Close()
+	must(d.CreatePartition(0))
+	must(d.CreatePartition(1))
+
+	// A packed collection of v1 records.
+	tx, err := d.Begin()
+	must(err)
+	const n = 150
+	var records []oid.OID
+	for i := 0; i < n; i++ {
+		payload := pad(fmt.Sprintf("v1|rec-%03d", i), 90)
+		o, err := tx.Create(1, payload, nil)
+		must(err)
+		records = append(records, o)
+	}
+	// Two-level directory (small pages cap fan-out).
+	var chunks []oid.OID
+	for i := 0; i < len(records); i += 50 {
+		c, err := tx.Create(0, []byte(fmt.Sprintf("chunk-%d", i)), records[i:i+50])
+		must(err)
+		chunks = append(chunks, c)
+	}
+	dir, err := tx.Create(0, []byte("directory"), chunks)
+	must(err)
+	must(tx.Commit())
+
+	// Readers traverse the directory throughout the evolution.
+	var stop atomic.Bool
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				tx, err := d.Begin()
+				if err != nil {
+					return
+				}
+				ok := func() bool {
+					if tx.Lock(dir, lock.Shared) != nil {
+						return false
+					}
+					dobj, err := tx.Read(dir)
+					if err != nil {
+						return false
+					}
+					for _, c := range dobj.Refs {
+						cobj, err := tx.Read(c)
+						if err != nil {
+							return false
+						}
+						for _, rec := range cobj.Refs {
+							if _, err := tx.Read(rec); err != nil {
+								return false
+							}
+							reads.Add(1)
+						}
+					}
+					return true
+				}()
+				if ok {
+					tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			}
+		}()
+	}
+
+	// Phase 1: try to widen every record in place; collect the ones that
+	// no longer fit. (Each attempt is its own transaction so a failed
+	// grow rolls back cleanly.)
+	widen := func(tx *db.Txn, o oid.OID) error {
+		obj, err := tx.Read(o)
+		if err != nil {
+			return err
+		}
+		return tx.UpdatePayload(o, append(obj.Payload, pad("|v2-extra-fields", 60)...))
+	}
+	var needMove []oid.OID
+	grown := 0
+	for _, o := range records {
+		tx, err := d.Begin()
+		must(err)
+		err = widen(tx, o)
+		switch {
+		case err == nil:
+			must(tx.Commit())
+			grown++
+		case errors.Is(err, storage.ErrWontFit):
+			tx.Abort()
+			needMove = append(needMove, o)
+		default:
+			tx.Abort()
+			must(err)
+		}
+	}
+	fmt.Printf("schema widening: %d records grew in place, %d no longer fit their page\n",
+		grown, len(needMove))
+
+	// Phase 2: migrate exactly the stuck records on-line, rewriting each
+	// into its v2 representation AS it moves — the reorganizer's
+	// Transform hook makes the relocation and the schema rewrite one
+	// atomic step per object.
+	moveSet := map[oid.OID]bool{}
+	for _, o := range needMove {
+		moveSet[o] = true
+	}
+	r := reorg.New(d, 1, reorg.Options{
+		Mode:   reorg.ModeIRA,
+		Filter: func(o oid.OID) bool { return moveSet[o] },
+		Transform: func(o oid.OID, payload []byte) []byte {
+			return append(payload, pad("|v2-extra-fields", 60)...)
+		},
+	})
+	must(r.Run())
+	fmt.Printf("on-line migration: moved %d records (rewritten to v2 in flight), rewrote %d directory references\n",
+		r.Stats().Migrated, r.Stats().ParentsUpdated)
+
+	stop.Store(true)
+	wg.Wait()
+
+	// Every record is v2 now, and the database is consistent.
+	rep, err := check.Verify(d, []oid.OID{dir})
+	must(err)
+	must(rep.Err())
+	tx, err = d.Begin()
+	must(err)
+	v2 := 0
+	dobj, err := tx.Read(dir)
+	must(err)
+	for _, c := range dobj.Refs {
+		cobj, _ := tx.Read(c)
+		for _, rec := range cobj.Refs {
+			obj, err := tx.Read(rec)
+			must(err)
+			if len(obj.Payload) == 150 {
+				v2++
+			}
+		}
+	}
+	must(tx.Commit())
+	fmt.Printf("verified: %d/%d records at the v2 schema, %d concurrent reads completed\n",
+		v2, n, reads.Load())
+	if v2 != n {
+		panic("records left at v1")
+	}
+}
+
+func pad(s string, size int) []byte {
+	b := make([]byte, size)
+	copy(b, s)
+	return b
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package analyzer implements the log analyzer that maintains the ERT and
+// TRT.
+//
+// The paper (§3.3) maintains both tables by processing system log records
+// "as soon as they are handed over to the logging subsystem", in a
+// component deliberately separate from user code. This analyzer registers
+// as the WAL's append observer, so it sees every record synchronously and
+// in LSN order. That placement gives the two orderings the TRT
+// correctness argument needs for free:
+//
+//   - a pointer delete is WAL-logged (undo rule) before the page mutation,
+//     so the TRT tuple exists before the reference disappears;
+//   - a pointer insert is logged before the transaction's locks are
+//     released, so the tuple exists before any other transaction can
+//     observe the new reference.
+//
+// ERTs exist for every partition at all times; a TRT exists only while a
+// reorganization of its partition is in progress.
+package analyzer
+
+import (
+	"sync"
+
+	"repro/internal/ert"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/trt"
+	"repro/internal/wal"
+)
+
+// Analyzer routes reference changes from the log to ERTs and TRTs.
+type Analyzer struct {
+	mu   sync.RWMutex
+	erts map[oid.PartitionID]*ert.Table
+	trts map[oid.PartitionID]*trt.Table
+}
+
+// New creates an analyzer with no tables.
+func New() *Analyzer {
+	return &Analyzer{
+		erts: make(map[oid.PartitionID]*ert.Table),
+		trts: make(map[oid.PartitionID]*trt.Table),
+	}
+}
+
+// ERT returns the ERT for part, creating it if needed.
+func (a *Analyzer) ERT(part oid.PartitionID) *ert.Table {
+	a.mu.RLock()
+	t, ok := a.erts[part]
+	a.mu.RUnlock()
+	if ok {
+		return t
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t, ok = a.erts[part]; !ok {
+		t = ert.New(part)
+		a.erts[part] = t
+	}
+	return t
+}
+
+// ERTs returns all ERTs keyed by partition.
+func (a *Analyzer) ERTs() map[oid.PartitionID]*ert.Table {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[oid.PartitionID]*ert.Table, len(a.erts))
+	for p, t := range a.erts {
+		out[p] = t
+	}
+	return out
+}
+
+// DropERT removes the ERT of a dropped partition.
+func (a *Analyzer) DropERT(part oid.PartitionID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.erts, part)
+}
+
+// AttachTRT starts routing reference changes affecting t's partition into
+// t. Called when a reorganization begins.
+func (a *Analyzer) AttachTRT(t *trt.Table) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.trts[t.Partition()] = t
+}
+
+// DetachTRT stops TRT maintenance for part. Called when the
+// reorganization completes; the TRT ceases to exist (§4.5).
+func (a *Analyzer) DetachTRT(part oid.PartitionID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.trts, part)
+}
+
+// TRT returns the TRT attached for part, if any.
+func (a *Analyzer) TRT(part oid.PartitionID) (*trt.Table, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	t, ok := a.trts[part]
+	return t, ok
+}
+
+// Observe processes one log record. It is registered as the WAL observer
+// and therefore runs synchronously with Append, in LSN order.
+func (a *Analyzer) Observe(r *wal.Record) {
+	switch r.Type {
+	case wal.RecCreate:
+		// A new object's initial references are insertions from the new
+		// parent; and a creation inside a partition under reorganization
+		// is noted so the late-creation pass (paper footnote 6 /
+		// [LRSS99]) can migrate the object too.
+		if obj, err := object.Decode(r.After); err == nil {
+			for _, c := range obj.Refs {
+				a.noteInsert(c, r.OID, r.Txn)
+			}
+		}
+		if !r.CLR {
+			a.mu.RLock()
+			t := a.trts[r.OID.Partition()]
+			a.mu.RUnlock()
+			if t != nil {
+				t.LogCreation(r.OID)
+			}
+		}
+	case wal.RecDelete:
+		if obj, err := object.Decode(r.Before); err == nil {
+			for _, c := range obj.Refs {
+				a.noteDelete(c, r.OID, r.Txn)
+			}
+		}
+	case wal.RecRefInsert:
+		a.noteInsert(r.Child, r.OID, r.Txn)
+	case wal.RecRefDelete:
+		a.noteDelete(r.Child, r.OID, r.Txn)
+	case wal.RecRefUpdate:
+		// Every occurrence of Child in the before-image was retargeted
+		// to Child2.
+		n := 1
+		if obj, err := object.Decode(r.Before); err == nil {
+			if c := obj.CountRef(r.Child); c > 0 {
+				n = c
+			}
+		}
+		for i := 0; i < n; i++ {
+			a.noteDelete(r.Child, r.OID, r.Txn)
+			a.noteInsert(r.Child2, r.OID, r.Txn)
+		}
+	case wal.RecCommit:
+		a.txnComplete(r.Txn, true)
+	case wal.RecAbort:
+		a.txnComplete(r.Txn, false)
+	}
+}
+
+// noteInsert records that parent gained a reference to child.
+func (a *Analyzer) noteInsert(child, parent oid.OID, txn wal.TxnID) {
+	if child.IsNil() {
+		return
+	}
+	a.mu.RLock()
+	var e *ert.Table
+	if child.Partition() != parent.Partition() {
+		e = a.erts[child.Partition()]
+	}
+	t := a.trts[child.Partition()]
+	a.mu.RUnlock()
+	if e != nil {
+		e.AddRef(child, parent)
+	}
+	if t != nil {
+		t.Log(child, parent, trt.TxnID(txn), trt.Insert)
+	}
+}
+
+// noteDelete records that parent lost a reference to child.
+func (a *Analyzer) noteDelete(child, parent oid.OID, txn wal.TxnID) {
+	if child.IsNil() {
+		return
+	}
+	a.mu.RLock()
+	var e *ert.Table
+	if child.Partition() != parent.Partition() {
+		e = a.erts[child.Partition()]
+	}
+	t := a.trts[child.Partition()]
+	a.mu.RUnlock()
+	if e != nil {
+		e.RemoveRef(child, parent)
+	}
+	if t != nil {
+		t.Log(child, parent, trt.TxnID(txn), trt.Delete)
+	}
+}
+
+// txnComplete applies TRT purge rules on commit/abort (§4.5).
+func (a *Analyzer) txnComplete(txn wal.TxnID, committed bool) {
+	a.mu.RLock()
+	tables := make([]*trt.Table, 0, len(a.trts))
+	for _, t := range a.trts {
+		tables = append(tables, t)
+	}
+	a.mu.RUnlock()
+	for _, t := range tables {
+		t.TxnComplete(trt.TxnID(txn), committed)
+	}
+}

@@ -1,0 +1,258 @@
+// Package check implements a whole-database consistency checker.
+//
+// With physical references the fatal failure mode of a buggy reorganizer
+// is a dangling reference — a stored OID addressing freed or reused
+// space. The checker scans every partition and verifies:
+//
+//   - referential integrity: every stored reference resolves to a live
+//     object;
+//   - ERT exactness: each partition's External Reference Table contains
+//     exactly the cross-partition references that exist, with the right
+//     multiplicity;
+//   - reachability: which objects are reachable from the given roots
+//     (unreachable objects are garbage — reported, not an error).
+//
+// It also computes a payload-keyed signature of the reachable graph so
+// integration tests can assert that a reorganization changed every
+// physical address while preserving the logical graph exactly.
+//
+// The checker reads fuzzily (no locks); run it on a quiesced database for
+// exact results.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/db"
+	"repro/internal/object"
+	"repro/internal/oid"
+)
+
+// Edge is a parent→child reference.
+type Edge struct {
+	Parent, Child oid.OID
+}
+
+// Report is the result of a verification pass.
+type Report struct {
+	Objects    int
+	Refs       int
+	Dangling   []Edge // references from REACHABLE objects to non-live objects
+	ERTMissing []Edge // cross-partition refs absent from the ERT
+	ERTStale   []Edge // ERT entries with no matching reference
+	// GarbageDangling are dangling references whose parent is itself
+	// unreachable. They are harmless in the system model — no
+	// transaction can ever follow them, since references are obtained
+	// only by traversal from the roots — and arise when IRA migrates a
+	// live object that an unreachable object still points at (garbage
+	// parents are deliberately not repointed; reclaiming them is the
+	// garbage collector's job, §4.6).
+	GarbageDangling []Edge
+	Unreachable     []oid.OID // live objects not reachable from the roots
+	Reachable       int
+}
+
+// Err returns a descriptive error if the report contains violations
+// (unreachable objects are not violations).
+func (r *Report) Err() error {
+	if len(r.Dangling) == 0 && len(r.ERTMissing) == 0 && len(r.ERTStale) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "check: %d dangling refs, %d ERT-missing, %d ERT-stale",
+		len(r.Dangling), len(r.ERTMissing), len(r.ERTStale))
+	for i, e := range r.Dangling {
+		if i == 4 {
+			b.WriteString(" ...")
+			break
+		}
+		fmt.Fprintf(&b, "; dangling %s->%s", e.Parent, e.Child)
+	}
+	for i, e := range r.ERTMissing {
+		if i == 4 {
+			b.WriteString(" ...")
+			break
+		}
+		fmt.Fprintf(&b, "; ERT missing %s->%s", e.Parent, e.Child)
+	}
+	for i, e := range r.ERTStale {
+		if i == 4 {
+			b.WriteString(" ...")
+			break
+		}
+		fmt.Fprintf(&b, "; ERT stale %s->%s", e.Parent, e.Child)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Verify scans the database and returns a report. roots seed the
+// reachability pass (pass the persistent roots).
+func Verify(d *db.Database, roots []oid.OID) (*Report, error) {
+	rep := &Report{}
+	// actual[child][parent] = multiplicity of cross-partition refs.
+	actual := make(map[oid.OID]map[oid.OID]int)
+	adj := make(map[oid.OID][]oid.OID)
+
+	for _, part := range d.Partitions() {
+		var scanErr error
+		err := d.Store().ForEach(part, func(parent oid.OID, data []byte) bool {
+			refs, err := object.DecodeRefs(data)
+			if err != nil {
+				scanErr = fmt.Errorf("check: object %s: %w", parent, err)
+				return false
+			}
+			rep.Objects++
+			adj[parent] = refs
+			for _, child := range refs {
+				rep.Refs++
+				if !d.Exists(child) {
+					continue // classified after reachability below
+				}
+				if child.Partition() != parent.Partition() {
+					m := actual[child]
+					if m == nil {
+						m = make(map[oid.OID]int)
+						actual[child] = m
+					}
+					m[parent]++
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if scanErr != nil {
+			return nil, scanErr
+		}
+	}
+
+	// ERT exactness, both directions.
+	for _, part := range d.Partitions() {
+		e := d.ERT(part)
+		ertCounts := make(map[Edge]int)
+		e.Range(func(child, parent oid.OID, count int) bool {
+			ertCounts[Edge{parent, child}] = count
+			return true
+		})
+		for child, parents := range actual {
+			if child.Partition() != part {
+				continue
+			}
+			for parent, n := range parents {
+				k := Edge{parent, child}
+				have := ertCounts[k]
+				for i := have; i < n; i++ {
+					rep.ERTMissing = append(rep.ERTMissing, k)
+				}
+				if have > n {
+					for i := n; i < have; i++ {
+						rep.ERTStale = append(rep.ERTStale, k)
+					}
+				}
+				delete(ertCounts, k)
+			}
+		}
+		for k, n := range ertCounts {
+			for i := 0; i < n; i++ {
+				rep.ERTStale = append(rep.ERTStale, k)
+			}
+		}
+	}
+
+	// Reachability.
+	seen := make(map[oid.OID]bool)
+	queue := make([]oid.OID, 0, len(roots))
+	for _, r := range roots {
+		if !seen[r] && d.Exists(r) {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+		for _, c := range adj[o] {
+			if !seen[c] && d.Exists(c) {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+	rep.Reachable = len(seen)
+	for o := range adj {
+		if !seen[o] {
+			rep.Unreachable = append(rep.Unreachable, o)
+		}
+	}
+	sort.Slice(rep.Unreachable, func(i, j int) bool { return rep.Unreachable[i] < rep.Unreachable[j] })
+
+	// Classify dangling references now that reachability is known: a
+	// dangling reference out of a reachable object is a hard violation;
+	// out of garbage it is inert.
+	var parentsSorted []oid.OID
+	for p := range adj {
+		parentsSorted = append(parentsSorted, p)
+	}
+	sort.Slice(parentsSorted, func(i, j int) bool { return parentsSorted[i] < parentsSorted[j] })
+	for _, parent := range parentsSorted {
+		for _, child := range adj[parent] {
+			if d.Exists(child) {
+				continue
+			}
+			if seen[parent] {
+				rep.Dangling = append(rep.Dangling, Edge{parent, child})
+			} else {
+				rep.GarbageDangling = append(rep.GarbageDangling, Edge{parent, child})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// Signature computes a canonical, address-independent description of the
+// graph reachable from roots, keyed by object payloads (which must be
+// unique across reachable objects for the signature to be meaningful).
+// Each entry maps a payload to the sorted multiset of its children's
+// payloads. Two databases with equal signatures hold the same logical
+// graph regardless of physical placement.
+func Signature(d *db.Database, roots []oid.OID) (map[string][]string, error) {
+	sig := make(map[string][]string)
+	seen := make(map[oid.OID]bool)
+	var queue []oid.OID
+	for _, r := range roots {
+		if !seen[r] {
+			seen[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+		obj, err := d.FuzzyRead(o)
+		if err != nil {
+			return nil, fmt.Errorf("check: signature read %s: %w", o, err)
+		}
+		key := string(obj.Payload)
+		if _, dup := sig[key]; dup {
+			return nil, fmt.Errorf("check: duplicate payload %q (payloads must be unique)", key)
+		}
+		var kids []string
+		for _, c := range obj.Refs {
+			child, err := d.FuzzyRead(c)
+			if err != nil {
+				return nil, fmt.Errorf("check: signature read child %s of %q: %w", c, key, err)
+			}
+			kids = append(kids, string(child.Payload))
+			if !seen[c] {
+				seen[c] = true
+				queue = append(queue, c)
+			}
+		}
+		sort.Strings(kids)
+		sig[key] = kids
+	}
+	return sig, nil
+}

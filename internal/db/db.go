@@ -1,0 +1,392 @@
+// Package db implements the object database the paper's system model
+// describes (§2): a partitioned store of objects holding physical
+// references, accessed by transactions under (strict or relaxed)
+// two-phase locking with write-ahead logging, with an External Reference
+// Table per partition maintained by a log analyzer.
+//
+// This is the role Brahmā plays in the paper; internal/reorg implements
+// IRA and its competitors on top of this layer.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/ert"
+	"repro/internal/latch"
+	"repro/internal/lock"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/storage"
+	"repro/internal/trt"
+	"repro/internal/wal"
+)
+
+// Config configures a Database.
+type Config struct {
+	// PageSize is the slotted-page size in bytes.
+	PageSize int
+	// FillFactor bounds how full the first-fit allocator packs pages.
+	FillFactor float64
+	// LockTimeout is the deadlock timeout (paper: 1 s).
+	LockTimeout time.Duration
+	// FlushLatency simulates the log device write time; commits wait for
+	// a group-commit flush covering their commit record.
+	FlushLatency time.Duration
+	// Strict2PL, when true, forbids early lock release and enables the
+	// TRT purge optimizations. When false, the lock manager tracks
+	// lock history so the reorganizer can apply the §4.1 waiting rule.
+	Strict2PL bool
+	// LatchStripes sizes the object latch table.
+	LatchStripes int
+	// LogDir, if non-empty, makes the WAL durable on disk: records are
+	// written to rotating segment files there and fsynced at each group
+	// commit. FlushLatency, if also set, is added on top.
+	LogDir string
+	// LogSegmentBytes is the segment rotation threshold for LogDir.
+	LogSegmentBytes int
+}
+
+// DefaultConfig returns the configuration used by the experiments unless
+// overridden: 8 KiB pages, 1 s lock timeout, strict 2PL, and a 2 ms
+// simulated log device.
+func DefaultConfig() Config {
+	return Config{
+		PageSize:     8192,
+		FillFactor:   storage.DefaultFillFactor,
+		LockTimeout:  time.Second,
+		FlushLatency: 2 * time.Millisecond,
+		Strict2PL:    true,
+		LatchStripes: latch.DefaultStripes,
+	}
+}
+
+// Database is an object database instance.
+type Database struct {
+	cfg     Config
+	store   *storage.Store
+	locks   *lock.Manager
+	latches *latch.Table
+	log     *wal.Log
+	an      *analyzer.Analyzer
+	logDev  *wal.FileDevice // non-nil when the WAL is file-backed
+
+	// ckptGate makes checkpoints action-consistent: every logged
+	// mutation holds it in read mode across its (log, apply) pair, and
+	// Checkpoint holds it in write mode while snapshotting. Redo can
+	// therefore start exactly at the checkpoint record's LSN.
+	ckptGate sync.RWMutex
+
+	mu      sync.Mutex
+	nextTxn uint64
+	active  map[lock.TxnID]*Txn
+	closed  bool
+}
+
+// Open creates an empty database.
+func Open(cfg Config) *Database {
+	def := DefaultConfig()
+	if cfg.PageSize == 0 {
+		cfg.PageSize = def.PageSize
+	}
+	if cfg.FillFactor == 0 {
+		cfg.FillFactor = def.FillFactor
+	}
+	if cfg.LockTimeout == 0 {
+		cfg.LockTimeout = def.LockTimeout
+	}
+	if cfg.LatchStripes == 0 {
+		cfg.LatchStripes = def.LatchStripes
+	}
+	d := &Database{
+		cfg:     cfg,
+		store:   storage.New(storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor)),
+		locks:   lock.NewManager(lock.WithTimeout(cfg.LockTimeout), lock.WithHistory(!cfg.Strict2PL)),
+		latches: latch.New(cfg.LatchStripes),
+		an:      analyzer.New(),
+		active:  make(map[lock.TxnID]*Txn),
+	}
+	opts := []wal.LogOption{wal.WithFlushLatency(cfg.FlushLatency), wal.WithObserver(d.an.Observe)}
+	if cfg.LogDir != "" {
+		dev, err := wal.NewFileDevice(cfg.LogDir, cfg.LogSegmentBytes)
+		if err != nil {
+			panic(fmt.Sprintf("db: open log directory: %v", err))
+		}
+		d.logDev = dev
+		opts = append(opts, wal.WithFileDevice(dev))
+	}
+	d.log = wal.NewLog(opts...)
+	return d
+}
+
+// OpenWithStore builds a Database around an existing store. Restart
+// recovery uses it after rebuilding the store image from a checkpoint
+// snapshot plus the log; callers should normally follow with RebuildERTs.
+func OpenWithStore(cfg Config, st *storage.Store) *Database {
+	d := Open(cfg)
+	d.store = st
+	return d
+}
+
+// Config returns the database configuration.
+func (d *Database) Config() Config { return d.cfg }
+
+// Store exposes the storage layer (used by reorg, recovery and checks).
+func (d *Database) Store() *storage.Store { return d.store }
+
+// Locks exposes the lock manager.
+func (d *Database) Locks() *lock.Manager { return d.locks }
+
+// Log exposes the WAL.
+func (d *Database) Log() *wal.Log { return d.log }
+
+// Latches exposes the object latch table.
+func (d *Database) Latches() *latch.Table { return d.latches }
+
+// Analyzer exposes the log analyzer.
+func (d *Database) Analyzer() *analyzer.Analyzer { return d.an }
+
+// ERT returns the External Reference Table of part.
+func (d *Database) ERT(part oid.PartitionID) *ert.Table { return d.an.ERT(part) }
+
+// CreatePartition adds an empty partition (with its ERT).
+func (d *Database) CreatePartition(part oid.PartitionID) error {
+	if err := d.store.CreatePartition(part); err != nil {
+		return err
+	}
+	d.an.ERT(part)
+	return nil
+}
+
+// DropPartition removes an empty (fully evacuated) partition.
+func (d *Database) DropPartition(part oid.PartitionID) error {
+	if err := d.store.DropPartition(part); err != nil {
+		return err
+	}
+	d.an.DropERT(part)
+	return nil
+}
+
+// Partitions lists partition ids.
+func (d *Database) Partitions() []oid.PartitionID { return d.store.Partitions() }
+
+// ErrClosed reports use of a closed database.
+var ErrClosed = errors.New("db: database closed")
+
+// Begin starts a transaction. Each transaction must be used by a single
+// goroutine.
+func (d *Database) Begin() (*Txn, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	d.nextTxn++
+	id := lock.TxnID(d.nextTxn)
+	t := &Txn{db: d, id: id}
+	d.active[id] = t
+	d.mu.Unlock()
+
+	d.locks.Begin(id)
+	lsn, err := d.log.Append(&wal.Record{Type: wal.RecBegin, Txn: wal.TxnID(id)})
+	if err != nil {
+		d.locks.Finish(id)
+		d.forget(id)
+		return nil, err
+	}
+	t.firstLSN = lsn
+	t.lastLSN = lsn
+	return t, nil
+}
+
+// SafeTruncationLSN returns the highest LSN the log can be truncated
+// before, given the latest durable checkpoint: everything earlier than
+// both the checkpoint record and the begin record of the oldest active
+// transaction is unreachable by recovery and by rollback.
+func (d *Database) SafeTruncationLSN(ckpt *Checkpoint) wal.LSN {
+	safe := ckpt.LSN
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, t := range d.active {
+		if t.firstLSN < safe {
+			safe = t.firstLSN
+		}
+	}
+	return safe
+}
+
+// TruncateLog discards log records that neither restart recovery (from
+// ckpt) nor any active transaction's rollback can need.
+func (d *Database) TruncateLog(ckpt *Checkpoint) {
+	d.log.Truncate(d.SafeTruncationLSN(ckpt))
+}
+
+func (d *Database) forget(id lock.TxnID) {
+	d.mu.Lock()
+	delete(d.active, id)
+	d.mu.Unlock()
+}
+
+// ActiveTxnIDs snapshots the ids of transactions active right now. The
+// reorganizer uses this to implement "wait for all transactions that are
+// active at the time it started to complete" (§4.5).
+func (d *Database) ActiveTxnIDs() []lock.TxnID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]lock.TxnID, 0, len(d.active))
+	for id := range d.active {
+		out = append(out, id)
+	}
+	return out
+}
+
+// WaitForTxns blocks until every listed transaction has finished or the
+// timeout expires.
+func (d *Database) WaitForTxns(ids []lock.TxnID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for _, id := range ids {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("db: timed out waiting for transaction %d", id)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-d.locks.Done(id):
+			timer.Stop()
+		case <-timer.C:
+			return fmt.Errorf("db: timed out waiting for transaction %d", id)
+		}
+	}
+	return nil
+}
+
+// StartReorgTRT creates and attaches the TRT for a partition about to be
+// reorganized. It returns the table; the caller owns its lifecycle and
+// must call StopReorgTRT when done.
+func (d *Database) StartReorgTRT(part oid.PartitionID) *trt.Table {
+	t := trt.New(part, d.cfg.Strict2PL)
+	d.an.AttachTRT(t)
+	return t
+}
+
+// StopReorgTRT detaches and discards the TRT for part.
+func (d *Database) StopReorgTRT(part oid.PartitionID) {
+	d.an.DetachTRT(part)
+}
+
+// FuzzyRead reads an object without any locks — only a latch for physical
+// consistency. This is the read primitive of the fuzzy traversal (§3.4).
+func (d *Database) FuzzyRead(o oid.OID) (object.Object, error) {
+	var obj object.Object
+	var derr error
+	d.latches.RLatch(o)
+	err := d.store.View(o, func(data []byte) {
+		obj, derr = object.Decode(data)
+	})
+	d.latches.RUnlatch(o)
+	if err != nil {
+		return object.Object{}, err
+	}
+	return obj, derr
+}
+
+// FuzzyReadRefs reads only an object's outgoing references, lock-free.
+func (d *Database) FuzzyReadRefs(o oid.OID) ([]oid.OID, error) {
+	var refs []oid.OID
+	var derr error
+	d.latches.RLatch(o)
+	err := d.store.View(o, func(data []byte) {
+		refs, derr = object.DecodeRefs(data)
+	})
+	d.latches.RUnlatch(o)
+	if err != nil {
+		return nil, err
+	}
+	return refs, derr
+}
+
+// Exists reports whether o addresses a live object.
+func (d *Database) Exists(o oid.OID) bool { return d.store.Exists(o) }
+
+// Checkpoint captures an action-consistent checkpoint: a deep snapshot of
+// the store plus a checkpoint log record listing active transactions.
+// Restart recovery restores the snapshot and replays the log from the
+// checkpoint record onward.
+type Checkpoint struct {
+	Snap *storage.Snapshot
+	LSN  wal.LSN
+	Cfg  Config
+}
+
+// Checkpoint performs a checkpoint. It briefly blocks logged mutations
+// (not whole transactions) to obtain an action-consistent image.
+func (d *Database) Checkpoint() (*Checkpoint, error) {
+	d.ckptGate.Lock()
+	defer d.ckptGate.Unlock()
+	snap := d.store.Snapshot()
+	active := d.ActiveTxnIDs()
+	rec := &wal.Record{Type: wal.RecCheckpoint}
+	for _, id := range active {
+		rec.Active = append(rec.Active, wal.TxnID(id))
+	}
+	lsn, err := d.log.Append(rec)
+	if err != nil {
+		return nil, err
+	}
+	// The checkpoint is only usable once everything up to its record is
+	// on the durable log medium.
+	if err := d.log.FlushWait(lsn); err != nil {
+		return nil, err
+	}
+	return &Checkpoint{Snap: snap, LSN: lsn, Cfg: d.cfg}, nil
+}
+
+// Close shuts the database down. Outstanding transactions become invalid.
+func (d *Database) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.log.Close()
+	if d.logDev != nil {
+		d.logDev.Close()
+	}
+}
+
+// LogDevice returns the file device backing the WAL, if any.
+func (d *Database) LogDevice() *wal.FileDevice { return d.logDev }
+
+// RebuildERTs reconstructs every partition's ERT by a full scan of the
+// database — the paper's fallback when ERT updates are not logged ("we
+// would then have to reconstruct the ERT at restart recovery", §4.4).
+func (d *Database) RebuildERTs() error {
+	for _, part := range d.store.Partitions() {
+		d.an.ERT(part).Clear()
+	}
+	for _, part := range d.store.Partitions() {
+		var scanErr error
+		err := d.store.ForEach(part, func(parent oid.OID, data []byte) bool {
+			refs, err := object.DecodeRefs(data)
+			if err != nil {
+				scanErr = fmt.Errorf("db: object %s: %w", parent, err)
+				return false
+			}
+			for _, child := range refs {
+				if child.IsNil() || child.Partition() == part {
+					continue
+				}
+				d.an.ERT(child.Partition()).AddRef(child, parent)
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if scanErr != nil {
+			return scanErr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,414 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Txn is a transaction. A transaction must be driven by one goroutine and
+// must end with exactly one Commit or Abort call. Under strict 2PL all
+// locks are held until then; with Config.Strict2PL disabled the
+// transaction may release object locks early via Unlock (§4.1).
+type Txn struct {
+	db       *Database
+	id       lock.TxnID
+	firstLSN wal.LSN // the Begin record (log truncation barrier)
+	lastLSN  wal.LSN
+	ended    bool
+}
+
+// Errors returned by transaction operations.
+var (
+	// ErrTxnDone reports use of a committed or aborted transaction.
+	ErrTxnDone = errors.New("db: transaction already ended")
+	// ErrNoRef reports a reference operation naming a reference the
+	// object does not hold.
+	ErrNoRef = errors.New("db: object holds no such reference")
+	// ErrStrict2PL reports an early Unlock under strict 2PL.
+	ErrStrict2PL = errors.New("db: early unlock forbidden under strict 2PL")
+)
+
+// ID returns the transaction id.
+func (t *Txn) ID() lock.TxnID { return t.id }
+
+// Lock acquires o in the given mode (waiting up to the lock timeout).
+// Callers use it to lock walk targets before reading them, as the system
+// model requires.
+func (t *Txn) Lock(o oid.OID, mode lock.Mode) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	return t.db.locks.Lock(t.id, o, mode)
+}
+
+// Unlock releases o before transaction end. Only legal when the database
+// runs with Strict2PL disabled; the lock manager keeps the ever-locked
+// history that the reorganizer's §4.1 wait relies on.
+func (t *Txn) Unlock(o oid.OID) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	if t.db.cfg.Strict2PL {
+		return ErrStrict2PL
+	}
+	return t.db.locks.Unlock(t.id, o)
+}
+
+// ensure makes sure t holds at least mode on o.
+func (t *Txn) ensure(o oid.OID, mode lock.Mode) error {
+	if held, ok := t.db.locks.Holds(t.id, o); ok && held >= mode {
+		return nil
+	}
+	return t.db.locks.Lock(t.id, o, mode)
+}
+
+// readImage fetches and decodes o, which must already be locked.
+func (t *Txn) readImage(o oid.OID) (object.Object, []byte, error) {
+	var raw []byte
+	err := t.db.store.View(o, func(data []byte) {
+		raw = append([]byte(nil), data...)
+	})
+	if err != nil {
+		return object.Object{}, nil, err
+	}
+	obj, err := object.Decode(raw)
+	return obj, raw, err
+}
+
+// Read returns the object at o under a shared lock.
+func (t *Txn) Read(o oid.OID) (object.Object, error) {
+	if t.ended {
+		return object.Object{}, ErrTxnDone
+	}
+	if err := t.ensure(o, lock.Shared); err != nil {
+		return object.Object{}, err
+	}
+	obj, _, err := t.readImage(o)
+	return obj, err
+}
+
+// ReadRefs returns o's outgoing references under a shared lock.
+func (t *Txn) ReadRefs(o oid.OID) ([]oid.OID, error) {
+	obj, err := t.Read(o)
+	if err != nil {
+		return nil, err
+	}
+	return obj.Refs, nil
+}
+
+// logApply appends a record and applies the corresponding store mutation
+// under the checkpoint gate, so a checkpoint can never separate the two.
+// apply runs with the object's write latch held.
+func (t *Txn) logApply(rec *wal.Record, o oid.OID, apply func() error) error {
+	t.db.ckptGate.RLock()
+	defer t.db.ckptGate.RUnlock()
+	rec.Txn = wal.TxnID(t.id)
+	rec.Prev = t.lastLSN
+	lsn, err := t.db.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	t.lastLSN = lsn
+	t.db.latches.Latch(o)
+	defer t.db.latches.Unlatch(o)
+	return apply()
+}
+
+// Create allocates a new object with the given payload and initial
+// references. The new object is exclusively locked by t; it becomes
+// reachable only once a reference to it is installed somewhere.
+func (t *Txn) Create(part oid.PartitionID, payload []byte, refs []oid.OID) (oid.OID, error) {
+	return t.create(part, payload, refs, false)
+}
+
+// CreateDense is Create using tail allocation; relocation plans use it to
+// pack migrated objects contiguously.
+func (t *Txn) CreateDense(part oid.PartitionID, payload []byte, refs []oid.OID) (oid.OID, error) {
+	return t.create(part, payload, refs, true)
+}
+
+func (t *Txn) create(part oid.PartitionID, payload []byte, refs []oid.OID, dense bool) (oid.OID, error) {
+	if t.ended {
+		return oid.Nil, ErrTxnDone
+	}
+	img := object.Encode(object.Object{Refs: refs, Payload: payload})
+	t.db.ckptGate.RLock()
+	defer t.db.ckptGate.RUnlock()
+	var o oid.OID
+	var err error
+	if dense {
+		o, err = t.db.store.AllocateDense(part, img)
+	} else {
+		o, err = t.db.store.Allocate(part, img)
+	}
+	if err != nil {
+		return oid.Nil, err
+	}
+	// The allocation is made durable/undoable by the Create record; the
+	// (allocate, log) pair stays inside one gate hold so a checkpoint
+	// cannot capture the allocation without the record.
+	rec := &wal.Record{Type: wal.RecCreate, Txn: wal.TxnID(t.id), Prev: t.lastLSN, OID: o, After: img}
+	lsn, aerr := t.db.log.Append(rec)
+	if aerr != nil {
+		t.db.store.Free(o)
+		return oid.Nil, aerr
+	}
+	t.lastLSN = lsn
+	if err := t.db.locks.Lock(t.id, o, lock.Exclusive); err != nil {
+		return oid.Nil, err
+	}
+	return o, nil
+}
+
+// UpdatePayload rewrites o's payload under an exclusive lock, preserving
+// its references.
+func (t *Txn) UpdatePayload(o oid.OID, payload []byte) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	if err := t.ensure(o, lock.Exclusive); err != nil {
+		return err
+	}
+	obj, before, err := t.readImage(o)
+	if err != nil {
+		return err
+	}
+	obj.Payload = payload
+	after := object.Encode(obj)
+	return t.logApply(&wal.Record{Type: wal.RecUpdate, OID: o, Before: before, After: after},
+		o, func() error { return t.db.store.Update(o, after) })
+}
+
+// InsertRef stores a reference to child into o (the transaction must have
+// the reference "in local memory", i.e. obtained via a prior read or
+// create — the db layer cannot check that, matching the paper's model).
+func (t *Txn) InsertRef(o, child oid.OID) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	if child.IsNil() {
+		return fmt.Errorf("db: inserting nil reference into %s", o)
+	}
+	if err := t.ensure(o, lock.Exclusive); err != nil {
+		return err
+	}
+	obj, before, err := t.readImage(o)
+	if err != nil {
+		return err
+	}
+	obj.Refs = append(obj.Refs, child)
+	after := object.Encode(obj)
+	return t.logApply(&wal.Record{Type: wal.RecRefInsert, OID: o, Child: child, Before: before, After: after},
+		o, func() error { return t.db.store.Update(o, after) })
+}
+
+// DeleteRef removes one occurrence of the reference to child from o. Note
+// the WAL ordering: the RefDelete record (and hence the TRT tuple) exists
+// before the reference disappears from the page.
+func (t *Txn) DeleteRef(o, child oid.OID) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	if err := t.ensure(o, lock.Exclusive); err != nil {
+		return err
+	}
+	obj, before, err := t.readImage(o)
+	if err != nil {
+		return err
+	}
+	if !obj.RemoveOneRef(child) {
+		return fmt.Errorf("%w: %s -> %s", ErrNoRef, o, child)
+	}
+	after := object.Encode(obj)
+	return t.logApply(&wal.Record{Type: wal.RecRefDelete, OID: o, Child: child, Before: before, After: after},
+		o, func() error { return t.db.store.Update(o, after) })
+}
+
+// RetargetRef replaces every occurrence of from with to in o's reference
+// list. This is the primitive the reorganizer uses to repoint a parent at
+// a migrated child's new address.
+func (t *Txn) RetargetRef(o, from, to oid.OID) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	if err := t.ensure(o, lock.Exclusive); err != nil {
+		return err
+	}
+	obj, before, err := t.readImage(o)
+	if err != nil {
+		return err
+	}
+	if obj.ReplaceRefs(from, to) == 0 {
+		return fmt.Errorf("%w: %s -> %s", ErrNoRef, o, from)
+	}
+	after := object.Encode(obj)
+	return t.logApply(&wal.Record{Type: wal.RecRefUpdate, OID: o, Child: from, Child2: to, Before: before, After: after},
+		o, func() error { return t.db.store.Update(o, after) })
+}
+
+// Delete removes the object at o under an exclusive lock.
+func (t *Txn) Delete(o oid.OID) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	if err := t.ensure(o, lock.Exclusive); err != nil {
+		return err
+	}
+	_, before, err := t.readImage(o)
+	if err != nil {
+		return err
+	}
+	return t.logApply(&wal.Record{Type: wal.RecDelete, OID: o, Before: before},
+		o, func() error { return t.db.store.Free(o) })
+}
+
+// Savepoint marks the transaction's current position in its undo chain.
+type Savepoint struct {
+	lsn wal.LSN
+}
+
+// Savepoint returns a savepoint at the transaction's current state.
+func (t *Txn) Savepoint() (Savepoint, error) {
+	if t.ended {
+		return Savepoint{}, ErrTxnDone
+	}
+	return Savepoint{lsn: t.lastLSN}, nil
+}
+
+// RollbackTo undoes every update made after the savepoint was taken,
+// writing compensation records, and leaves the transaction active. Locks
+// acquired since the savepoint are retained (standard strict-2PL
+// savepoint semantics: partial rollback never releases locks).
+func (t *Txn) RollbackTo(sp Savepoint) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	return t.rollbackTo(sp.lsn)
+}
+
+// Commit makes the transaction durable: the commit record is appended and
+// the log flushed through it before locks are released.
+func (t *Txn) Commit() error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	t.ended = true
+	rec := &wal.Record{Type: wal.RecCommit, Txn: wal.TxnID(t.id), Prev: t.lastLSN}
+	lsn, err := t.db.log.Append(rec)
+	if err != nil {
+		t.finish()
+		return err
+	}
+	if err := t.db.log.FlushWait(lsn); err != nil {
+		t.finish()
+		return err
+	}
+	t.finish()
+	return nil
+}
+
+// Abort rolls the transaction back by walking its undo chain, writing
+// typed compensation records, and then releases its locks. CLRs are
+// redo-only and carry UndoNxt so that a crash during rollback never
+// undoes an update twice.
+func (t *Txn) Abort() error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	t.ended = true
+	if err := t.rollbackTo(0); err != nil {
+		t.finish()
+		return err
+	}
+	_, err := t.db.log.Append(&wal.Record{Type: wal.RecAbort, Txn: wal.TxnID(t.id), Prev: t.lastLSN})
+	t.finish()
+	return err
+}
+
+// finish releases locks and deregisters the transaction.
+func (t *Txn) finish() {
+	t.db.locks.Finish(t.id)
+	t.db.forget(t.id)
+}
+
+// rollbackTo undoes the transaction's updates down to (but not including)
+// the record with LSN limit; 0 means undo everything.
+func (t *Txn) rollbackTo(limit wal.LSN) error {
+	cur := t.lastLSN
+	for cur > limit {
+		rec := t.db.log.Get(cur)
+		if rec == nil {
+			return fmt.Errorf("db: undo chain broken at LSN %d (truncated?)", cur)
+		}
+		if rec.CLR {
+			cur = rec.UndoNxt
+			continue
+		}
+		switch rec.Type {
+		case wal.RecBegin:
+			return nil
+		case wal.RecUpdate, wal.RecCreate, wal.RecDelete, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
+			if err := t.compensate(rec); err != nil {
+				return err
+			}
+		}
+		cur = rec.Prev
+	}
+	return nil
+}
+
+// compensate writes the typed CLR for rec and applies the undo.
+func (t *Txn) compensate(rec *wal.Record) error {
+	clr := &wal.Record{CLR: true, OID: rec.OID, UndoNxt: rec.Prev, Before: nil}
+	var apply func() error
+	switch rec.Type {
+	case wal.RecUpdate:
+		clr.Type = wal.RecUpdate
+		clr.After = rec.Before
+		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+	case wal.RecCreate:
+		clr.Type = wal.RecDelete
+		clr.Before = rec.After
+		apply = func() error { return t.db.store.Free(rec.OID) }
+	case wal.RecDelete:
+		clr.Type = wal.RecCreate
+		clr.After = rec.Before
+		apply = func() error { return t.db.store.AllocateAt(rec.OID, rec.Before) }
+	case wal.RecRefInsert:
+		clr.Type = wal.RecRefDelete
+		clr.Child = rec.Child
+		clr.Before, clr.After = rec.After, rec.Before
+		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+	case wal.RecRefDelete:
+		// Undoing a pointer delete reintroduces the reference; the CLR
+		// is a RefInsert, which the analyzer records in the TRT — the
+		// paper's rule that an abort-reinserted reference counts as an
+		// insertion (§4.5).
+		clr.Type = wal.RecRefInsert
+		clr.Child = rec.Child
+		clr.Before, clr.After = rec.After, rec.Before
+		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+	case wal.RecRefUpdate:
+		clr.Type = wal.RecRefUpdate
+		clr.Child, clr.Child2 = rec.Child2, rec.Child
+		clr.Before, clr.After = rec.After, rec.Before
+		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+	default:
+		return fmt.Errorf("db: cannot compensate %v record", rec.Type)
+	}
+	return t.logApply(clr, rec.OID, func() error {
+		err := apply()
+		// Undoing a Delete whose page vanished (dropped partition) is
+		// the only legitimate failure; surface everything else.
+		if err != nil && errors.Is(err, storage.ErrNoPartition) {
+			return nil
+		}
+		return err
+	})
+}

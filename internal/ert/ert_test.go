@@ -1,0 +1,153 @@
+package ert
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/oid"
+)
+
+var (
+	child1  = oid.New(1, 1, 0)
+	child2  = oid.New(1, 1, 1)
+	parentA = oid.New(2, 1, 0)
+	parentB = oid.New(3, 1, 0)
+)
+
+func TestAddRemove(t *testing.T) {
+	e := New(1)
+	e.AddRef(child1, parentA)
+	e.AddRef(child1, parentB)
+	e.AddRef(child2, parentA)
+	if got := e.Parents(child1); !reflect.DeepEqual(got, []oid.OID{parentA, parentB}) {
+		t.Fatalf("Parents(child1) = %v", got)
+	}
+	if e.Refs() != 3 || e.Children() != 2 {
+		t.Fatalf("Refs = %d, Children = %d", e.Refs(), e.Children())
+	}
+	e.RemoveRef(child1, parentA)
+	if got := e.Parents(child1); !reflect.DeepEqual(got, []oid.OID{parentB}) {
+		t.Fatalf("Parents after remove = %v", got)
+	}
+	e.RemoveRef(child1, parentB)
+	if e.HasChild(child1) {
+		t.Fatal("child1 still referenced after removing all parents")
+	}
+	if e.Refs() != 1 {
+		t.Fatalf("Refs = %d, want 1", e.Refs())
+	}
+}
+
+func TestRefCountsPerPair(t *testing.T) {
+	e := New(1)
+	e.AddRef(child1, parentA)
+	e.AddRef(child1, parentA) // same parent references child twice
+	if got := e.Parents(child1); len(got) != 1 {
+		t.Fatalf("Parents = %v, want one distinct parent", got)
+	}
+	e.RemoveRef(child1, parentA)
+	if !e.HasChild(child1) {
+		t.Fatal("child dropped while one reference remains")
+	}
+	e.RemoveRef(child1, parentA)
+	if e.HasChild(child1) {
+		t.Fatal("child retained after all references removed")
+	}
+}
+
+func TestRemoveUnknownIsNoop(t *testing.T) {
+	e := New(1)
+	e.RemoveRef(child1, parentA)
+	if e.Refs() != 0 || e.Children() != 0 {
+		t.Fatalf("phantom state after no-op remove: %d refs", e.Refs())
+	}
+	e.AddRef(child1, parentA)
+	e.RemoveRef(child1, parentB) // wrong parent
+	if !e.HasChild(child1) || e.Refs() != 1 {
+		t.Fatal("no-op remove disturbed real reference")
+	}
+}
+
+func TestReferencedObjectsSorted(t *testing.T) {
+	e := New(1)
+	e.AddRef(child2, parentA)
+	e.AddRef(child1, parentA)
+	got := e.ReferencedObjects()
+	if !reflect.DeepEqual(got, []oid.OID{child1, child2}) {
+		t.Fatalf("ReferencedObjects = %v", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	e := New(1)
+	e.AddRef(child1, parentA)
+	e.AddRef(child1, parentA)
+	e.AddRef(child2, parentB)
+	type triple struct {
+		c, p oid.OID
+		n    int
+	}
+	var got []triple
+	e.Range(func(c, p oid.OID, n int) bool {
+		got = append(got, triple{c, p, n})
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("Range visited %d pairs, want 2", len(got))
+	}
+	for _, tr := range got {
+		switch tr.c {
+		case child1:
+			if tr.p != parentA || tr.n != 2 {
+				t.Fatalf("child1 entry = %+v", tr)
+			}
+		case child2:
+			if tr.p != parentB || tr.n != 1 {
+				t.Fatalf("child2 entry = %+v", tr)
+			}
+		default:
+			t.Fatalf("unexpected child %v", tr.c)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	e := New(1)
+	e.AddRef(child1, parentA)
+	e.Clear()
+	if e.Refs() != 0 || e.Children() != 0 || e.HasChild(child1) {
+		t.Fatal("Clear left state behind")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	e := New(1)
+	e.AddRef(child1, parentA)
+	e.AddRef(child1, parentA)
+	e.AddRef(child2, parentB)
+	snap := e.Snapshot()
+	e.AddRef(child2, parentA) // diverge after snapshot
+
+	r := New(1)
+	r.Restore(snap)
+	if r.Refs() != 3 {
+		t.Fatalf("restored Refs = %d, want 3", r.Refs())
+	}
+	if got := r.Parents(child1); !reflect.DeepEqual(got, []oid.OID{parentA}) {
+		t.Fatalf("restored Parents(child1) = %v", got)
+	}
+	// Multiplicity preserved: one remove keeps the child.
+	r.RemoveRef(child1, parentA)
+	if !r.HasChild(child1) {
+		t.Fatal("snapshot lost reference multiplicity")
+	}
+	if got := r.Parents(child2); !reflect.DeepEqual(got, []oid.OID{parentB}) {
+		t.Fatalf("restored Parents(child2) = %v", got)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	if e := New(7); e.Partition() != 7 {
+		t.Fatalf("Partition = %d", e.Partition())
+	}
+}

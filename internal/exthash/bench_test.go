@@ -1,0 +1,40 @@
+package exthash
+
+import "testing"
+
+func BenchmarkPut(b *testing.B) {
+	m := New[uint64]()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Put(uint64(i), uint64(i))
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	m := New[uint64]()
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m.Get(uint64(i) & (n - 1)); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkBuiltinMapGet is the stdlib-map baseline for BenchmarkGetHit.
+func BenchmarkBuiltinMapGet(b *testing.B) {
+	m := make(map[uint64]uint64)
+	const n = 1 << 16
+	for i := uint64(0); i < n; i++ {
+		m[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := m[uint64(i)&(n-1)]; !ok {
+			b.Fatal("miss")
+		}
+	}
+}

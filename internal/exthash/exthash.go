@@ -1,0 +1,286 @@
+// Package exthash implements an extendible hash table.
+//
+// Brahmā, the storage manager the paper implemented IRA on, "supports
+// extendible hash indices which were used to implement the TRT and the
+// ERT" (paper §5); this package plays that role here. The table maps
+// uint64 keys (OIDs, or packed composites) to values of any type, growing
+// by directory doubling and bucket splitting, and shrinks its buckets on
+// deletion by merging is not required for the workloads at hand.
+//
+// Keys are passed through a 64-bit bijective finalizer before bucket
+// selection, so distinct keys always become separable by some prefix and
+// splitting terminates.
+package exthash
+
+import (
+	"fmt"
+	"sync"
+)
+
+// bucketCap is the number of entries a bucket holds before it splits.
+const bucketCap = 16
+
+// maxDepth bounds the directory depth; with a bijective hash two distinct
+// keys always differ within 64 bits, so this is never hit by correct use.
+const maxDepth = 48
+
+type entry[V any] struct {
+	key uint64
+	val V
+}
+
+type bucket[V any] struct {
+	localDepth uint8
+	entries    []entry[V]
+}
+
+// Map is a concurrency-safe extendible hash table with uint64 keys.
+type Map[V any] struct {
+	mu          sync.RWMutex
+	globalDepth uint8
+	dir         []*bucket[V]
+	n           int
+
+	// Splits counts bucket splits, Doubles directory doublings; exposed
+	// for tests and stats.
+	splits  int
+	doubles int
+}
+
+// New creates an empty table.
+func New[V any]() *Map[V] {
+	b := &bucket[V]{}
+	return &Map[V]{globalDepth: 0, dir: []*bucket[V]{b}}
+}
+
+// mix is the splitmix64 finalizer: a bijection on uint64.
+func mix(k uint64) uint64 {
+	k ^= k >> 30
+	k *= 0xbf58476d1ce4e5b9
+	k ^= k >> 27
+	k *= 0x94d049bb133111eb
+	k ^= k >> 31
+	return k
+}
+
+func (m *Map[V]) bucketFor(k uint64) *bucket[V] {
+	h := mix(k)
+	return m.dir[h&(uint64(len(m.dir))-1)]
+}
+
+// Get returns the value for key and whether it is present.
+func (m *Map[V]) Get(key uint64) (V, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	b := m.bucketFor(key)
+	for i := range b.entries {
+		if b.entries[i].key == key {
+			return b.entries[i].val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for key.
+func (m *Map[V]) Put(key uint64, val V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		b := m.bucketFor(key)
+		for i := range b.entries {
+			if b.entries[i].key == key {
+				b.entries[i].val = val
+				return
+			}
+		}
+		if len(b.entries) < bucketCap || b.localDepth >= maxDepth {
+			b.entries = append(b.entries, entry[V]{key, val})
+			m.n++
+			return
+		}
+		m.split(b)
+	}
+}
+
+// Update atomically reads, transforms, and stores the value for key. fn
+// receives the current value (or the zero value if absent) and whether the
+// key was present; it returns the new value and whether to keep the entry.
+// Returning keep=false deletes (or leaves absent) the key.
+func (m *Map[V]) Update(key uint64, fn func(cur V, ok bool) (V, bool)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.bucketFor(key)
+	for i := range b.entries {
+		if b.entries[i].key == key {
+			nv, keep := fn(b.entries[i].val, true)
+			if keep {
+				b.entries[i].val = nv
+			} else {
+				last := len(b.entries) - 1
+				b.entries[i] = b.entries[last]
+				b.entries = b.entries[:last]
+				m.n--
+			}
+			return
+		}
+	}
+	var zero V
+	nv, keep := fn(zero, false)
+	if !keep {
+		return
+	}
+	for {
+		b = m.bucketFor(key)
+		if len(b.entries) < bucketCap || b.localDepth >= maxDepth {
+			b.entries = append(b.entries, entry[V]{key, nv})
+			m.n++
+			return
+		}
+		m.split(b)
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[V]) Delete(key uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := m.bucketFor(key)
+	for i := range b.entries {
+		if b.entries[i].key == key {
+			last := len(b.entries) - 1
+			b.entries[i] = b.entries[last]
+			b.entries = b.entries[:last]
+			m.n--
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// Range calls fn for each entry until fn returns false. The table is
+// read-locked for the duration; fn must not call back into the table.
+func (m *Map[V]) Range(fn func(key uint64, val V) bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	seen := make(map[*bucket[V]]struct{}, len(m.dir))
+	for _, b := range m.dir {
+		if _, dup := seen[b]; dup {
+			continue
+		}
+		seen[b] = struct{}{}
+		for i := range b.entries {
+			if !fn(b.entries[i].key, b.entries[i].val) {
+				return
+			}
+		}
+	}
+}
+
+// Keys returns a snapshot of all keys.
+func (m *Map[V]) Keys() []uint64 {
+	keys := make([]uint64, 0, m.Len())
+	m.Range(func(k uint64, _ V) bool {
+		keys = append(keys, k)
+		return true
+	})
+	return keys
+}
+
+// Clear removes all entries and resets the directory.
+func (m *Map[V]) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := &bucket[V]{}
+	m.globalDepth = 0
+	m.dir = []*bucket[V]{b}
+	m.n = 0
+}
+
+// Stats returns (entries, directory size, splits, doublings).
+func (m *Map[V]) Stats() (n, dirSize, splits, doubles int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n, len(m.dir), m.splits, m.doubles
+}
+
+// split divides bucket b into two buckets distinguished by the next hash
+// bit, doubling the directory first if b is at global depth. Caller holds
+// the write lock.
+func (m *Map[V]) split(b *bucket[V]) {
+	if b.localDepth == m.globalDepth {
+		// Double the directory: each new slot mirrors the old slot it
+		// extends.
+		ndir := make([]*bucket[V], 2*len(m.dir))
+		copy(ndir, m.dir)
+		copy(ndir[len(m.dir):], m.dir)
+		m.dir = ndir
+		m.globalDepth++
+		m.doubles++
+	}
+	bit := uint64(1) << b.localDepth
+	b0 := &bucket[V]{localDepth: b.localDepth + 1}
+	b1 := &bucket[V]{localDepth: b.localDepth + 1}
+	for _, e := range b.entries {
+		if mix(e.key)&bit != 0 {
+			b1.entries = append(b1.entries, e)
+		} else {
+			b0.entries = append(b0.entries, e)
+		}
+	}
+	for i := range m.dir {
+		if m.dir[i] != b {
+			continue
+		}
+		if uint64(i)&bit != 0 {
+			m.dir[i] = b1
+		} else {
+			m.dir[i] = b0
+		}
+	}
+	m.splits++
+}
+
+// validate checks directory/bucket invariants; used by tests.
+func (m *Map[V]) validate() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if len(m.dir) != 1<<m.globalDepth {
+		return fmt.Errorf("exthash: dir size %d != 2^%d", len(m.dir), m.globalDepth)
+	}
+	count := 0
+	seen := make(map[*bucket[V]]int)
+	for i, b := range m.dir {
+		if b.localDepth > m.globalDepth {
+			return fmt.Errorf("exthash: bucket local depth %d > global %d", b.localDepth, m.globalDepth)
+		}
+		if _, dup := seen[b]; !dup {
+			seen[b] = i
+			count += len(b.entries)
+			for _, e := range b.entries {
+				want := mix(e.key) & (uint64(1)<<b.localDepth - 1)
+				got := uint64(i) & (uint64(1)<<b.localDepth - 1)
+				if want != got {
+					return fmt.Errorf("exthash: key %d in wrong bucket", e.key)
+				}
+			}
+		}
+		// Every directory slot pointing at b must agree on the low
+		// localDepth bits.
+		mask := uint64(1)<<b.localDepth - 1
+		if uint64(i)&mask != uint64(seen[b])&mask {
+			return fmt.Errorf("exthash: directory slot %d inconsistent for bucket depth %d", i, b.localDepth)
+		}
+	}
+	if count != m.n {
+		return fmt.Errorf("exthash: n=%d but buckets hold %d", m.n, count)
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package exthash
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New[string]()
+	m.Put(1, "one")
+	m.Put(2, "two")
+	if v, ok := m.Get(1); !ok || v != "one" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	if v, ok := m.Get(2); !ok || v != "two" {
+		t.Fatalf("Get(2) = %q,%v", v, ok)
+	}
+	if _, ok := m.Get(3); ok {
+		t.Fatal("Get(3) found phantom key")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	m := New[int]()
+	m.Put(7, 1)
+	m.Put(7, 2)
+	if v, _ := m.Get(7); v != 2 {
+		t.Fatalf("Get = %d, want 2", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := New[int]()
+	m.Put(5, 50)
+	if !m.Delete(5) {
+		t.Fatal("Delete(5) = false")
+	}
+	if m.Delete(5) {
+		t.Fatal("second Delete(5) = true")
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("key survived Delete")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestGrowthTriggersSplitsAndDoubling(t *testing.T) {
+	m := New[int]()
+	const n = 10000
+	for i := uint64(0); i < n; i++ {
+		m.Put(i, int(i))
+	}
+	entries, dirSize, splits, doubles := m.Stats()
+	if entries != n {
+		t.Fatalf("entries = %d", entries)
+	}
+	if splits == 0 || doubles == 0 || dirSize <= 1 {
+		t.Fatalf("expected growth: dir=%d splits=%d doubles=%d", dirSize, splits, doubles)
+	}
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		if v, ok := m.Get(i); !ok || v != int(i) {
+			t.Fatalf("Get(%d) = %d,%v after growth", i, v, ok)
+		}
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	m := New[[]int]()
+	// Insert through Update on an absent key.
+	m.Update(9, func(cur []int, ok bool) ([]int, bool) {
+		if ok {
+			t.Fatal("key 9 should be absent")
+		}
+		return []int{1}, true
+	})
+	// Modify in place.
+	m.Update(9, func(cur []int, ok bool) ([]int, bool) {
+		if !ok {
+			t.Fatal("key 9 should be present")
+		}
+		return append(cur, 2), true
+	})
+	if v, _ := m.Get(9); len(v) != 2 || v[0] != 1 || v[1] != 2 {
+		t.Fatalf("Get(9) = %v", v)
+	}
+	// Delete through Update.
+	m.Update(9, func(cur []int, ok bool) ([]int, bool) { return nil, false })
+	if _, ok := m.Get(9); ok {
+		t.Fatal("key survived Update-delete")
+	}
+	// Update-delete on absent key is a no-op.
+	m.Update(10, func(cur []int, ok bool) ([]int, bool) { return nil, false })
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestRangeSeesEachEntryOnce(t *testing.T) {
+	m := New[int]()
+	for i := uint64(0); i < 1000; i++ {
+		m.Put(i, 1)
+	}
+	counts := map[uint64]int{}
+	m.Range(func(k uint64, v int) bool {
+		counts[k]++
+		return true
+	})
+	if len(counts) != 1000 {
+		t.Fatalf("Range visited %d keys, want 1000", len(counts))
+	}
+	for k, c := range counts {
+		if c != 1 {
+			t.Fatalf("key %d visited %d times", k, c)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := New[int]()
+	for i := uint64(0); i < 100; i++ {
+		m.Put(i, 0)
+	}
+	visits := 0
+	m.Range(func(uint64, int) bool {
+		visits++
+		return visits < 5
+	})
+	if visits != 5 {
+		t.Fatalf("visits = %d, want 5", visits)
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New[int]()
+	for i := uint64(0); i < 500; i++ {
+		m.Put(i, 0)
+	}
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", m.Len())
+	}
+	if _, ok := m.Get(3); ok {
+		t.Fatal("entry survived Clear")
+	}
+	m.Put(3, 33)
+	if v, ok := m.Get(3); !ok || v != 33 {
+		t.Fatal("table unusable after Clear")
+	}
+}
+
+// TestModelEquivalence drives the table with random operations mirrored
+// into a builtin map and requires exact agreement.
+func TestModelEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New[int]()
+	model := map[uint64]int{}
+	keys := func() []uint64 {
+		ks := make([]uint64, 0, len(model))
+		for k := range model {
+			ks = append(ks, k)
+		}
+		return ks
+	}
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6:
+			k := uint64(rng.Intn(5000))
+			v := rng.Int()
+			m.Put(k, v)
+			model[k] = v
+		case r < 8:
+			if ks := keys(); len(ks) > 0 {
+				k := ks[rng.Intn(len(ks))]
+				if !m.Delete(k) {
+					t.Fatalf("Delete(%d) = false, model has it", k)
+				}
+				delete(model, k)
+			}
+		default:
+			k := uint64(rng.Intn(5000))
+			v, ok := m.Get(k)
+			mv, mok := model[k]
+			if ok != mok || (ok && v != mv) {
+				t.Fatalf("Get(%d) = %d,%v; model %d,%v", k, v, ok, mv, mok)
+			}
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", m.Len(), len(model))
+	}
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+	for k, mv := range model {
+		if v, ok := m.Get(k); !ok || v != mv {
+			t.Fatalf("final Get(%d) = %d,%v; want %d", k, v, ok, mv)
+		}
+	}
+}
+
+func TestQuickPutGetRoundTrip(t *testing.T) {
+	m := New[uint64]()
+	f := func(k, v uint64) bool {
+		m.Put(k, v)
+		got, ok := m.Get(k)
+		return ok && got == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New[int]()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g) << 32
+			for i := uint64(0); i < 2000; i++ {
+				m.Put(base|i, int(i))
+				if v, ok := m.Get(base | i); !ok || v != int(i) {
+					t.Errorf("goroutine %d lost key %d", g, i)
+					return
+				}
+				if i%3 == 0 {
+					m.Delete(base | i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+}

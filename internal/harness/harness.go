@@ -1,0 +1,171 @@
+// Package harness runs the paper's experiments (§5): it builds the §5.2
+// workload, drives MPL transaction threads, runs one of the three systems
+// under comparison — NR (no reorganization), IRA, or PQR — and measures
+// throughput and response times during the reorganization window, exactly
+// as the paper does ("transactions were run until the reorganization
+// operation completed... measuring the throughput and the response time
+// of the transactions while reorganization is being performed").
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+	"repro/internal/workload"
+)
+
+// System identifies a configuration under test.
+type System int
+
+// Systems compared in the evaluation.
+const (
+	// NR runs no reorganization utility.
+	NR System = iota
+	// IRA runs the Incremental Reorganization Algorithm.
+	IRA
+	// IRATwoLock runs IRA with the ≤2-locks extension (§4.2).
+	IRATwoLock
+	// PQR runs the partition-quiesce baseline.
+	PQR
+)
+
+func (s System) String() string {
+	switch s {
+	case NR:
+		return "NR"
+	case IRA:
+		return "IRA"
+	case IRATwoLock:
+		return "IRA-2L"
+	case PQR:
+		return "PQR"
+	}
+	return fmt.Sprintf("System(%d)", int(s))
+}
+
+// Config describes one measurement cell.
+type Config struct {
+	Params workload.Params
+	DB     db.Config
+	System System
+	// ReorgPartition is the partition reorganized (default 1).
+	ReorgPartition oid.PartitionID
+	// BatchSize groups IRA object migrations per transaction (§4.3).
+	BatchSize int
+	// Warmup runs the workload before the measurement window opens.
+	Warmup time.Duration
+	// NRDuration is the measurement window when no reorganization runs.
+	NRDuration time.Duration
+	// Window, if nonzero, extends the measurement past the end of the
+	// reorganization to a fixed total width (the §5.3.4 "measure PQR
+	// over IRA's duration" experiment).
+	Window time.Duration
+	// Drain keeps the recorder open after the phase ends so transactions
+	// that were stalled behind the reorganizer (PQR's quiesce locks in
+	// particular) commit inside the window and contribute their — very
+	// long — response times, as in the paper's Table 2.
+	Drain time.Duration
+	// Verify runs the consistency checker after the workload stops.
+	Verify bool
+}
+
+// DefaultConfig returns a paper-defaults cell for the given system.
+func DefaultConfig(s System) Config {
+	return Config{
+		Params:         workload.DefaultParams(),
+		DB:             db.DefaultConfig(),
+		System:         s,
+		ReorgPartition: 1,
+		Warmup:         300 * time.Millisecond,
+		NRDuration:     3 * time.Second,
+		Drain:          300 * time.Millisecond,
+	}
+}
+
+// Result is the outcome of one cell.
+type Result struct {
+	System  System
+	Summary metrics.Summary
+	// Reorg holds the reorganizer's statistics (nil for NR).
+	Reorg *reorg.Stats
+	// BuildTime is the time spent constructing the database.
+	BuildTime time.Duration
+}
+
+// Run executes one measurement cell.
+func Run(cfg Config) (*Result, error) {
+	if cfg.ReorgPartition == 0 {
+		cfg.ReorgPartition = 1
+	}
+	if cfg.NRDuration == 0 {
+		cfg.NRDuration = 3 * time.Second
+	}
+	buildStart := time.Now()
+	w, err := workload.Build(cfg.DB, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("harness: build workload: %w", err)
+	}
+	defer w.DB.Close()
+	res := &Result{System: cfg.System, BuildTime: time.Since(buildStart)}
+
+	rec := metrics.NewRecorder()
+	driver := workload.NewDriver(w, rec)
+	driver.Start()
+	time.Sleep(cfg.Warmup)
+	rec.StartWindow()
+	windowStart := time.Now()
+
+	switch cfg.System {
+	case NR:
+		time.Sleep(cfg.NRDuration)
+	default:
+		mode := reorg.ModeIRA
+		switch cfg.System {
+		case IRATwoLock:
+			mode = reorg.ModeIRATwoLock
+		case PQR:
+			mode = reorg.ModePQR
+		}
+		r := reorg.New(w.DB, cfg.ReorgPartition, reorg.Options{
+			Mode:      mode,
+			BatchSize: cfg.BatchSize,
+			PerObjectWork: func() {
+				w.BurnCPU(cfg.Params.ReorgCPUPerObject)
+			},
+		})
+		if err := r.Run(); err != nil {
+			driver.Stop()
+			return nil, fmt.Errorf("harness: %v reorganization: %w", cfg.System, err)
+		}
+		st := r.Stats()
+		res.Reorg = &st
+		// Optionally keep measuring to a fixed window width.
+		if cfg.Window > 0 {
+			if rest := cfg.Window - time.Since(windowStart); rest > 0 {
+				time.Sleep(rest)
+			}
+		}
+	}
+
+	if cfg.Drain > 0 {
+		time.Sleep(cfg.Drain)
+	}
+	res.Summary = rec.Stop()
+	driver.Stop()
+
+	if cfg.Verify {
+		rep, err := check.Verify(w.DB, w.Roots())
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("harness: post-run consistency: %w", err)
+		}
+	}
+	return res, nil
+}

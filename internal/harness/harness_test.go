@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// tinyScale keeps harness unit tests fast: a miniature database, zero
+// simulated latencies, short windows.
+func tinyScale() Scale {
+	p := workload.DefaultParams()
+	p.NumPartitions = 3
+	p.ObjectsPerPartition = 170
+	p.MPL = 4
+	p.CPUPerOp = 0
+	return Scale{
+		Name:            "tiny",
+		Params:          p,
+		NRDuration:      150 * time.Millisecond,
+		MPLs:            []int{1, 4},
+		PartitionSizes:  []int{85, 170},
+		UpdateProbs:     []float64{0, 1},
+		GlueFactors:     []float64{0, 0.5},
+		PathLens:        []int{2, 8},
+		PartitionCounts: []int{2, 3},
+	}
+}
+
+func tinyConfig(s System) Config {
+	cfg := DefaultConfig(s)
+	cfg.Params = tinyScale().Params
+	cfg.DB.FlushLatency = 0
+	cfg.DB.LockTimeout = 100 * time.Millisecond
+	cfg.Warmup = 30 * time.Millisecond
+	cfg.NRDuration = 150 * time.Millisecond
+	cfg.Verify = true
+	return cfg
+}
+
+func TestRunNR(t *testing.T) {
+	res, err := Run(tinyConfig(NR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.System != NR || res.Reorg != nil {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Summary.Commits == 0 {
+		t.Fatal("NR run committed nothing")
+	}
+}
+
+func TestRunIRA(t *testing.T) {
+	res, err := Run(tinyConfig(IRA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reorg == nil {
+		t.Fatal("no reorg stats")
+	}
+	if res.Reorg.Migrated != 170 {
+		t.Fatalf("Migrated = %d", res.Reorg.Migrated)
+	}
+	if res.Summary.Commits == 0 {
+		t.Fatal("no transactions committed during IRA")
+	}
+}
+
+func TestRunIRATwoLock(t *testing.T) {
+	res, err := Run(tinyConfig(IRATwoLock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reorg == nil || res.Reorg.Migrated != 170 {
+		t.Fatalf("reorg stats = %+v", res.Reorg)
+	}
+}
+
+func TestRunPQR(t *testing.T) {
+	res, err := Run(tinyConfig(PQR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reorg == nil || res.Reorg.Migrated != 170 {
+		t.Fatalf("reorg stats = %+v", res.Reorg)
+	}
+}
+
+func TestRunWithFixedWindow(t *testing.T) {
+	cfg := tinyConfig(PQR)
+	cfg.Window = 400 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Window < cfg.Window {
+		t.Fatalf("window = %v, want >= %v", res.Summary.Window, cfg.Window)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 15 {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	ids := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("malformed experiment %+v", e)
+		}
+		if ids[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"table1", "fig6", "fig7", "table2", "fig8", "fig9", "fig10", "fig11"} {
+		if _, ok := ByID(want); !ok {
+			t.Fatalf("experiment %s missing", want)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	e, _ := ByID("table1")
+	if err := e.Run(&buf, tinyScale()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, param := range []string{"NUMPARTITIONS", "NUMOBJS", "MPL", "OPSPERTRANS", "UPDATEPROB", "GLUEFACTOR"} {
+		if !strings.Contains(out, param) {
+			t.Fatalf("table1 output missing %s:\n%s", param, out)
+		}
+	}
+}
+
+// TestFig6TinySweep exercises the full sweep machinery end to end on the
+// miniature scale (this is a functional test; the benchmark harness runs
+// the meaningful scales).
+func TestFig6TinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test skipped in -short mode")
+	}
+	sc := tinyScale()
+	var buf bytes.Buffer
+	e, _ := ByID("fig6")
+	if err := e.Run(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(sc.MPLs) {
+		t.Fatalf("fig6 produced %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "NR(tps)") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	for s, want := range map[System]string{NR: "NR", IRA: "IRA", IRATwoLock: "IRA-2L", PQR: "PQR"} {
+		if s.String() != want {
+			t.Errorf("System(%d) = %q", int(s), s.String())
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package lock
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/oid"
+)
+
+func BenchmarkUncontendedLockFinish(b *testing.B) {
+	m := NewManager()
+	o := oid.New(1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := TxnID(i + 1)
+		m.Begin(txn)
+		if err := m.Lock(txn, o, Exclusive); err != nil {
+			b.Fatal(err)
+		}
+		m.Finish(txn)
+	}
+}
+
+func BenchmarkSharedLockFanIn(b *testing.B) {
+	m := NewManager()
+	o := oid.New(1, 1, 1)
+	var next atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			txn := TxnID(next.Add(1))
+			m.Begin(txn)
+			m.Lock(txn, o, Shared)
+			m.Finish(txn)
+		}
+	})
+}

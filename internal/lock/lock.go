@@ -1,0 +1,452 @@
+// Package lock implements the lock manager.
+//
+// Transactions acquire shared or exclusive locks on objects and, under
+// strict two-phase locking, hold them until they complete (paper §2).
+// Deadlocks are resolved by timeout, exactly as in the paper's Brahmā
+// implementation ("a lock timeout mechanism was used to handle deadlocks
+// and was set to one second throughout the experiments", §5).
+//
+// For the relaxed-2PL extension (paper §4.1) the manager also remembers,
+// per object, every *active* transaction that has ever locked it — even if
+// the lock has since been released. The reorganizer can then wait for all
+// such transactions to finish, which makes transactions "behave as though
+// they were following strict 2PL with respect to the reorganization
+// process."
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/oid"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// TxnID identifies a transaction to the lock manager.
+type TxnID uint64
+
+// DefaultTimeout is the lock wait timeout used when none is configured;
+// it matches the paper's 1-second setting.
+const DefaultTimeout = time.Second
+
+// Errors.
+var (
+	// ErrTimeout reports a lock wait that exceeded the timeout; callers
+	// treat it as a deadlock and abort the transaction.
+	ErrTimeout = errors.New("lock: wait timed out (presumed deadlock)")
+	// ErrUnknownTxn reports an operation by a transaction that was never
+	// begun or has already finished.
+	ErrUnknownTxn = errors.New("lock: unknown transaction")
+)
+
+// waiter is a queued lock request.
+type waiter struct {
+	txn     TxnID
+	mode    Mode
+	upgrade bool
+	granted chan struct{} // closed on grant
+}
+
+// lockState is the per-object lock head.
+type lockState struct {
+	holders map[TxnID]Mode
+	queue   []*waiter
+	// ever holds the active transactions that have ever locked this
+	// object (relaxed-2PL bookkeeping). Entries are removed when the
+	// transaction finishes, not when it unlocks.
+	ever map[TxnID]struct{}
+}
+
+// txnState tracks one active transaction.
+type txnState struct {
+	held map[oid.OID]Mode
+	// everLocked lists objects whose lockState.ever contains this txn,
+	// so Finish can clean them up.
+	everLocked map[oid.OID]struct{}
+	done       chan struct{} // closed when the transaction finishes
+}
+
+// Stats are cumulative lock-manager counters.
+type Stats struct {
+	Acquired uint64 // locks granted
+	Waits    uint64 // requests that had to queue
+	Timeouts uint64 // requests that timed out (deadlock victims)
+}
+
+// Manager is the lock manager. All state is guarded by a single mutex;
+// waits happen on per-request channels outside the critical section.
+type Manager struct {
+	timeout      time.Duration
+	trackHistory bool
+
+	mu    sync.Mutex
+	locks map[oid.OID]*lockState
+	txns  map[TxnID]*txnState
+	stats Stats
+}
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithTimeout sets the deadlock timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(m *Manager) { m.timeout = d }
+}
+
+// WithHistory enables ever-locked tracking (needed only when transactions
+// do not follow strict 2PL, paper §4.1).
+func WithHistory(on bool) Option {
+	return func(m *Manager) { m.trackHistory = on }
+}
+
+// NewManager creates a lock manager.
+func NewManager(opts ...Option) *Manager {
+	m := &Manager{
+		timeout: DefaultTimeout,
+		locks:   make(map[oid.OID]*lockState),
+		txns:    make(map[TxnID]*txnState),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Timeout returns the configured deadlock timeout.
+func (m *Manager) Timeout() time.Duration { return m.timeout }
+
+// Begin registers a transaction with the lock manager.
+func (m *Manager) Begin(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.txns[txn]; ok {
+		panic(fmt.Sprintf("lock: transaction %d begun twice", txn))
+	}
+	m.txns[txn] = &txnState{
+		held:       make(map[oid.OID]Mode),
+		everLocked: make(map[oid.OID]struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+// Finish releases every lock held by txn, clears its history entries, and
+// wakes anyone waiting for the transaction to complete. It is idempotent
+// in the sense that finishing an unknown transaction is an error the
+// caller can ignore for already-finished transactions.
+func (m *Manager) Finish(txn TxnID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
+	}
+	for o := range ts.held {
+		m.releaseLocked(txn, o)
+	}
+	for o := range ts.everLocked {
+		if ls, ok := m.locks[o]; ok {
+			delete(ls.ever, txn)
+			m.maybeReap(o, ls)
+		}
+	}
+	delete(m.txns, txn)
+	close(ts.done)
+	return nil
+}
+
+// Done returns a channel closed when txn finishes, or a closed channel if
+// the transaction is already gone.
+func (m *Manager) Done(txn TxnID) <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts, ok := m.txns[txn]; ok {
+		return ts.done
+	}
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+// Holds reports the mode txn holds on o, if any.
+func (m *Manager) Holds(txn TxnID, o oid.OID) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return 0, false
+	}
+	mode, ok := ts.held[o]
+	return mode, ok
+}
+
+// HeldLocks returns the set of objects txn currently locks.
+func (m *Manager) HeldLocks(txn TxnID) []oid.OID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return nil
+	}
+	out := make([]oid.OID, 0, len(ts.held))
+	for o := range ts.held {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Stats returns a copy of the cumulative counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Lock acquires o in the given mode for txn, waiting up to the configured
+// timeout. A Shared request by a holder of Exclusive is a no-op; a request
+// for Exclusive by a holder of Shared is an upgrade, which queues ahead of
+// ordinary waiters.
+func (m *Manager) Lock(txn TxnID, o oid.OID, mode Mode) error {
+	return m.LockTimeout(txn, o, mode, m.timeout)
+}
+
+// LockTimeout is Lock with an explicit timeout.
+func (m *Manager) LockTimeout(txn TxnID, o oid.OID, mode Mode, timeout time.Duration) error {
+	m.mu.Lock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
+	}
+	ls := m.locks[o]
+	if ls == nil {
+		ls = &lockState{holders: make(map[TxnID]Mode), ever: make(map[TxnID]struct{})}
+		m.locks[o] = ls
+	}
+	held, holding := ls.holders[txn]
+	if holding && held >= mode {
+		m.mu.Unlock()
+		return nil
+	}
+	upgrade := holding // held == Shared, mode == Exclusive
+	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, granted: make(chan struct{})}
+	if m.grantable(ls, w) {
+		m.grant(ls, w, ts, o)
+		m.stats.Acquired++
+		m.mu.Unlock()
+		return nil
+	}
+	// Queue: upgrades go ahead of non-upgrade waiters so a reader
+	// upgrading does not wait behind writers that cannot proceed anyway.
+	if upgrade {
+		pos := 0
+		for pos < len(ls.queue) && ls.queue[pos].upgrade {
+			pos++
+		}
+		ls.queue = append(ls.queue, nil)
+		copy(ls.queue[pos+1:], ls.queue[pos:])
+		ls.queue[pos] = w
+	} else {
+		ls.queue = append(ls.queue, w)
+	}
+	m.stats.Waits++
+	m.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return nil
+	case <-timer.C:
+	}
+	// Timed out — but a grant may have raced the timer.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case <-w.granted:
+		return nil
+	default:
+	}
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			break
+		}
+	}
+	m.maybeReap(o, ls)
+	m.stats.Timeouts++
+	return fmt.Errorf("%w: txn %d, %s lock on %s", ErrTimeout, txn, mode, o)
+}
+
+// Unlock releases txn's lock on o before transaction end (short-duration
+// locking, paper §4.1). Under strict 2PL, callers use Finish instead.
+func (m *Manager) Unlock(txn TxnID, o oid.OID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
+	}
+	if _, ok := ts.held[o]; !ok {
+		return fmt.Errorf("lock: txn %d does not hold %s", txn, o)
+	}
+	m.releaseLocked(txn, o)
+	return nil
+}
+
+// EverLockedBy returns the active transactions (excluding `exclude`) that
+// have ever locked o. Requires history tracking.
+func (m *Manager) EverLockedBy(o oid.OID, exclude TxnID) []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.locks[o]
+	if !ok {
+		return nil
+	}
+	out := make([]TxnID, 0, len(ls.ever))
+	for t := range ls.ever {
+		if t != exclude {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// WaitEverLockers blocks until every active transaction that ever locked
+// o (other than exclude) has finished, or the timeout expires. This is
+// the §4.1 wait that restores strict-2PL behaviour with respect to the
+// reorganizer when ordinary transactions release locks early.
+func (m *Manager) WaitEverLockers(o oid.OID, exclude TxnID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		lockers := m.EverLockedBy(o, exclude)
+		if len(lockers) == 0 {
+			return nil
+		}
+		// Wait for the first one; loop re-evaluates the set.
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("%w: waiting for historical lockers of %s", ErrTimeout, o)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-m.Done(lockers[0]):
+			timer.Stop()
+		case <-timer.C:
+			return fmt.Errorf("%w: waiting for historical lockers of %s", ErrTimeout, o)
+		}
+	}
+}
+
+// ActiveTxns returns the ids of all registered transactions.
+func (m *Manager) ActiveTxns() []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TxnID, 0, len(m.txns))
+	for t := range m.txns {
+		out = append(out, t)
+	}
+	return out
+}
+
+// grantable reports whether w can be granted right now: compatible with
+// all current holders and not overtaking the queue (upgrades may overtake
+// non-upgrade waiters).
+func (m *Manager) grantable(ls *lockState, w *waiter) bool {
+	for t, mode := range ls.holders {
+		if t == w.txn {
+			continue // upgrade: own shared lock is not a conflict
+		}
+		if w.mode == Exclusive || mode == Exclusive {
+			return false
+		}
+	}
+	if len(ls.queue) == 0 {
+		return true
+	}
+	if w.upgrade {
+		// May pass non-upgrade waiters but not earlier upgrades.
+		return !ls.queue[0].upgrade
+	}
+	return false
+}
+
+// grant records the grant of w. Caller holds m.mu.
+func (m *Manager) grant(ls *lockState, w *waiter, ts *txnState, o oid.OID) {
+	ls.holders[w.txn] = w.mode
+	ts.held[o] = w.mode
+	if m.trackHistory {
+		ls.ever[w.txn] = struct{}{}
+		ts.everLocked[o] = struct{}{}
+	}
+	close(w.granted)
+}
+
+// releaseLocked removes txn's hold on o and grants now-compatible waiters
+// in FIFO order. Caller holds m.mu.
+func (m *Manager) releaseLocked(txn TxnID, o oid.OID) {
+	ls, ok := m.locks[o]
+	if !ok {
+		return
+	}
+	delete(ls.holders, txn)
+	ts := m.txns[txn]
+	delete(ts.held, o)
+	// Grant from the head of the queue while compatible.
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if !m.grantableHead(ls, w) {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		wts, ok := m.txns[w.txn]
+		if !ok {
+			// The waiter's transaction finished while queued. That
+			// violates the caller contract (Finish must not race a
+			// pending Lock), so do not fake a grant; the orphaned
+			// request will time out.
+			continue
+		}
+		m.grant(ls, w, wts, o)
+		m.stats.Acquired++
+	}
+	m.maybeReap(o, ls)
+}
+
+// grantableHead is grantable for the waiter already at the queue head.
+func (m *Manager) grantableHead(ls *lockState, w *waiter) bool {
+	for t, mode := range ls.holders {
+		if t == w.txn {
+			continue
+		}
+		if w.mode == Exclusive || mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeReap drops an empty lock head. Caller holds m.mu.
+func (m *Manager) maybeReap(o oid.OID, ls *lockState) {
+	if len(ls.holders) == 0 && len(ls.queue) == 0 && len(ls.ever) == 0 {
+		delete(m.locks, o)
+	}
+}

@@ -1,0 +1,409 @@
+package lock
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/oid"
+)
+
+var testOID = oid.New(1, 1, 1)
+
+func newMgr(opts ...Option) *Manager {
+	return NewManager(append([]Option{WithTimeout(200 * time.Millisecond)}, opts...)...)
+}
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	m.Begin(2)
+	if err := m.Lock(1, testOID, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, testOID, Shared); err != nil {
+		t.Fatalf("second shared lock blocked: %v", err)
+	}
+}
+
+func TestExclusiveExcludes(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	m.Begin(2)
+	if err := m.Lock(1, testOID, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, testOID, Shared); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("shared vs exclusive: %v", err)
+	}
+	if err := m.Lock(2, testOID, Exclusive); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("exclusive vs exclusive: %v", err)
+	}
+	st := m.Stats()
+	if st.Timeouts != 2 {
+		t.Fatalf("Timeouts = %d, want 2", st.Timeouts)
+	}
+}
+
+func TestFinishReleasesAndWakes(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	m.Begin(2)
+	m.Lock(1, testOID, Exclusive)
+	got := make(chan error, 1)
+	go func() { got <- m.LockTimeout(2, testOID, Exclusive, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	if err := m.Finish(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter not granted after Finish: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter stuck after Finish")
+	}
+	if mode, ok := m.Holds(2, testOID); !ok || mode != Exclusive {
+		t.Fatalf("Holds(2) = %v,%v", mode, ok)
+	}
+}
+
+func TestReentrantAndNoDowngrade(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	if err := m.Lock(1, testOID, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Re-request X and S: both no-ops.
+	if err := m.Lock(1, testOID, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, testOID, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := m.Holds(1, testOID); mode != Exclusive {
+		t.Fatalf("mode downgraded to %v", mode)
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	m.Lock(1, testOID, Shared)
+	if err := m.Lock(1, testOID, Exclusive); err != nil {
+		t.Fatalf("sole-holder upgrade failed: %v", err)
+	}
+	if mode, _ := m.Holds(1, testOID); mode != Exclusive {
+		t.Fatalf("mode = %v after upgrade", mode)
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	m.Begin(2)
+	m.Lock(1, testOID, Shared)
+	m.Lock(2, testOID, Shared)
+	got := make(chan error, 1)
+	go func() { got <- m.LockTimeout(1, testOID, Exclusive, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-got:
+		t.Fatalf("upgrade granted while another reader holds S: %v", err)
+	default:
+	}
+	m.Finish(2)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("upgrade failed after reader finished: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("upgrade stuck")
+	}
+}
+
+func TestUpgradeJumpsQueue(t *testing.T) {
+	m := newMgr()
+	m.Begin(1) // reader that will upgrade
+	m.Begin(2) // writer waiting
+	m.Lock(1, testOID, Shared)
+	writerGot := make(chan error, 1)
+	go func() { writerGot <- m.LockTimeout(2, testOID, Exclusive, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	// Upgrade should succeed immediately: txn 1 is the sole holder and
+	// upgrades pass queued writers.
+	if err := m.LockTimeout(1, testOID, Exclusive, time.Second); err != nil {
+		t.Fatalf("upgrade stuck behind queued writer: %v", err)
+	}
+	m.Finish(1)
+	if err := <-writerGot; err != nil {
+		t.Fatalf("queued writer: %v", err)
+	}
+	m.Finish(2)
+}
+
+func TestUpgradeDeadlockResolvedByTimeout(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	m.Begin(2)
+	m.Lock(1, testOID, Shared)
+	m.Lock(2, testOID, Shared)
+	errs := make(chan error, 2)
+	go func() { errs <- m.Lock(1, testOID, Exclusive) }()
+	go func() { errs <- m.Lock(2, testOID, Exclusive) }()
+	timedOut := 0
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if errors.Is(err, ErrTimeout) {
+				timedOut++
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("upgrade deadlock not resolved")
+		}
+	}
+	if timedOut == 0 {
+		t.Fatal("both upgrades succeeded in a deadlock")
+	}
+}
+
+func TestFIFOPreventsWriterStarvation(t *testing.T) {
+	m := NewManager(WithTimeout(5 * time.Second))
+	m.Begin(1)
+	m.Lock(1, testOID, Shared)
+	// Writer queues.
+	m.Begin(2)
+	writerGot := make(chan error, 1)
+	go func() { writerGot <- m.Lock(2, testOID, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// Late reader must queue behind the writer, not share with txn 1.
+	m.Begin(3)
+	readerGot := make(chan error, 1)
+	go func() { readerGot <- m.Lock(3, testOID, Shared) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-readerGot:
+		t.Fatal("late reader overtook queued writer")
+	default:
+	}
+	m.Finish(1)
+	if err := <-writerGot; err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	m.Finish(2)
+	if err := <-readerGot; err != nil {
+		t.Fatalf("reader after writer: %v", err)
+	}
+}
+
+func TestUnlockBeforeFinish(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	m.Begin(2)
+	m.Lock(1, testOID, Exclusive)
+	if err := m.Unlock(1, testOID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, testOID, Exclusive); err != nil {
+		t.Fatalf("lock after early unlock: %v", err)
+	}
+	if err := m.Unlock(1, testOID); err == nil {
+		t.Fatal("double unlock succeeded")
+	}
+}
+
+func TestUnknownTxn(t *testing.T) {
+	m := newMgr()
+	if err := m.Lock(99, testOID, Shared); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Finish(99); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("Finish: %v", err)
+	}
+}
+
+func TestHistoryTracking(t *testing.T) {
+	m := newMgr(WithHistory(true))
+	m.Begin(1)
+	m.Begin(2)
+	m.Lock(1, testOID, Shared)
+	m.Unlock(1, testOID) // released early, but txn 1 still active
+	lockers := m.EverLockedBy(testOID, 0)
+	if len(lockers) != 1 || lockers[0] != 1 {
+		t.Fatalf("EverLockedBy = %v, want [1]", lockers)
+	}
+	// Excluding txn 1 empties the set.
+	if got := m.EverLockedBy(testOID, 1); len(got) != 0 {
+		t.Fatalf("EverLockedBy excluding self = %v", got)
+	}
+	m.Finish(1)
+	if got := m.EverLockedBy(testOID, 0); len(got) != 0 {
+		t.Fatalf("history survived Finish: %v", got)
+	}
+}
+
+func TestWaitEverLockers(t *testing.T) {
+	m := newMgr(WithHistory(true))
+	m.Begin(1)
+	m.Lock(1, testOID, Shared)
+	m.Unlock(1, testOID)
+	done := make(chan error, 1)
+	go func() { done <- m.WaitEverLockers(testOID, 0, 5*time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("WaitEverLockers returned while historical locker active")
+	default:
+	}
+	m.Finish(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitEverLockers stuck after Finish")
+	}
+}
+
+func TestWaitEverLockersTimeout(t *testing.T) {
+	m := newMgr(WithHistory(true))
+	m.Begin(1)
+	m.Lock(1, testOID, Shared)
+	if err := m.WaitEverLockers(testOID, 0, 50*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+}
+
+// TestNoLostUpdatesUnderX hammers one object with exclusive-lock-protected
+// read-modify-write cycles from many goroutines; any mutual-exclusion bug
+// loses increments.
+func TestNoLostUpdatesUnderX(t *testing.T) {
+	m := NewManager(WithTimeout(10 * time.Second))
+	var counter int64
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				txn := TxnID(next.Add(1))
+				m.Begin(txn)
+				if err := m.Lock(txn, testOID, Exclusive); err != nil {
+					t.Errorf("lock: %v", err)
+					m.Finish(txn)
+					return
+				}
+				c := atomic.LoadInt64(&counter)
+				time.Sleep(time.Microsecond)
+				atomic.StoreInt64(&counter, c+1)
+				m.Finish(txn)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 1600 {
+		t.Fatalf("counter = %d, want 1600", counter)
+	}
+}
+
+// TestInvariantNoIncompatibleHolders randomly locks/unlocks and validates
+// that the holder set never contains an X holder together with any other
+// holder.
+func TestInvariantNoIncompatibleHolders(t *testing.T) {
+	m := NewManager(WithTimeout(50 * time.Millisecond))
+	objs := []oid.OID{oid.New(0, 1, 0), oid.New(0, 1, 1), oid.New(0, 1, 2)}
+	var wg sync.WaitGroup
+	var violation atomic.Bool
+	var next atomic.Uint64
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				txn := TxnID(next.Add(1))
+				m.Begin(txn)
+				for _, o := range objs {
+					mode := Shared
+					if rng.Intn(2) == 0 {
+						mode = Exclusive
+					}
+					if err := m.Lock(txn, o, mode); err != nil {
+						break
+					}
+				}
+				// Validate holder compatibility.
+				m.mu.Lock()
+				for _, ls := range m.locks {
+					var xHolders, holders int
+					for _, md := range ls.holders {
+						holders++
+						if md == Exclusive {
+							xHolders++
+						}
+					}
+					if xHolders > 0 && holders > 1 {
+						violation.Store(true)
+					}
+				}
+				m.mu.Unlock()
+				m.Finish(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if violation.Load() {
+		t.Fatal("incompatible holders coexisted")
+	}
+	// All lock heads should be reaped once everything finishes.
+	m.mu.Lock()
+	n := len(m.locks)
+	m.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d lock heads leaked", n)
+	}
+}
+
+func TestDoneChannel(t *testing.T) {
+	m := newMgr()
+	m.Begin(1)
+	ch := m.Done(1)
+	select {
+	case <-ch:
+		t.Fatal("Done closed while txn active")
+	default:
+	}
+	m.Finish(1)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed by Finish")
+	}
+	// Unknown txn: closed channel.
+	select {
+	case <-m.Done(42):
+	case <-time.After(time.Second):
+		t.Fatal("Done(unknown) not closed")
+	}
+}
+
+func TestActiveTxns(t *testing.T) {
+	m := newMgr()
+	m.Begin(5)
+	m.Begin(6)
+	active := m.ActiveTxns()
+	if len(active) != 2 {
+		t.Fatalf("ActiveTxns = %v", active)
+	}
+	m.Finish(5)
+	if got := m.ActiveTxns(); len(got) != 1 || got[0] != 6 {
+		t.Fatalf("ActiveTxns after finish = %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package metrics collects the performance measures the paper's
+// evaluation reports: throughput (committed transactions per second),
+// average / maximum response time, and the standard deviation of response
+// times — the metric on which IRA most dramatically beats PQR (Table 2:
+// "the variance in response times is several orders of magnitude higher
+// with the naive algorithm").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates per-transaction response times over a measurement
+// window. It is safe for concurrent use by the workload threads.
+type Recorder struct {
+	mu        sync.Mutex
+	samples   []time.Duration
+	aborts    int
+	started   time.Time
+	measuring bool
+}
+
+// NewRecorder creates an idle recorder; call StartWindow to begin
+// measuring.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// StartWindow discards prior samples and begins a measurement window.
+func (r *Recorder) StartWindow() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samples = r.samples[:0]
+	r.aborts = 0
+	r.started = time.Now()
+	r.measuring = true
+}
+
+// Record notes a completed transaction's response time. Response time is
+// measured from first submission to successful commit, spanning any
+// deadlock-abort resubmissions — which is how a transaction stalled
+// behind PQR's quiesce locks accumulates an enormous response time.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.measuring {
+		r.samples = append(r.samples, d)
+	}
+}
+
+// RecordAbort notes a deadlock-timeout abort (wasted work).
+func (r *Recorder) RecordAbort() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.measuring {
+		r.aborts++
+	}
+}
+
+// Summary is the digest of one measurement window.
+type Summary struct {
+	Commits    int
+	Aborts     int
+	Window     time.Duration
+	Throughput float64 // committed transactions per second
+	Mean       time.Duration
+	Max        time.Duration
+	Min        time.Duration
+	StdDev     time.Duration
+	P50        time.Duration
+	P90        time.Duration
+	P99        time.Duration
+}
+
+// Stop ends the window and returns its summary.
+func (r *Recorder) Stop() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	window := time.Since(r.started)
+	r.measuring = false
+	return summarize(r.samples, r.aborts, window)
+}
+
+// Snapshot summarizes without ending the window.
+func (r *Recorder) Snapshot() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return summarize(r.samples, r.aborts, time.Since(r.started))
+}
+
+func summarize(samples []time.Duration, aborts int, window time.Duration) Summary {
+	s := Summary{Commits: len(samples), Aborts: aborts, Window: window}
+	if window > 0 {
+		s.Throughput = float64(len(samples)) / window.Seconds()
+	}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum, sumSq float64
+	for _, d := range sorted {
+		f := float64(d)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	s.Mean = time.Duration(mean)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	variance := sumSq/n - mean*mean
+	if variance > 0 {
+		s.StdDev = time.Duration(math.Sqrt(variance))
+	}
+	s.P50 = percentile(sorted, 0.50)
+	s.P90 = percentile(sorted, 0.90)
+	s.P99 = percentile(sorted, 0.99)
+	return s
+}
+
+// percentile returns the p-quantile of a sorted sample set using
+// nearest-rank interpolation.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := p * float64(len(sorted)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := idx - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// String renders the summary as one human-readable line.
+func (s Summary) String() string {
+	return fmt.Sprintf("commits=%d aborts=%d tput=%.1ftps mean=%s max=%s stddev=%s",
+		s.Commits, s.Aborts, s.Throughput,
+		s.Mean.Round(time.Microsecond), s.Max.Round(time.Microsecond),
+		s.StdDev.Round(time.Microsecond))
+}

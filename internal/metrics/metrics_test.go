@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEmptyWindow(t *testing.T) {
+	r := NewRecorder()
+	r.StartWindow()
+	s := r.Stop()
+	if s.Commits != 0 || s.Mean != 0 || s.Throughput != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestBasicStats(t *testing.T) {
+	r := NewRecorder()
+	r.StartWindow()
+	for _, d := range []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond} {
+		r.Record(d)
+	}
+	r.RecordAbort()
+	s := r.Stop()
+	if s.Commits != 3 || s.Aborts != 1 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Mean != 20*time.Millisecond {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	// Population stddev of {10,20,30} is sqrt(200/3) ms ≈ 8.16ms.
+	want := math.Sqrt(200.0/3.0) * float64(time.Millisecond)
+	if math.Abs(float64(s.StdDev)-want) > float64(time.Millisecond)/100 {
+		t.Fatalf("StdDev = %v, want ≈ %.0f", s.StdDev, want)
+	}
+	if s.Throughput <= 0 {
+		t.Fatal("Throughput = 0")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := NewRecorder()
+	r.StartWindow()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Stop()
+	if s.P50 < 50*time.Millisecond || s.P50 > 51*time.Millisecond {
+		t.Fatalf("P50 = %v", s.P50)
+	}
+	if s.P99 < 99*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Fatalf("P99 = %v", s.P99)
+	}
+	if s.P90 <= s.P50 || s.P99 < s.P90 {
+		t.Fatalf("percentiles not monotone: %v %v %v", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestWindowResetDiscardsOldSamples(t *testing.T) {
+	r := NewRecorder()
+	r.StartWindow()
+	r.Record(time.Second)
+	r.StartWindow()
+	r.Record(time.Millisecond)
+	s := r.Stop()
+	if s.Commits != 1 || s.Max != time.Millisecond {
+		t.Fatalf("old samples leaked: %+v", s)
+	}
+}
+
+func TestRecordOutsideWindowIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.Record(time.Second) // no window yet
+	r.StartWindow()
+	s := r.Stop()
+	if s.Commits != 0 {
+		t.Fatal("pre-window sample recorded")
+	}
+	r.Record(time.Second) // window closed
+	if got := r.Snapshot(); got.Commits != 0 {
+		t.Fatal("post-window sample recorded")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	r.StartWindow()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := r.Stop(); s.Commits != 8000 {
+		t.Fatalf("Commits = %d", s.Commits)
+	}
+}
+
+func TestSnapshotDoesNotStop(t *testing.T) {
+	r := NewRecorder()
+	r.StartWindow()
+	r.Record(time.Millisecond)
+	_ = r.Snapshot()
+	r.Record(time.Millisecond)
+	if s := r.Stop(); s.Commits != 2 {
+		t.Fatalf("Commits = %d", s.Commits)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	r := NewRecorder()
+	r.StartWindow()
+	r.Record(time.Millisecond)
+	if got := r.Stop().String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

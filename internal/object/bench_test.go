@@ -1,0 +1,43 @@
+package object
+
+import (
+	"testing"
+
+	"repro/internal/oid"
+)
+
+func benchObject() Object {
+	o := Object{Payload: make([]byte, 100)}
+	for i := 0; i < 4; i++ {
+		o.Refs = append(o.Refs, oid.New(1, oid.PageNum(i+1), 0))
+	}
+	return o
+}
+
+func BenchmarkEncode(b *testing.B) {
+	o := benchObject()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(o)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(benchObject())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeRefs(b *testing.B) {
+	buf := Encode(benchObject())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeRefs(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

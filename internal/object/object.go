@@ -1,0 +1,134 @@
+// Package object defines the stored object format.
+//
+// An object is a payload plus an ordered list of outgoing references —
+// the edges of the object graph (paper §2). References are physical OIDs
+// stored inline in the object image, so repointing a parent at a migrated
+// child means rewriting the parent's image; there is no indirection to
+// hide behind.
+//
+// The on-page layout is: [nrefs:u32][ref:u64 × nrefs][payload...].
+package object
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/oid"
+)
+
+// ErrCorrupt reports an undecodable object image.
+var ErrCorrupt = errors.New("object: corrupt image")
+
+// Object is the decoded form of a stored object.
+type Object struct {
+	Refs    []oid.OID
+	Payload []byte
+}
+
+// Clone returns a deep copy.
+func (o Object) Clone() Object {
+	return Object{
+		Refs:    append([]oid.OID(nil), o.Refs...),
+		Payload: append([]byte(nil), o.Payload...),
+	}
+}
+
+// EncodedSize returns the image size without encoding.
+func (o Object) EncodedSize() int { return 4 + 8*len(o.Refs) + len(o.Payload) }
+
+// Encode serializes the object.
+func Encode(o Object) []byte {
+	buf := make([]byte, o.EncodedSize())
+	binary.LittleEndian.PutUint32(buf, uint32(len(o.Refs)))
+	pos := 4
+	for _, r := range o.Refs {
+		binary.LittleEndian.PutUint64(buf[pos:], uint64(r))
+		pos += 8
+	}
+	copy(buf[pos:], o.Payload)
+	return buf
+}
+
+// Decode parses an object image. The returned object does not alias data.
+func Decode(data []byte) (Object, error) {
+	if len(data) < 4 {
+		return Object{}, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if int(n) > (len(data)-4)/8 {
+		return Object{}, fmt.Errorf("%w: %d refs in %d bytes", ErrCorrupt, n, len(data))
+	}
+	o := Object{}
+	pos := 4
+	if n > 0 {
+		o.Refs = make([]oid.OID, n)
+		for i := range o.Refs {
+			o.Refs[i] = oid.OID(binary.LittleEndian.Uint64(data[pos:]))
+			pos += 8
+		}
+	}
+	if len(data) > pos {
+		o.Payload = append([]byte(nil), data[pos:]...)
+	}
+	return o, nil
+}
+
+// DecodeRefs parses only the reference list, without copying the payload.
+// The fuzzy traversal uses this on latched reads where only edges matter.
+func DecodeRefs(data []byte) ([]oid.OID, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes", ErrCorrupt, len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if int(n) > (len(data)-4)/8 {
+		return nil, fmt.Errorf("%w: %d refs in %d bytes", ErrCorrupt, n, len(data))
+	}
+	refs := make([]oid.OID, n)
+	pos := 4
+	for i := range refs {
+		refs[i] = oid.OID(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+	}
+	return refs, nil
+}
+
+// CountRef returns how many times child appears in o's references.
+func (o Object) CountRef(child oid.OID) int {
+	n := 0
+	for _, r := range o.Refs {
+		if r == child {
+			n++
+		}
+	}
+	return n
+}
+
+// HasRef reports whether o references child at least once.
+func (o Object) HasRef(child oid.OID) bool { return o.CountRef(child) > 0 }
+
+// RemoveOneRef removes the first occurrence of child, reporting whether a
+// reference was removed.
+func (o *Object) RemoveOneRef(child oid.OID) bool {
+	for i, r := range o.Refs {
+		if r == child {
+			o.Refs = append(o.Refs[:i], o.Refs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// ReplaceRefs replaces every occurrence of from with to and returns the
+// number of references rewritten. This is the pointer rewrite performed on
+// a parent when its child migrates.
+func (o *Object) ReplaceRefs(from, to oid.OID) int {
+	n := 0
+	for i, r := range o.Refs {
+		if r == from {
+			o.Refs[i] = to
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package object
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oid"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	o := Object{
+		Refs:    []oid.OID{oid.New(1, 2, 3), oid.New(4, 5, 6), oid.New(1, 2, 3)},
+		Payload: []byte("hello world"),
+	}
+	got, err := Decode(Encode(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o, got) {
+		t.Fatalf("round trip: %+v -> %+v", o, got)
+	}
+}
+
+func TestEncodeDecodeEmpty(t *testing.T) {
+	got, err := Decode(Encode(Object{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Refs) != 0 || len(got.Payload) != 0 {
+		t.Fatalf("empty object round trip = %+v", got)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	for _, buf := range [][]byte{
+		nil,
+		{1, 2},
+		{0xff, 0xff, 0xff, 0xff}, // claims 4B refs with no room
+	} {
+		if _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Decode(%v) err = %v", buf, err)
+		}
+		if _, err := DecodeRefs(buf); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("DecodeRefs(%v) err = %v", buf, err)
+		}
+	}
+}
+
+func TestDecodeRefsMatchesDecode(t *testing.T) {
+	f := func(refs []uint64, payload []byte) bool {
+		o := Object{Payload: payload}
+		for _, r := range refs {
+			o.Refs = append(o.Refs, oid.OID(r))
+		}
+		buf := Encode(o)
+		full, err1 := Decode(buf)
+		only, err2 := DecodeRefs(buf)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(full.Refs) != len(only) {
+			return false
+		}
+		for i := range only {
+			if full.Refs[i] != only[i] {
+				return false
+			}
+		}
+		return bytes.Equal(full.Payload, payload) || (len(payload) == 0 && full.Payload == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	o := Object{Refs: []oid.OID{oid.New(1, 1, 1)}, Payload: []byte("p")}
+	c := o.Clone()
+	c.Refs[0] = oid.Nil
+	c.Payload[0] = 'q'
+	if o.Refs[0] == oid.Nil || o.Payload[0] != 'p' {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestCountHasRef(t *testing.T) {
+	a, b := oid.New(1, 1, 0), oid.New(1, 1, 1)
+	o := Object{Refs: []oid.OID{a, b, a}}
+	if o.CountRef(a) != 2 || o.CountRef(b) != 1 || o.CountRef(oid.Nil) != 0 {
+		t.Fatalf("CountRef wrong: %d %d", o.CountRef(a), o.CountRef(b))
+	}
+	if !o.HasRef(a) || o.HasRef(oid.New(9, 9, 9)) {
+		t.Fatal("HasRef wrong")
+	}
+}
+
+func TestRemoveOneRef(t *testing.T) {
+	a, b := oid.New(1, 1, 0), oid.New(1, 1, 1)
+	o := Object{Refs: []oid.OID{a, b, a}}
+	if !o.RemoveOneRef(a) {
+		t.Fatal("RemoveOneRef = false")
+	}
+	if o.CountRef(a) != 1 || len(o.Refs) != 2 {
+		t.Fatalf("after remove: %v", o.Refs)
+	}
+	if o.RemoveOneRef(oid.New(9, 9, 9)) {
+		t.Fatal("removed a phantom ref")
+	}
+}
+
+func TestReplaceRefs(t *testing.T) {
+	a, b, c := oid.New(1, 1, 0), oid.New(1, 1, 1), oid.New(2, 1, 0)
+	o := Object{Refs: []oid.OID{a, b, a}}
+	if n := o.ReplaceRefs(a, c); n != 2 {
+		t.Fatalf("ReplaceRefs = %d, want 2", n)
+	}
+	if !reflect.DeepEqual(o.Refs, []oid.OID{c, b, c}) {
+		t.Fatalf("Refs = %v", o.Refs)
+	}
+	if n := o.ReplaceRefs(a, c); n != 0 {
+		t.Fatalf("second ReplaceRefs = %d, want 0", n)
+	}
+}
+
+func TestEncodedSize(t *testing.T) {
+	o := Object{Refs: make([]oid.OID, 3), Payload: make([]byte, 10)}
+	if got, want := o.EncodedSize(), len(Encode(o)); got != want {
+		t.Fatalf("EncodedSize = %d, Encode len = %d", got, want)
+	}
+}

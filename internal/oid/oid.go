@@ -1,0 +1,91 @@
+// Package oid defines physical object identifiers.
+//
+// An OID is the physical address of an object: it encodes the partition
+// the object lives in, the page within that partition, and the slot within
+// that page. Because references stored inside objects are OIDs, a
+// reference load is a direct page/slot lookup with no indirection — the
+// property the paper's whole problem statement rests on. The flip side is
+// that migrating an object changes its OID, so every parent holding a
+// reference must be updated; that is what the reorganization algorithms in
+// internal/reorg do.
+//
+// The partition is recoverable from the leading bits of the OID alone
+// (paper §2, footnote 4), which is what lets the External Reference Table
+// machinery decide cheaply whether a reference crosses a partition
+// boundary.
+package oid
+
+import (
+	"fmt"
+)
+
+// Bit layout of an OID, from most significant to least significant.
+const (
+	PartitionBits = 14
+	PageBits      = 34
+	SlotBits      = 16
+
+	// MaxPartition is the largest encodable partition id.
+	MaxPartition = 1<<PartitionBits - 1
+	// MaxPage is the largest encodable page number.
+	MaxPage = 1<<PageBits - 1
+	// MaxSlot is the largest encodable slot number.
+	MaxSlot = 1<<SlotBits - 1
+)
+
+// OID is a physical object identifier. The zero value is Nil and never
+// addresses a real object (partition 0, page 0, slot 0 is left unused by
+// the storage layer).
+type OID uint64
+
+// Nil is the null reference.
+const Nil OID = 0
+
+// PartitionID identifies a partition of the database.
+type PartitionID uint32
+
+// PageNum identifies a page within a partition.
+type PageNum uint64
+
+// SlotNum identifies a slot within a page.
+type SlotNum uint16
+
+// New packs a (partition, page, slot) triple into an OID.
+// It panics if any component is out of range; components are produced by
+// the storage layer, so an out-of-range value is a programming error.
+func New(part PartitionID, page PageNum, slot SlotNum) OID {
+	if uint64(part) > MaxPartition {
+		panic(fmt.Sprintf("oid: partition %d out of range", part))
+	}
+	if uint64(page) > MaxPage {
+		panic(fmt.Sprintf("oid: page %d out of range", page))
+	}
+	return OID(uint64(part)<<(PageBits+SlotBits) | uint64(page)<<SlotBits | uint64(slot))
+}
+
+// Partition extracts the partition id. This is the inexpensive
+// OID→partition mapping the system model assumes.
+func (o OID) Partition() PartitionID {
+	return PartitionID(uint64(o) >> (PageBits + SlotBits))
+}
+
+// Page extracts the page number within the partition.
+func (o OID) Page() PageNum {
+	return PageNum(uint64(o) >> SlotBits & MaxPage)
+}
+
+// Slot extracts the slot number within the page.
+func (o OID) Slot() SlotNum {
+	return SlotNum(uint64(o) & MaxSlot)
+}
+
+// IsNil reports whether o is the null reference.
+func (o OID) IsNil() bool { return o == Nil }
+
+// String renders the OID as partition:page:slot for logs and errors.
+func (o OID) String() string {
+	if o.IsNil() {
+		return "nil"
+	}
+	return fmt.Sprintf("%d:%d:%d", o.Partition(), o.Page(), o.Slot())
+}

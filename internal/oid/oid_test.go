@@ -1,0 +1,99 @@
+package oid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNilIsZero(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false")
+	}
+	var zero OID
+	if !zero.IsNil() {
+		t.Fatal("zero OID should be nil")
+	}
+	if New(0, 0, 1).IsNil() {
+		t.Fatal("non-zero OID reported nil")
+	}
+}
+
+func TestNewRoundTrip(t *testing.T) {
+	cases := []struct {
+		part PartitionID
+		page PageNum
+		slot SlotNum
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{MaxPartition, MaxPage, MaxSlot},
+		{0, MaxPage, 0},
+		{MaxPartition, 0, MaxSlot},
+		{7, 123456789, 42},
+	}
+	for _, c := range cases {
+		o := New(c.part, c.page, c.slot)
+		if o.Partition() != c.part {
+			t.Errorf("New(%d,%d,%d).Partition() = %d", c.part, c.page, c.slot, o.Partition())
+		}
+		if o.Page() != c.page {
+			t.Errorf("New(%d,%d,%d).Page() = %d", c.part, c.page, c.slot, o.Page())
+		}
+		if o.Slot() != c.slot {
+			t.Errorf("New(%d,%d,%d).Slot() = %d", c.part, c.page, c.slot, o.Slot())
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(part uint16, page uint64, slot uint16) bool {
+		p := PartitionID(part) & MaxPartition
+		g := PageNum(page) & MaxPage
+		s := SlotNum(slot)
+		o := New(p, g, s)
+		return o.Partition() == p && o.Page() == g && o.Slot() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctComponentsDistinctOIDs(t *testing.T) {
+	f := func(a, b uint32) bool {
+		pa := PartitionID(a) & MaxPartition
+		pb := PartitionID(b) & MaxPartition
+		oa := New(pa, 1, 1)
+		ob := New(pb, 1, 1)
+		return (pa == pb) == (oa == ob)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range partition")
+		}
+	}()
+	New(MaxPartition+1, 0, 0)
+}
+
+func TestOutOfRangePagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range page")
+		}
+	}()
+	New(0, MaxPage+1, 0)
+}
+
+func TestString(t *testing.T) {
+	if got := Nil.String(); got != "nil" {
+		t.Errorf("Nil.String() = %q", got)
+	}
+	if got := New(3, 14, 15).String(); got != "3:14:15" {
+		t.Errorf("String() = %q, want 3:14:15", got)
+	}
+}

@@ -1,0 +1,245 @@
+// Package recovery implements ARIES-style restart recovery.
+//
+// The durable state of the (memory-resident) database is a checkpoint —
+// an action-consistent snapshot of the store plus the LSN of its
+// checkpoint record — together with the flushed prefix of the log. A
+// crash loses everything else. Restart proceeds in the classic three
+// passes:
+//
+//   - analysis: scan the log to find loser transactions — those with
+//     activity but no commit or abort record;
+//   - redo: reinstall the after-image of every record past the checkpoint
+//     (full-image records make this trivially idempotent);
+//   - undo: roll back each loser by walking its Prev chain, honoring CLR
+//     UndoNxt pointers so updates already compensated (by a runtime abort
+//     that was interrupted mid-flight) are not undone twice.
+//
+// Recovery itself does not append to the log: re-running it from the same
+// durable image is deterministic and idempotent, which is how a crash
+// during recovery is modeled. ERTs are rebuilt afterwards by a full
+// database scan — the paper's stated alternative to logging ERT updates
+// (§4.4 item 1). If the reorganizer was running at crash time its own
+// restart protocol (internal/reorg) takes over from there.
+package recovery
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/db"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// Image is the durable state available after a crash.
+type Image struct {
+	Ckpt *db.Checkpoint
+	// Records is the flushed prefix of the log, including records from
+	// before the checkpoint (needed to undo transactions that were
+	// already running when the checkpoint was taken).
+	Records []*wal.Record
+}
+
+// CaptureImage simulates what survives a crash of d: the given checkpoint
+// plus the log prefix up to the durable (flushed) horizon. Records
+// appended after the last flush are lost, exactly as they would be on a
+// real log device.
+func CaptureImage(d *db.Database, ckpt *db.Checkpoint) *Image {
+	flushed := d.Log().FlushedLSN()
+	var kept []*wal.Record
+	for _, r := range d.Log().Records(1) {
+		if r.LSN <= flushed {
+			kept = append(kept, r)
+		}
+	}
+	return &Image{Ckpt: ckpt, Records: kept}
+}
+
+// Recover rebuilds a database from a crash image. The returned database
+// contains exactly the effects of committed transactions (and completed
+// rollbacks); its ERTs are rebuilt by scan.
+func Recover(img *Image, cfg db.Config) (*db.Database, error) {
+	if img.Ckpt == nil || img.Ckpt.Snap == nil {
+		return nil, fmt.Errorf("recovery: image has no checkpoint snapshot")
+	}
+	st := storage.RestoreSnapshot(img.Ckpt.Snap)
+
+	// Analysis.
+	byLSN := make(map[wal.LSN]*wal.Record, len(img.Records))
+	lastLSN := make(map[wal.TxnID]wal.LSN)
+	terminal := make(map[wal.TxnID]bool)
+	seen := make(map[wal.TxnID]bool)
+	for _, r := range img.Records {
+		byLSN[r.LSN] = r
+		switch r.Type {
+		case wal.RecCheckpoint:
+			for _, t := range r.Active {
+				seen[t] = true
+			}
+		case wal.RecCommit, wal.RecAbort:
+			terminal[r.Txn] = true
+			lastLSN[r.Txn] = r.LSN
+		default:
+			if r.Txn != 0 {
+				seen[r.Txn] = true
+				lastLSN[r.Txn] = r.LSN
+			}
+		}
+	}
+	var losers []wal.TxnID
+	for t := range seen {
+		if !terminal[t] {
+			losers = append(losers, t)
+		}
+	}
+
+	// Redo everything past the checkpoint.
+	for _, r := range img.Records {
+		if r.LSN <= img.Ckpt.LSN {
+			continue
+		}
+		if err := redo(st, r); err != nil {
+			return nil, fmt.Errorf("recovery: redo LSN %d (%v): %w", r.LSN, r.Type, err)
+		}
+	}
+
+	// Undo losers.
+	for _, t := range losers {
+		if err := undoTxn(st, byLSN, lastLSN[t]); err != nil {
+			return nil, fmt.Errorf("recovery: undo txn %d: %w", t, err)
+		}
+	}
+
+	d := db.OpenWithStore(cfg, st)
+	if err := d.RebuildERTs(); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// redo reinstalls the after-image of r.
+func redo(st *storage.Store, r *wal.Record) error {
+	switch r.Type {
+	case wal.RecCreate:
+		return st.AllocateAt(r.OID, r.After)
+	case wal.RecDelete:
+		return st.Free(r.OID)
+	case wal.RecUpdate, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
+		return st.Update(r.OID, r.After)
+	default:
+		return nil // Begin/Commit/Abort/Checkpoint need no redo
+	}
+}
+
+// undoTxn walks a loser's chain backwards from last, installing before-
+// images. CLRs are never undone; their UndoNxt pointer skips the portion
+// of the chain a prior (interrupted) rollback already compensated.
+func undoTxn(st *storage.Store, byLSN map[wal.LSN]*wal.Record, last wal.LSN) error {
+	cur := last
+	for cur != 0 {
+		r, ok := byLSN[cur]
+		if !ok {
+			return fmt.Errorf("undo chain broken at LSN %d (log truncated too aggressively?)", cur)
+		}
+		if r.CLR {
+			cur = r.UndoNxt
+			continue
+		}
+		switch r.Type {
+		case wal.RecBegin:
+			return nil
+		case wal.RecCreate:
+			if err := st.Free(r.OID); err != nil {
+				return err
+			}
+		case wal.RecDelete:
+			if err := st.AllocateAt(r.OID, r.Before); err != nil {
+				return err
+			}
+		case wal.RecUpdate, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
+			if err := st.Update(r.OID, r.Before); err != nil {
+				return err
+			}
+		}
+		cur = r.Prev
+	}
+	return nil
+}
+
+// SaveCheckpoint persists a checkpoint to a file: the LSN followed by the
+// serialized store snapshot. Together with the WAL segment files this is
+// the complete durable state of the database.
+func SaveCheckpoint(path string, ckpt *db.Checkpoint) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(f.Name())
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(ckpt.LSN))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := ckpt.Snap.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Atomic replace: a crash during checkpointing leaves the previous
+	// checkpoint intact.
+	return os.Rename(f.Name(), path)
+}
+
+// LoadCheckpoint reads a checkpoint saved by SaveCheckpoint.
+func LoadCheckpoint(path string) (*db.Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("recovery: checkpoint header: %w", err)
+	}
+	snap, err := storage.ReadSnapshot(f)
+	if err != nil {
+		return nil, err
+	}
+	return &db.Checkpoint{LSN: wal.LSN(binary.LittleEndian.Uint64(hdr[:])), Snap: snap}, nil
+}
+
+// LoadRecords reads the durable log records from a WAL segment directory.
+func LoadRecords(logDir string) ([]*wal.Record, error) {
+	dev, err := wal.NewFileDevice(logDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer dev.Close()
+	return dev.ReadAll()
+}
+
+// RecoverFromFiles restores a database from its on-disk state: the
+// checkpoint file plus the WAL segment directory. This is the restart
+// path for a database opened with Config.LogDir.
+func RecoverFromFiles(ckptPath, logDir string, cfg db.Config) (*db.Database, error) {
+	ckpt, err := LoadCheckpoint(ckptPath)
+	if err != nil {
+		return nil, err
+	}
+	records, err := LoadRecords(logDir)
+	if err != nil {
+		return nil, err
+	}
+	return Recover(&Image{Ckpt: ckpt, Records: records}, cfg)
+}

@@ -1,0 +1,370 @@
+package reorg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/lock"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/trt"
+)
+
+// errObjectGone marks an object that vanished (deleted by a concurrent
+// transaction) before it could be migrated; it is skipped, not an error.
+var errObjectGone = errors.New("reorg: object no longer exists")
+
+// runIRA is the top level of Figure 1: find objects and approximate
+// parents with a fuzzy traversal, then migrate each object after making
+// its parent set exact.
+func (r *Reorganizer) runIRA() error {
+	if r.trt == nil {
+		r.trt = r.d.StartReorgTRT(r.part)
+		r.trtOwned = true
+		r.startLSN = r.d.Log().TailLSN()
+		// §4.5: wait out transactions that were active when the TRT was
+		// attached, so every later reference update is in the TRT.
+		if err := r.waitPreStartTxns(); err != nil {
+			return err
+		}
+	}
+	if err := r.fail("after-wait"); err != nil {
+		return err
+	}
+	if r.opts.Filter != nil && r.opts.CollectGarbage {
+		return errors.New("reorg: Filter and CollectGarbage are mutually exclusive")
+	}
+	if len(r.objects) == 0 {
+		r.findObjectsAndApproxParents()
+		r.applyMigrationOrder()
+	}
+	if err := r.fail("after-traversal"); err != nil {
+		return err
+	}
+	if err := r.sealTargets(); err != nil {
+		return err
+	}
+	r.checkpoint()
+
+	if r.opts.Mode == ModeIRATwoLock {
+		if err := r.migrateAllTwoLock(); err != nil {
+			return err
+		}
+	} else {
+		if err := r.migrateAllBasic(); err != nil {
+			return err
+		}
+	}
+	if r.opts.MigrateCreations {
+		if err := r.migrateLateCreations(); err != nil {
+			return err
+		}
+	}
+	if err := r.fail("after-migrate"); err != nil {
+		return err
+	}
+	if r.opts.CollectGarbage {
+		if err := r.collectGarbage(); err != nil {
+			return err
+		}
+	}
+	r.checkpoint()
+	return nil
+}
+
+// migrateAllBasic migrates objects in traversal order, BatchSize object
+// migrations per transaction (§4.3). A lock timeout (presumed deadlock)
+// aborts and retries the batch, as the paper prescribes for
+// Find_Exact_Parents.
+func (r *Reorganizer) migrateAllBasic() error {
+	for i := 0; i < len(r.objects); {
+		end := i + r.opts.BatchSize
+		if end > len(r.objects) {
+			end = len(r.objects)
+		}
+		batch := r.objects[i:end]
+		retries := 0
+		for {
+			err := r.migrateBatch(batch)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, ErrCrash) {
+				return err
+			}
+			if !errors.Is(err, lock.ErrTimeout) {
+				return err
+			}
+			retries++
+			r.stats.Retries++
+			if retries > r.opts.MaxRetries {
+				return fmt.Errorf("reorg: giving up on batch at %s after %d retries: %w",
+					batch[0], retries, err)
+			}
+		}
+		i = end
+		r.maybeCheckpoint(i)
+	}
+	return nil
+}
+
+// migrateBatch migrates a batch of objects inside one transaction. On
+// lock timeout everything — page state via WAL undo, and TRT tuples via
+// explicit re-logging — is rolled back so the batch can be retried.
+func (r *Reorganizer) migrateBatch(batch []oid.OID) (err error) {
+	txn, err := r.d.Begin()
+	if err != nil {
+		return err
+	}
+	var taken []trt.Tuple
+	var staged []stagedMigration
+	defer func() {
+		if err == nil || errors.Is(err, ErrCrash) {
+			return
+		}
+		txn.Abort()
+		// Put drained TRT tuples back for the retry.
+		for _, tp := range taken {
+			r.trt.Log(tp.Child, tp.Parent, tp.Txn, tp.Act)
+		}
+	}()
+
+	for _, o := range batch {
+		if _, done := r.migrated[o]; done {
+			continue
+		}
+		if !r.wantsMigration(o) {
+			continue
+		}
+		st, merr := r.migrateOne(txn, o, &taken)
+		if errors.Is(merr, errObjectGone) {
+			continue
+		}
+		if merr != nil {
+			return merr
+		}
+		staged = append(staged, st)
+	}
+	if err = r.fail("before-batch-commit"); err != nil {
+		return err
+	}
+	if err = txn.Commit(); err != nil {
+		return err
+	}
+	// Only after commit do the migrations become facts.
+	for _, st := range staged {
+		r.migrated[st.old] = st.new
+		r.stats.Migrated++
+		r.stats.ParentsUpdated += st.parentsUpdated
+		r.fixupChildren(st.refs, st.old, st.new)
+	}
+	return nil
+}
+
+// stagedMigration records one object migration pending batch commit.
+type stagedMigration struct {
+	old, new       oid.OID
+	refs           []oid.OID
+	parentsUpdated int
+}
+
+// migrateOne performs Find_Exact_Parents (Figure 4) followed by
+// Move_Object_And_Update_Refs (Figure 5) for one object, inside txn.
+func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) (stagedMigration, error) {
+	none := stagedMigration{}
+	pset := make(parentSet)
+	for p := range r.parents[oldO] {
+		pset[p] = struct{}{}
+	}
+	unlockable := r.opts.BatchSize <= 1 // see note below
+
+	// S1: lock the approximate parents; drop those that no longer hold a
+	// reference. (With batched migrations, a lock may also protect an
+	// earlier migration in the same transaction, so early unlock is only
+	// safe with a batch size of one.)
+	for _, R := range sortedParents(pset) {
+		if R == oldO {
+			delete(pset, R) // self-reference: handled when copying
+			continue
+		}
+		if err := r.lockParent(txn.ID(), R); err != nil {
+			return none, err
+		}
+		if !r.isParent(R, oldO) {
+			delete(pset, R)
+			if unlockable {
+				r.d.Locks().Unlock(txn.ID(), R)
+			}
+		}
+	}
+
+	// S2: drain the TRT of tuples referencing oldO, locking each tuple's
+	// parent and keeping it if the reference is (still) present. The
+	// loop's termination is Lemma 3.2's heart: when no tuple remains, no
+	// active transaction can reintroduce a reference to oldO.
+	for {
+		tp, ok := r.trt.Take(oldO)
+		if !ok {
+			break
+		}
+		*taken = append(*taken, tp)
+		R := tp.Parent
+		if R == oldO {
+			continue
+		}
+		if _, already := pset[R]; already {
+			continue
+		}
+		if err := r.lockParent(txn.ID(), R); err != nil {
+			return none, err
+		}
+		if r.isParent(R, oldO) {
+			pset[R] = struct{}{}
+		} else if unlockable {
+			r.d.Locks().Unlock(txn.ID(), R)
+		}
+	}
+	r.noteLocks(len(pset))
+	if err := r.fail("parents-locked"); err != nil {
+		return none, err
+	}
+
+	// All parents are locked; no transaction can reach oldO (no lock on
+	// oldO itself is needed — Figure 4's observation).
+	img, err := r.d.FuzzyRead(oldO)
+	if err != nil {
+		return none, errObjectGone
+	}
+	r.chargeWork()
+	newO, updated, err := r.moveObject(txn, oldO, img, pset)
+	if err != nil {
+		return none, err
+	}
+	return stagedMigration{old: oldO, new: newO, refs: img.Refs, parentsUpdated: updated}, nil
+}
+
+// moveObject implements Move_Object_And_Update_Refs: copy the object to
+// its planned location, repoint every parent, and delete the old copy.
+// ERT maintenance is automatic: the log analyzer observes the Create,
+// RefUpdate and Delete records this emits and adjusts the ERTs of every
+// partition involved, which is exactly the bookkeeping Figure 5 spells
+// out by hand.
+func (r *Reorganizer) moveObject(txn *db.Txn, oldO oid.OID, img object.Object, pset parentSet) (oid.OID, int, error) {
+	target := r.plan.Target(oldO)
+	payload := r.transformPayload(oldO, img.Payload)
+	var newO oid.OID
+	var err error
+	if r.plan.Dense {
+		newO, err = txn.CreateDense(target, payload, img.Refs)
+	} else {
+		newO, err = txn.Create(target, payload, img.Refs)
+	}
+	if err != nil {
+		return oid.Nil, 0, err
+	}
+	// Self-references must follow the object.
+	if img.HasRef(oldO) {
+		if err := txn.RetargetRef(newO, oldO, newO); err != nil {
+			return oid.Nil, 0, err
+		}
+	}
+	updated := 0
+	for _, R := range sortedParents(pset) {
+		if err := txn.RetargetRef(R, oldO, newO); err != nil {
+			return oid.Nil, 0, err
+		}
+		updated++
+	}
+	if err := txn.Delete(oldO); err != nil {
+		return oid.Nil, 0, err
+	}
+	return newO, updated, nil
+}
+
+// migrateLateCreations migrates objects created in the partition after
+// the reorganization started (footnote 6 / [LRSS99]). The cutoff is the
+// moment this pass takes the creation list: objects created after that
+// are simply not migrated, exactly as the paper scopes it ("objects
+// created until some point of time after the reorganization process
+// begins execution"). Approximate parent lists are empty — the TRT drain
+// in Find_Exact_Parents discovers every parent, because every reference
+// to a late-created object post-dates the TRT.
+func (r *Reorganizer) migrateLateCreations() error {
+	created := r.trt.TakeCreations()
+	for _, o := range created {
+		if _, done := r.migrated[o]; done || !r.wantsMigration(o) {
+			continue
+		}
+		// Objects the migration itself created at their new addresses
+		// are also in the creation list; they are already where the
+		// plan wants them.
+		if r.isMigrationTarget(o) {
+			continue
+		}
+		batch := []oid.OID{o}
+		retries := 0
+		for {
+			err := r.migrateBatch(batch)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, ErrCrash) || !errors.Is(err, lock.ErrTimeout) {
+				return err
+			}
+			retries++
+			r.stats.Retries++
+			if retries > r.opts.MaxRetries {
+				return fmt.Errorf("reorg: giving up on late creation %s: %w", o, err)
+			}
+		}
+	}
+	return nil
+}
+
+// isMigrationTarget reports whether o is the new copy of an object this
+// run migrated.
+func (r *Reorganizer) isMigrationTarget(o oid.OID) bool {
+	for _, n := range r.migrated {
+		if n == o {
+			return true
+		}
+	}
+	return false
+}
+
+// collectGarbage reclaims the unreachable objects of the partition: after
+// migration, anything still stored there was not traversed, and by Lemma
+// 3.1 everything live was traversed — so the remainder is garbage
+// (§4.6). Deleting through transactions keeps the ERTs of partitions the
+// garbage points into consistent.
+func (r *Reorganizer) collectGarbage() error {
+	var garbage []oid.OID
+	err := r.d.Store().ForEach(r.part, func(o oid.OID, _ []byte) bool {
+		garbage = append(garbage, o)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range garbage {
+		txn, err := r.d.Begin()
+		if err != nil {
+			return err
+		}
+		if err := txn.Delete(o); err != nil {
+			// A garbage cycle member may reference an already-deleted
+			// peer; deletion order does not matter, existence does.
+			txn.Abort()
+			if r.d.Exists(o) {
+				return err
+			}
+			continue
+		}
+		if err := txn.Commit(); err != nil {
+			return err
+		}
+		r.stats.Garbage++
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package reorg
+
+import (
+	"fmt"
+
+	"repro/internal/analyzer"
+	"repro/internal/db"
+	"repro/internal/oid"
+	"repro/internal/trt"
+	"repro/internal/wal"
+)
+
+// State is a checkpoint of the reorganizer's progress (§4.4): the
+// traversal results, the migrations already committed, any in-flight
+// two-lock migration, and enough log position information to rebuild the
+// TRT. Persisting it lets a restart continue where the crash interrupted
+// instead of re-traversing and re-migrating.
+type State struct {
+	Part     oid.PartitionID
+	Mode     Mode
+	StartLSN wal.LSN
+	// TRTLSN is the log tail covered by TRT; the TRT is rebuilt by
+	// replaying ref-change records with LSN > TRTLSN.
+	TRTLSN   wal.LSN
+	TRT      *trt.Snapshot
+	Objects  []oid.OID
+	Parents  map[oid.OID][]oid.OID
+	Migrated map[oid.OID]oid.OID
+	InFlight *InFlight
+}
+
+// checkpoint emits a state snapshot to the configured sink.
+func (r *Reorganizer) checkpoint() {
+	if r.opts.OnCheckpoint == nil {
+		return
+	}
+	r.opts.OnCheckpoint(r.snapshotState())
+}
+
+// maybeCheckpoint emits a snapshot every CheckpointEvery migrations.
+func (r *Reorganizer) maybeCheckpoint(done int) {
+	if r.opts.OnCheckpoint == nil || r.opts.CheckpointEvery <= 0 {
+		return
+	}
+	if done%r.opts.CheckpointEvery == 0 {
+		r.checkpoint()
+	}
+}
+
+// snapshotState deep-copies the reorganizer's resumable state.
+func (r *Reorganizer) snapshotState() *State {
+	s := &State{
+		Part:     r.part,
+		Mode:     r.opts.Mode,
+		StartLSN: r.startLSN,
+		TRTLSN:   r.d.Log().TailLSN(),
+		Objects:  append([]oid.OID(nil), r.objects...),
+		Parents:  make(map[oid.OID][]oid.OID, len(r.parents)),
+		Migrated: make(map[oid.OID]oid.OID, len(r.migrated)),
+	}
+	if r.trt != nil {
+		s.TRT = r.trt.Snapshot()
+	}
+	for c, ps := range r.parents {
+		s.Parents[c] = sortedParents(ps)
+	}
+	for o, n := range r.migrated {
+		s.Migrated[o] = n
+	}
+	if r.inFlight != nil {
+		f := *r.inFlight
+		s.InFlight = &f
+	}
+	return s
+}
+
+// Resume builds a reorganizer that continues from a checkpointed state
+// after a crash and restart recovery. records must be the durable log
+// records that survived the crash (recovery.Image.Records); reference
+// changes newer than the state's TRT snapshot are replayed into a fresh
+// TRT before migration resumes (§4.4 item 3).
+//
+// Call Run on the returned reorganizer before admitting new transactions
+// that could race the rebuilt TRT's attach.
+func Resume(d *db.Database, s *State, records []*wal.Record, opts Options) (*Reorganizer, error) {
+	if s == nil {
+		return nil, fmt.Errorf("reorg: nil state")
+	}
+	opts.Mode = s.Mode
+	r := New(d, s.Part, opts)
+	r.startLSN = s.StartLSN
+	r.objects = append([]oid.OID(nil), s.Objects...)
+	for c, ps := range s.Parents {
+		for _, p := range ps {
+			r.addParent(c, p)
+		}
+	}
+	for o, n := range s.Migrated {
+		r.migrated[o] = n
+	}
+	if s.InFlight != nil {
+		f := *s.InFlight
+		r.inFlight = &f
+	}
+
+	// Rebuild the TRT: restore the snapshot, then replay every durable
+	// ref-change record past the snapshot's horizon through an analyzer
+	// attached only to this TRT.
+	table := d.StartReorgTRT(s.Part)
+	r.trtOwned = true
+	if s.TRT != nil {
+		table.Restore(s.TRT)
+	}
+	replayer := analyzer.New()
+	replayer.AttachTRT(table)
+	for _, rec := range records {
+		if rec.LSN > s.TRTLSN {
+			replayer.Observe(rec)
+		}
+	}
+	r.trt = table
+
+	// Drop stale migrations: a migration recorded as committed must have
+	// its new copy alive; recovery may have rolled back an in-flight
+	// batch whose state checkpoint raced the crash.
+	for o, n := range r.migrated {
+		if !d.Exists(n) || d.Exists(o) {
+			delete(r.migrated, o)
+		}
+	}
+	r.preMigrated = len(r.migrated)
+	return r, nil
+}
+
+// CollectPartition performs copying garbage collection (§4.6): every live
+// object of partition from is evacuated into partition to (created if
+// absent), garbage is reclaimed, and the then-empty source partition is
+// dropped. References stay physical throughout — the paper's headline
+// capability. Returns the reorganizer's statistics.
+func CollectPartition(d *db.Database, from, to oid.PartitionID, opts Options) (Stats, error) {
+	if from == to {
+		return Stats{}, fmt.Errorf("reorg: cannot evacuate partition %d into itself", from)
+	}
+	if !d.Store().HasPartition(to) {
+		if err := d.CreatePartition(to); err != nil {
+			return Stats{}, err
+		}
+	}
+	plan := EvacuatePlan(to)
+	opts.Plan = &plan
+	opts.CollectGarbage = true
+	r := New(d, from, opts)
+	if err := r.Run(); err != nil {
+		return r.Stats(), err
+	}
+	// The source partition now holds nothing; reclaim it wholesale.
+	st, err := d.Store().PartitionStats(from)
+	if err != nil {
+		return r.Stats(), err
+	}
+	if st.Objects != 0 {
+		return r.Stats(), fmt.Errorf("reorg: %d objects left in evacuated partition %d", st.Objects, from)
+	}
+	if err := d.DropPartition(from); err != nil {
+		return r.Stats(), err
+	}
+	return r.Stats(), nil
+}

@@ -1,0 +1,89 @@
+package reorg
+
+import (
+	"repro/internal/oid"
+)
+
+// findObjectsAndApproxParents implements Find_Objects_And_Approx_Parents
+// (paper Figure 3): a fuzzy traversal of the partition starting from the
+// ERT's referenced objects, re-seeded from the TRT's referenced objects
+// until no referenced object remains undiscovered. No locks are taken —
+// reads use latches only — so the parent lists are approximate; the
+// migration step makes them exact.
+func (r *Reorganizer) findObjectsAndApproxParents() {
+	visited := make(map[oid.OID]bool)
+
+	// L1: traverse from the ERT's referenced objects.
+	r.fuzzyTraverse(r.d.ERT(r.part).ReferencedObjects(), visited)
+
+	// L2: while some referenced object of the TRT has not been
+	// traversed, traverse from it. This is what guarantees Lemma 3.1:
+	// an object whose only reference was cut (and may be re-inserted by
+	// the still-active cutter) is still discovered.
+	for {
+		var missing []oid.OID
+		for _, c := range r.trtChildren() {
+			if c.Partition() == r.part && !visited[c] && r.d.Exists(c) {
+				missing = append(missing, c)
+			}
+		}
+		if len(missing) == 0 {
+			break
+		}
+		r.fuzzyTraverse(missing, visited)
+	}
+	r.stats.Traversed = len(r.objects)
+}
+
+// trtChildren returns the TRT's referenced objects (empty when running
+// without a TRT, i.e. offline mode).
+func (r *Reorganizer) trtChildren() []oid.OID {
+	if r.trt == nil {
+		return nil
+	}
+	return r.trt.Children()
+}
+
+// fuzzyTraverse walks the object graph from the given roots, restricted
+// to the partition being reorganized, collecting newly discovered objects
+// into r.objects and edge sources into r.parents. External parents from
+// the ERT are merged in for every discovered object.
+func (r *Reorganizer) fuzzyTraverse(roots []oid.OID, visited map[oid.OID]bool) {
+	queue := make([]oid.OID, 0, len(roots))
+	for _, o := range roots {
+		if o.Partition() != r.part || visited[o] {
+			continue
+		}
+		visited[o] = true
+		queue = append(queue, o)
+	}
+	for len(queue) > 0 {
+		o := queue[0]
+		queue = queue[1:]
+
+		// The object may have been deleted since it was enqueued — the
+		// traversal is fuzzy. (Its TRT tuples, if any, keep it safe.)
+		refs, err := r.d.FuzzyReadRefs(o)
+		if err != nil {
+			continue
+		}
+		r.objects = append(r.objects, o)
+
+		// External parents come from the ERT (paper §3.1: "these can be
+		// found in the ERT of partition P").
+		for _, p := range r.d.ERT(r.part).Parents(o) {
+			r.addParent(o, p)
+		}
+
+		for _, c := range refs {
+			if c.IsNil() || c.Partition() != r.part {
+				continue
+			}
+			r.addParent(c, o)
+			if !visited[c] {
+				visited[c] = true
+				queue = append(queue, c)
+			}
+		}
+	}
+}

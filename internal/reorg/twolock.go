@@ -1,0 +1,229 @@
+package reorg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/lock"
+	"repro/internal/oid"
+)
+
+// InFlight records a two-lock migration in progress: the object exists at
+// both addresses while parents are repointed one at a time. Reorganizer
+// checkpoints carry it so a restart can finish the migration instead of
+// duplicating the object (§4.2's failure discussion).
+type InFlight struct {
+	Old, New oid.OID
+}
+
+// migrateAllTwoLock migrates objects with the §4.2 extension: the object
+// being migrated is locked (old and new address) by a long-lived owner
+// transaction, and each parent is locked, updated and released in its own
+// short transaction — so the reorganizer holds locks on at most the
+// object in flight plus one parent at any instant.
+func (r *Reorganizer) migrateAllTwoLock() error {
+	// A restart may have an unfinished migration to complete first.
+	if r.inFlight != nil {
+		if err := r.migrateTwoLock(r.inFlight.Old, r.inFlight.New); err != nil {
+			return err
+		}
+		r.inFlight = nil
+	}
+	for i, o := range r.objects {
+		if _, done := r.migrated[o]; done {
+			continue
+		}
+		if !r.wantsMigration(o) {
+			continue
+		}
+		if err := r.migrateTwoLock(o, oid.Nil); err != nil {
+			return err
+		}
+		r.maybeCheckpoint(i + 1)
+	}
+	return nil
+}
+
+// migrateTwoLock migrates one object. existingNew is non-nil when a
+// restart resumes a migration whose copy was already created.
+func (r *Reorganizer) migrateTwoLock(oldO, existingNew oid.OID) error {
+	// The owner transaction holds the locks on the old and new addresses
+	// for the whole migration and performs the final delete of the old
+	// copy.
+	owner, err := r.d.Begin()
+	if err != nil {
+		return err
+	}
+	finished := false
+	defer func() {
+		if !finished {
+			owner.Abort()
+		}
+	}()
+
+	if err := r.lockObjectRetry(owner.ID(), oldO); err != nil {
+		return err
+	}
+	img, err := r.d.FuzzyRead(oldO)
+	if err != nil {
+		// The old copy is gone. Either a concurrent transaction deleted
+		// it, or a restart resumes past a completed delete: if the new
+		// copy exists the migration actually finished.
+		if !existingNew.IsNil() && r.d.Exists(existingNew) {
+			r.migrated[oldO] = existingNew
+			r.stats.Migrated++
+		}
+		return nil
+	}
+
+	// Create (or re-adopt) the new copy in its own committed transaction
+	// so that a crash during parent updates cannot roll it away from
+	// under the already-repointed parents.
+	newO := existingNew
+	if newO.IsNil() || !r.d.Exists(newO) {
+		ctxn, err := r.d.Begin()
+		if err != nil {
+			return err
+		}
+		payload := r.transformPayload(oldO, img.Payload)
+		if r.plan.Dense {
+			newO, err = ctxn.CreateDense(r.plan.Target(oldO), payload, img.Refs)
+		} else {
+			newO, err = ctxn.Create(r.plan.Target(oldO), payload, img.Refs)
+		}
+		if err != nil {
+			ctxn.Abort()
+			return err
+		}
+		if img.HasRef(oldO) {
+			if err := ctxn.RetargetRef(newO, oldO, newO); err != nil {
+				ctxn.Abort()
+				return err
+			}
+		}
+		if err := ctxn.Commit(); err != nil {
+			return err
+		}
+	}
+	if err := r.lockObjectRetry(owner.ID(), newO); err != nil {
+		return err
+	}
+	r.noteLocks(2 + 1) // old + new + at most one parent below
+
+	r.chargeWork()
+	r.inFlight = &InFlight{Old: oldO, New: newO}
+	r.checkpoint()
+	if err := r.fail("twolock-inflight"); err != nil {
+		return err
+	}
+
+	// Repoint parents one at a time, each in its own transaction (§4.3's
+	// per-parent-update transactions). First the approximate list, then
+	// the TRT drain loop.
+	for _, R := range sortedParents(r.parents[oldO]) {
+		if err := r.updateOneParent(R, oldO, newO); err != nil {
+			return err
+		}
+	}
+	for {
+		tp, ok := r.trt.Take(oldO)
+		if !ok {
+			break
+		}
+		if err := r.updateOneParent(tp.Parent, oldO, newO); err != nil {
+			return err
+		}
+	}
+	if err := r.fail("twolock-parents-done"); err != nil {
+		return err
+	}
+
+	// Delete the old copy under the owner's lock and release everything.
+	if err := owner.Delete(oldO); err != nil {
+		return err
+	}
+	if err := owner.Commit(); err != nil {
+		return err
+	}
+	finished = true
+	r.migrated[oldO] = newO
+	r.stats.Migrated++
+	r.fixupChildren(img.Refs, oldO, newO)
+	r.inFlight = nil
+	return nil
+}
+
+// updateOneParent locks R in a short transaction, repoints its references
+// to oldO (if any remain) at newO, and commits, retrying on deadlock
+// timeouts. References already pointing at newO — including R == newO
+// itself, from self-references — need no work.
+func (r *Reorganizer) updateOneParent(R, oldO, newO oid.OID) error {
+	if R == oldO || R == newO {
+		return nil
+	}
+	retries := 0
+	for {
+		err := r.tryUpdateParent(R, oldO, newO)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrCrash) {
+			return err
+		}
+		if !errors.Is(err, lock.ErrTimeout) {
+			return err
+		}
+		retries++
+		r.stats.Retries++
+		if retries > r.opts.MaxRetries {
+			return fmt.Errorf("reorg: giving up on parent %s after %d retries: %w", R, retries, err)
+		}
+	}
+}
+
+func (r *Reorganizer) tryUpdateParent(R, oldO, newO oid.OID) error {
+	ptxn, err := r.d.Begin()
+	if err != nil {
+		return err
+	}
+	if err := r.lockParent(ptxn.ID(), R); err != nil {
+		ptxn.Abort()
+		return err
+	}
+	if err := r.fail("twolock-parent-locked"); err != nil {
+		return err
+	}
+	if r.isParent(R, oldO) {
+		if err := ptxn.RetargetRef(R, oldO, newO); err != nil {
+			ptxn.Abort()
+			return err
+		}
+		r.stats.ParentsUpdated++
+	}
+	return ptxn.Commit()
+}
+
+// lockObjectRetry locks o exclusively for txn, retrying timeouts.
+func (r *Reorganizer) lockObjectRetry(txn lock.TxnID, o oid.OID) error {
+	retries := 0
+	for {
+		err := r.d.Locks().Lock(txn, o, lock.Exclusive)
+		if err == nil {
+			if !r.d.Config().Strict2PL {
+				if werr := r.d.Locks().WaitEverLockers(o, txn, r.opts.WaitTimeout); werr == nil {
+					return nil
+				}
+				// Keep the lock; retry the wait.
+			} else {
+				return nil
+			}
+		} else if !errors.Is(err, lock.ErrTimeout) {
+			return err
+		}
+		retries++
+		r.stats.Retries++
+		if retries > r.opts.MaxRetries {
+			return fmt.Errorf("reorg: giving up locking %s after %d retries", o, retries)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/oid"
+)
+
+func BenchmarkAllocateFree(b *testing.B) {
+	s := New()
+	s.CreatePartition(0)
+	data := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := s.Allocate(0, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Free(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	s := New()
+	s.CreatePartition(0)
+	var oids []oid.OID
+	for i := 0; i < 1024; i++ {
+		o, _ := s.Allocate(0, make([]byte, 100))
+		oids = append(oids, o)
+	}
+	buf := make([]byte, 0, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = s.Read(oids[i%len(oids)], buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+// Package storage implements the partitioned physical object store.
+//
+// The database is divided into partitions (paper §2), each a growable set
+// of slotted pages. An object's OID is its physical address — partition,
+// page, slot — so the store resolves a reference with two array lookups
+// and no indirection table. Space within a partition is managed with a
+// first-fit free-space search (which fills holes, the normal allocation
+// path) and a dense append path used by relocation plans that want to pack
+// objects tightly (compaction, copying collection).
+//
+// The store provides physical consistency only: each partition has a
+// read-write mutex serializing structural changes against reads (cell
+// moves during in-page compaction would otherwise tear concurrent
+// readers). Transactional consistency — locks, WAL — is layered on top by
+// internal/db and internal/txn.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/oid"
+	"repro/internal/page"
+)
+
+// Errors returned by the store.
+var (
+	// ErrNoObject reports a dereference of an OID that addresses no live
+	// object — with physical references this is exactly the "dangling
+	// pointer" failure the reorganization algorithms must never cause.
+	ErrNoObject = errors.New("storage: no object at address")
+	// ErrNoPartition reports an operation on an unknown partition.
+	ErrNoPartition = errors.New("storage: no such partition")
+	// ErrPartitionExists reports creation of a duplicate partition.
+	ErrPartitionExists = errors.New("storage: partition already exists")
+	// ErrObjectTooLarge reports an object that cannot fit in any page.
+	ErrObjectTooLarge = errors.New("storage: object larger than page capacity")
+	// ErrWontFit reports an in-place update that outgrew its page. The
+	// caller must treat the object as needing migration.
+	ErrWontFit = errors.New("storage: updated object does not fit in its page")
+)
+
+// DefaultFillFactor is the fraction of a fresh page the first-fit
+// allocator will fill before opening another page, leaving headroom for
+// objects to grow in place (reference inserts grow the referencing
+// object).
+const DefaultFillFactor = 0.85
+
+// Store is a partitioned slotted-page object store.
+type Store struct {
+	pageSize   int
+	fillFactor float64
+
+	mu    sync.RWMutex
+	parts map[oid.PartitionID]*partition
+}
+
+// partition holds the pages of one partition. pages[0] is always nil so
+// that no object is ever at page 0 — that keeps oid.Nil (0:0:0)
+// unaddressable.
+type partition struct {
+	id oid.PartitionID
+
+	mu     sync.RWMutex
+	pages  []*page.Page
+	nLive  int // live objects
+	cursor int // first-fit rotating start page
+	// denseFloor is the first page dense allocation may use. SealDense
+	// advances it past all existing pages so that migrated copies never
+	// reoccupy addresses that stale references might still carry.
+	denseFloor int
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithPageSize sets the page size (default page.DefaultSize).
+func WithPageSize(n int) Option { return func(s *Store) { s.pageSize = n } }
+
+// WithFillFactor sets the first-fit fill factor in (0,1].
+func WithFillFactor(f float64) Option {
+	return func(s *Store) {
+		if f > 0 && f <= 1 {
+			s.fillFactor = f
+		}
+	}
+}
+
+// New creates an empty store.
+func New(opts ...Option) *Store {
+	s := &Store{
+		pageSize:   page.DefaultSize,
+		fillFactor: DefaultFillFactor,
+		parts:      make(map[oid.PartitionID]*partition),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// PageSize returns the configured page size.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// CreatePartition adds an empty partition with the given id.
+func (s *Store) CreatePartition(id oid.PartitionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.parts[id]; ok {
+		return fmt.Errorf("%w: %d", ErrPartitionExists, id)
+	}
+	s.parts[id] = &partition{id: id, pages: []*page.Page{nil}, cursor: 1}
+	return nil
+}
+
+// DropPartition removes a partition and all objects in it. Used by the
+// copying collector after evacuating live objects.
+func (s *Store) DropPartition(id oid.PartitionID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.parts[id]; !ok {
+		return fmt.Errorf("%w: %d", ErrNoPartition, id)
+	}
+	delete(s.parts, id)
+	return nil
+}
+
+// HasPartition reports whether partition id exists.
+func (s *Store) HasPartition(id oid.PartitionID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.parts[id]
+	return ok
+}
+
+// Partitions returns the existing partition ids in ascending order.
+func (s *Store) Partitions() []oid.PartitionID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]oid.PartitionID, 0, len(s.parts))
+	for id := range s.parts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (s *Store) part(id oid.PartitionID) (*partition, error) {
+	s.mu.RLock()
+	p, ok := s.parts[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoPartition, id)
+	}
+	return p, nil
+}
+
+// maxCell is the largest cell a fresh page of this store can hold.
+func (s *Store) maxCell() int {
+	return s.pageSize - 16 // header + one slot entry, conservatively
+}
+
+// Allocate stores data in partition part using first-fit over existing
+// pages (so freed holes are refilled, which is what fragments a partition
+// over time), opening a new page when nothing fits within the fill factor.
+func (s *Store) Allocate(part oid.PartitionID, data []byte) (oid.OID, error) {
+	return s.allocate(part, data, false)
+}
+
+// AllocateDense stores data at the tail of the partition, packing cells
+// tightly without hole-filling. Relocation plans use it to lay objects
+// contiguously.
+func (s *Store) AllocateDense(part oid.PartitionID, data []byte) (oid.OID, error) {
+	return s.allocate(part, data, true)
+}
+
+func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID, error) {
+	if len(data) > s.maxCell() {
+		return oid.Nil, fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, len(data))
+	}
+	p, err := s.part(part)
+	if err != nil {
+		return oid.Nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	if dense {
+		// Try only the last page (and only past the dense floor), then
+		// open a new one.
+		if last := len(p.pages) - 1; last >= 1 && last >= p.denseFloor && p.pages[last] != nil {
+			if slot, err := p.pages[last].Insert(data); err == nil {
+				p.nLive++
+				return oid.New(part, oid.PageNum(last), oid.SlotNum(slot)), nil
+			}
+		}
+	} else {
+		// First-fit from a rotating cursor, honoring the fill factor so
+		// fresh pages keep growth headroom.
+		n := len(p.pages) - 1
+		reserve := int(float64(s.pageSize) * (1 - s.fillFactor))
+		for i := 0; i < n; i++ {
+			pn := 1 + (p.cursor-1+i)%n
+			pg := p.pages[pn]
+			if pg == nil || pg.FreeSpace() < len(data)+reserve {
+				continue
+			}
+			if slot, err := pg.Insert(data); err == nil {
+				p.cursor = pn
+				p.nLive++
+				return oid.New(part, oid.PageNum(pn), oid.SlotNum(slot)), nil
+			}
+		}
+	}
+	// Open a new page.
+	if uint64(len(p.pages)) > oid.MaxPage {
+		return oid.Nil, fmt.Errorf("storage: partition %d page table full", part)
+	}
+	pg := page.New(s.pageSize)
+	slot, err := pg.Insert(data)
+	if err != nil {
+		return oid.Nil, err
+	}
+	p.pages = append(p.pages, pg)
+	p.nLive++
+	return oid.New(part, oid.PageNum(len(p.pages)-1), oid.SlotNum(slot)), nil
+}
+
+// SealDense advances the partition's dense-allocation floor past every
+// existing page: subsequent AllocateDense calls place objects only on
+// fresh pages. Reorganization seals its target partitions so a migrated
+// object can never be assigned the address of a just-deleted one — an
+// address a not-yet-updated (or garbage) reference may still carry.
+func (s *Store) SealDense(part oid.PartitionID) error {
+	p, err := s.part(part)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.denseFloor = len(p.pages)
+	return nil
+}
+
+// AllocateAt installs data at the exact address o, creating the partition
+// and any intermediate pages if they do not exist. If a live object is
+// already at o it is overwritten in place. Recovery redo uses this to
+// replay creations at their original physical addresses; ordinary callers
+// should use Allocate.
+func (s *Store) AllocateAt(o oid.OID, data []byte) error {
+	if len(data) > s.maxCell() {
+		return fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, len(data))
+	}
+	if o.Page() == 0 {
+		return fmt.Errorf("%w: %s (page 0 is reserved)", ErrNoObject, o)
+	}
+	s.mu.Lock()
+	p, ok := s.parts[o.Partition()]
+	if !ok {
+		p = &partition{id: o.Partition(), pages: []*page.Page{nil}, cursor: 1}
+		s.parts[o.Partition()] = p
+	}
+	s.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for uint64(len(p.pages)) <= uint64(o.Page()) {
+		p.pages = append(p.pages, page.New(s.pageSize))
+	}
+	if p.pages[o.Page()] == nil {
+		p.pages[o.Page()] = page.New(s.pageSize)
+	}
+	pg := p.pages[o.Page()]
+	if pg.Has(uint16(o.Slot())) {
+		return pg.Update(uint16(o.Slot()), data)
+	}
+	if err := pg.InsertAt(uint16(o.Slot()), data); err != nil {
+		return err
+	}
+	p.nLive++
+	return nil
+}
+
+// locate resolves o to its partition and page without taking locks beyond
+// the store map lock. Caller must hold p.mu.
+func (p *partition) pageOf(o oid.OID) (*page.Page, error) {
+	pn := int(o.Page())
+	if pn < 1 || pn >= len(p.pages) || p.pages[pn] == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	return p.pages[pn], nil
+}
+
+// TrimPages releases pages that hold no live cells, returning how many
+// were reclaimed. After a compaction migrated every object to fresh tail
+// pages, this is what actually gives the fragmented space back.
+func (s *Store) TrimPages(part oid.PartitionID) (int, error) {
+	p, err := s.part(part)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	trimmed := 0
+	for pn := 1; pn < len(p.pages); pn++ {
+		if p.pages[pn] != nil && p.pages[pn].LiveSlots() == 0 {
+			p.pages[pn] = nil
+			trimmed++
+		}
+	}
+	if p.cursor >= len(p.pages) || p.cursor < 1 {
+		p.cursor = 1
+	}
+	return trimmed, nil
+}
+
+// Read copies the object at o into buf (growing it as needed) and returns
+// the filled slice.
+func (s *Store) Read(o oid.OID, buf []byte) ([]byte, error) {
+	p, err := s.part(o.Partition())
+	if err != nil {
+		return nil, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	pg, err := p.pageOf(o)
+	if err != nil {
+		return nil, err
+	}
+	cell, err := pg.Get(uint16(o.Slot()))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	return append(buf[:0], cell...), nil
+}
+
+// View calls fn with the object's bytes while holding the partition read
+// lock. The slice must not escape fn.
+func (s *Store) View(o oid.OID, fn func(data []byte)) error {
+	p, err := s.part(o.Partition())
+	if err != nil {
+		return err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	pg, err := p.pageOf(o)
+	if err != nil {
+		return err
+	}
+	cell, err := pg.Get(uint16(o.Slot()))
+	if err != nil {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	fn(cell)
+	return nil
+}
+
+// Exists reports whether o addresses a live object.
+func (s *Store) Exists(o oid.OID) bool {
+	p, err := s.part(o.Partition())
+	if err != nil {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	pg, err := p.pageOf(o)
+	if err != nil {
+		return false
+	}
+	return pg.Has(uint16(o.Slot()))
+}
+
+// Update rewrites the object at o in place. If the new bytes no longer fit
+// in the object's page, ErrWontFit is returned and the object is
+// unchanged.
+func (s *Store) Update(o oid.OID, data []byte) error {
+	p, err := s.part(o.Partition())
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, err := p.pageOf(o)
+	if err != nil {
+		return err
+	}
+	switch err := pg.Update(uint16(o.Slot()), data); err {
+	case nil:
+		return nil
+	case page.ErrBadSlot:
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	case page.ErrPageFull:
+		return ErrWontFit
+	default:
+		return err
+	}
+}
+
+// Free deletes the object at o. The slot's bytes become dead space that
+// only reorganization (or a lucky same-page insert) reclaims.
+func (s *Store) Free(o oid.OID) error {
+	p, err := s.part(o.Partition())
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pg, err := p.pageOf(o)
+	if err != nil {
+		return err
+	}
+	if err := pg.Delete(uint16(o.Slot())); err != nil {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	p.nLive--
+	return nil
+}
+
+// ForEach calls fn for every live object in partition part, in physical
+// order. The data slice aliases page memory and must not escape fn.
+// Iteration holds the partition read lock, so fn must not call mutating
+// store methods. Iteration stops early if fn returns false.
+func (s *Store) ForEach(part oid.PartitionID, fn func(o oid.OID, data []byte) bool) error {
+	p, err := s.part(part)
+	if err != nil {
+		return err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for pn := 1; pn < len(p.pages); pn++ {
+		if p.pages[pn] == nil {
+			continue
+		}
+		stop := false
+		p.pages[pn].Slots(func(slot uint16, data []byte) bool {
+			if !fn(oid.New(part, oid.PageNum(pn), oid.SlotNum(slot)), data) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Stats describes space usage of a partition.
+type Stats struct {
+	Pages      int // allocated pages
+	LiveBytes  int // bytes in live cells
+	DeadBytes  int // bytes in deleted cells (fragmentation)
+	FreeBytes  int // unused bytes (contiguous + dead)
+	Objects    int // live objects
+	TotalBytes int // pages × page size
+}
+
+// Fragmentation returns dead bytes as a fraction of total bytes.
+func (st Stats) Fragmentation() float64 {
+	if st.TotalBytes == 0 {
+		return 0
+	}
+	return float64(st.DeadBytes) / float64(st.TotalBytes)
+}
+
+// PartitionStats computes space statistics for a partition.
+func (s *Store) PartitionStats(part oid.PartitionID) (Stats, error) {
+	p, err := s.part(part)
+	if err != nil {
+		return Stats{}, err
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st := Stats{Objects: p.nLive}
+	for pn := 1; pn < len(p.pages); pn++ {
+		pg := p.pages[pn]
+		if pg == nil {
+			continue
+		}
+		st.Pages++
+		st.TotalBytes += pg.Size()
+		st.DeadBytes += pg.DeadBytes()
+		st.FreeBytes += pg.FreeSpace()
+		pg.Slots(func(_ uint16, data []byte) bool {
+			st.LiveBytes += len(data)
+			return true
+		})
+	}
+	return st, nil
+}
+
+// Snapshot is a deep copy of the whole store, used to model the durable
+// database image at a fuzzy checkpoint: restart recovery restores the
+// snapshot and replays the log forward from it.
+type Snapshot struct {
+	pageSize   int
+	fillFactor float64
+	parts      map[oid.PartitionID]*partSnap
+}
+
+type partSnap struct {
+	pages      [][]byte
+	nLive      int
+	cursor     int
+	denseFloor int
+}
+
+// Snapshot deep-copies the store.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := &Snapshot{
+		pageSize:   s.pageSize,
+		fillFactor: s.fillFactor,
+		parts:      make(map[oid.PartitionID]*partSnap, len(s.parts)),
+	}
+	for id, p := range s.parts {
+		p.mu.RLock()
+		ps := &partSnap{nLive: p.nLive, cursor: p.cursor, denseFloor: p.denseFloor, pages: make([][]byte, len(p.pages))}
+		for i := 1; i < len(p.pages); i++ {
+			if p.pages[i] != nil {
+				ps.pages[i] = append([]byte(nil), p.pages[i].Bytes()...)
+			}
+		}
+		p.mu.RUnlock()
+		snap.parts[id] = ps
+	}
+	return snap
+}
+
+// RestoreSnapshot builds a fresh store from a snapshot.
+func RestoreSnapshot(snap *Snapshot) *Store {
+	s := New(WithPageSize(snap.pageSize), WithFillFactor(snap.fillFactor))
+	for id, ps := range snap.parts {
+		p := &partition{id: id, nLive: ps.nLive, cursor: ps.cursor, denseFloor: ps.denseFloor, pages: make([]*page.Page, len(ps.pages))}
+		if p.cursor < 1 {
+			p.cursor = 1
+		}
+		for i := 1; i < len(ps.pages); i++ {
+			if ps.pages[i] != nil {
+				p.pages[i] = page.Wrap(append([]byte(nil), ps.pages[i]...))
+			}
+		}
+		s.parts[id] = p
+	}
+	return s
+}

@@ -1,0 +1,289 @@
+// Package trt implements the Temporary Reference Table.
+//
+// The TRT of a partition is a transient structure that exists only while
+// a reorganization is in progress (paper §3.3, §4.5). It records every
+// insertion and deletion of a reference to an object of the partition:
+// tuples (O, R, tid, action), where R is the parent whose reference to O
+// changed. The reorganizer consults it in two places:
+//
+//   - Find_Objects_And_Approx_Parents re-seeds the fuzzy traversal from
+//     referenced objects of the TRT that the traversal missed, so no live
+//     object escapes discovery (Lemma 3.1).
+//   - Find_Exact_Parents drains tuples whose referenced object is the one
+//     being migrated, locking each tuple's parent, until none remain —
+//     that is what pins down the exact parent set (Lemma 3.2).
+//
+// Space optimization (§4.5): under strict 2PL, a transaction's pointer-
+// delete tuples can be purged when the transaction completes, and when a
+// transaction that deleted R→O commits, any insert tuple for the same
+// R→O can be purged too. When transactions release locks early (§4.1)
+// these purges are unsafe and are disabled.
+package trt
+
+import (
+	"sync"
+
+	"repro/internal/oid"
+)
+
+// Action distinguishes tuple kinds.
+type Action uint8
+
+// Tuple actions.
+const (
+	// Insert records that a reference to Child was stored into Parent.
+	Insert Action = iota
+	// Delete records that a reference to Child was removed from Parent.
+	Delete
+)
+
+func (a Action) String() string {
+	if a == Insert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// TxnID mirrors the transaction id type.
+type TxnID uint64
+
+// Tuple is one TRT entry.
+type Tuple struct {
+	Child  oid.OID
+	Parent oid.OID
+	Txn    TxnID
+	Act    Action
+}
+
+// Table is the TRT of one partition being reorganized.
+type Table struct {
+	part      oid.PartitionID
+	strict2PL bool
+
+	mu      sync.Mutex
+	byChild map[oid.OID][]Tuple
+	byTxn   map[TxnID]int // live tuples per txn, for purge bookkeeping
+	// created records objects created in the partition while the
+	// reorganization runs, for the footnote-6 extension that migrates
+	// late-created objects too.
+	created []oid.OID
+	total   int
+	// purged counts tuples removed by the §4.5 optimization; exposed for
+	// the ablation bench.
+	purged int
+}
+
+// New creates an empty TRT for partition part. strict2PL enables the §4.5
+// purge optimizations, which are only sound under strict 2PL.
+func New(part oid.PartitionID, strict2PL bool) *Table {
+	return &Table{
+		part:      part,
+		strict2PL: strict2PL,
+		byChild:   make(map[oid.OID][]Tuple),
+		byTxn:     make(map[TxnID]int),
+	}
+}
+
+// Partition returns the partition this table belongs to.
+func (t *Table) Partition() oid.PartitionID { return t.part }
+
+// Log records a reference change. For deletes the caller must invoke this
+// before the reference disappears from the parent (the WAL undo rule
+// provides this ordering); for inserts, before the inserting transaction
+// releases its lock on the parent.
+func (t *Table) Log(child, parent oid.OID, txn TxnID, act Action) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byChild[child] = append(t.byChild[child], Tuple{child, parent, txn, act})
+	t.byTxn[txn]++
+	t.total++
+}
+
+// LogCreation records that an object was created in the partition while
+// the reorganization was running.
+func (t *Table) LogCreation(o oid.OID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.created = append(t.created, o)
+}
+
+// TakeCreations returns and clears the list of objects created since the
+// reorganization (or the previous call) — the work list for the
+// late-creation migration pass.
+func (t *Table) TakeCreations() []oid.OID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.created
+	t.created = nil
+	return out
+}
+
+// Take removes and returns one tuple whose referenced object is child.
+// This is the "∃ a tuple t in the TRT which has Oold as the referenced
+// object → delete t" step of Find_Exact_Parents.
+func (t *Table) Take(child oid.OID) (Tuple, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tuples := t.byChild[child]
+	if len(tuples) == 0 {
+		return Tuple{}, false
+	}
+	tp := tuples[len(tuples)-1]
+	if len(tuples) == 1 {
+		delete(t.byChild, child)
+	} else {
+		t.byChild[child] = tuples[:len(tuples)-1]
+	}
+	t.dropAccounting(tp)
+	return tp, true
+}
+
+// dropAccounting updates counters for a removed tuple. Caller holds t.mu.
+func (t *Table) dropAccounting(tp Tuple) {
+	t.byTxn[tp.Txn]--
+	if t.byTxn[tp.Txn] <= 0 {
+		delete(t.byTxn, tp.Txn)
+	}
+	t.total--
+}
+
+// TakeAny removes and returns any one tuple. PQR uses it while quiescing:
+// every tuple's parent is a potential new entry point into the partition
+// that must be locked.
+func (t *Table) TakeAny() (Tuple, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for child, tuples := range t.byChild {
+		tp := tuples[len(tuples)-1]
+		if len(tuples) == 1 {
+			delete(t.byChild, child)
+		} else {
+			t.byChild[child] = tuples[:len(tuples)-1]
+		}
+		t.dropAccounting(tp)
+		return tp, true
+	}
+	return Tuple{}, false
+}
+
+// TuplesFor returns a copy of the tuples referencing child.
+func (t *Table) TuplesFor(child oid.OID) []Tuple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Tuple(nil), t.byChild[child]...)
+}
+
+// Children returns the referenced objects of the TRT.
+func (t *Table) Children() []oid.OID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]oid.OID, 0, len(t.byChild))
+	for c := range t.byChild {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Len returns the number of live tuples.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Purged returns the number of tuples removed by the space optimization.
+func (t *Table) Purged() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.purged
+}
+
+// TxnComplete applies the §4.5 purges for a completed transaction. Under
+// strict 2PL: all of txn's delete tuples are dropped; and if the
+// transaction committed, insert tuples matching each of its committed
+// deletes (same parent→child edge, any transaction) are dropped as well.
+// Outside strict 2PL this is a no-op — a reference deleted by txn may
+// have been seen and cached by a still-active transaction.
+func (t *Table) TxnComplete(txn TxnID, committed bool) {
+	if !t.strict2PL {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byTxn[txn] == 0 {
+		return
+	}
+	// Collect the committed deletes first so the insert purge can match
+	// them across all transactions.
+	type edge struct{ child, parent oid.OID }
+	var committedDeletes []edge
+	for child, tuples := range t.byChild {
+		kept := tuples[:0]
+		for _, tp := range tuples {
+			if tp.Txn == txn && tp.Act == Delete {
+				if committed {
+					committedDeletes = append(committedDeletes, edge{tp.Child, tp.Parent})
+				}
+				t.dropAccounting(tp)
+				t.purged++
+				continue
+			}
+			kept = append(kept, tp)
+		}
+		if len(kept) == 0 {
+			delete(t.byChild, child)
+		} else {
+			t.byChild[child] = kept
+		}
+	}
+	for _, e := range committedDeletes {
+		tuples := t.byChild[e.child]
+		kept := tuples[:0]
+		removedOne := false
+		for _, tp := range tuples {
+			if !removedOne && tp.Act == Insert && tp.Parent == e.parent {
+				t.dropAccounting(tp)
+				t.purged++
+				removedOne = true
+				continue
+			}
+			kept = append(kept, tp)
+		}
+		if len(kept) == 0 {
+			delete(t.byChild, e.child)
+		} else {
+			t.byChild[e.child] = kept
+		}
+	}
+}
+
+// Snapshot captures the TRT for reorganizer checkpoints (§4.4).
+type Snapshot struct {
+	Part   oid.PartitionID
+	Tuples []Tuple
+}
+
+// Snapshot deep-copies the table.
+func (t *Table) Snapshot() *Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Snapshot{Part: t.part}
+	for _, tuples := range t.byChild {
+		s.Tuples = append(s.Tuples, tuples...)
+	}
+	return s
+}
+
+// Restore replaces the contents with the snapshot.
+func (t *Table) Restore(s *Snapshot) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byChild = make(map[oid.OID][]Tuple)
+	t.byTxn = make(map[TxnID]int)
+	t.total = 0
+	for _, tp := range s.Tuples {
+		t.byChild[tp.Child] = append(t.byChild[tp.Child], tp)
+		t.byTxn[tp.Txn]++
+		t.total++
+	}
+}

@@ -1,0 +1,204 @@
+package trt
+
+import (
+	"testing"
+
+	"repro/internal/oid"
+)
+
+var (
+	objO    = oid.New(1, 1, 0)
+	objO2   = oid.New(1, 1, 1)
+	parentR = oid.New(1, 2, 0)
+	parentS = oid.New(2, 1, 0)
+)
+
+func TestLogAndTake(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 10, Delete)
+	tr.Log(objO, parentS, 11, Insert)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	seen := map[oid.OID]Action{}
+	for {
+		tp, ok := tr.Take(objO)
+		if !ok {
+			break
+		}
+		seen[tp.Parent] = tp.Act
+	}
+	if len(seen) != 2 || seen[parentR] != Delete || seen[parentS] != Insert {
+		t.Fatalf("drained tuples = %v", seen)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after drain = %d", tr.Len())
+	}
+	if _, ok := tr.Take(objO); ok {
+		t.Fatal("Take on empty child returned a tuple")
+	}
+}
+
+func TestChildren(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 1, Delete)
+	tr.Log(objO2, parentR, 1, Insert)
+	kids := tr.Children()
+	if len(kids) != 2 {
+		t.Fatalf("Children = %v", kids)
+	}
+}
+
+func TestTuplesForCopies(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 1, Insert)
+	got := tr.TuplesFor(objO)
+	if len(got) != 1 || got[0].Parent != parentR {
+		t.Fatalf("TuplesFor = %v", got)
+	}
+	got[0].Parent = parentS // must not corrupt the table
+	if tr.TuplesFor(objO)[0].Parent != parentR {
+		t.Fatal("TuplesFor returned aliased storage")
+	}
+}
+
+func TestStrict2PLPurgeDeletesOnComplete(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 5, Delete)
+	tr.Log(objO, parentS, 6, Delete) // different txn, must survive
+	tr.TxnComplete(5, true)
+	tuples := tr.TuplesFor(objO)
+	if len(tuples) != 1 || tuples[0].Txn != 6 {
+		t.Fatalf("tuples after purge = %v", tuples)
+	}
+	if tr.Purged() != 1 {
+		t.Fatalf("Purged = %d", tr.Purged())
+	}
+}
+
+func TestStrict2PLPurgeOnAbortToo(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 5, Delete)
+	tr.TxnComplete(5, false)
+	if tr.Len() != 0 {
+		t.Fatal("delete tuple survived abort completion")
+	}
+}
+
+func TestCommittedDeletePurgesMatchingInsert(t *testing.T) {
+	tr := New(1, true)
+	// Txn 7 inserted R→O earlier; txn 8 deletes the same edge and commits.
+	tr.Log(objO, parentR, 7, Insert)
+	tr.Log(objO, parentR, 8, Delete)
+	tr.TxnComplete(8, true)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d; insert tuple should be purged with committed delete", tr.Len())
+	}
+	if tr.Purged() != 2 {
+		t.Fatalf("Purged = %d", tr.Purged())
+	}
+}
+
+func TestAbortedDeleteKeepsInsert(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 7, Insert)
+	tr.Log(objO, parentR, 8, Delete)
+	tr.TxnComplete(8, false) // aborted: the edge is back, insert must stay
+	tuples := tr.TuplesFor(objO)
+	if len(tuples) != 1 || tuples[0].Act != Insert || tuples[0].Txn != 7 {
+		t.Fatalf("tuples = %v", tuples)
+	}
+}
+
+func TestInsertPurgeMatchesOnlyOne(t *testing.T) {
+	tr := New(1, true)
+	// Two independent inserts of the same edge (parent holds the ref
+	// twice); one committed delete purges exactly one of them.
+	tr.Log(objO, parentR, 7, Insert)
+	tr.Log(objO, parentR, 9, Insert)
+	tr.Log(objO, parentR, 8, Delete)
+	tr.TxnComplete(8, true)
+	inserts := 0
+	for _, tp := range tr.TuplesFor(objO) {
+		if tp.Act == Insert {
+			inserts++
+		}
+	}
+	if inserts != 1 {
+		t.Fatalf("%d insert tuples survive, want 1", inserts)
+	}
+}
+
+func TestNoPurgeOutsideStrict2PL(t *testing.T) {
+	tr := New(1, false)
+	tr.Log(objO, parentR, 5, Delete)
+	tr.Log(objO, parentR, 7, Insert)
+	tr.TxnComplete(5, true)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d; purge must be disabled outside strict 2PL", tr.Len())
+	}
+	if tr.Purged() != 0 {
+		t.Fatalf("Purged = %d", tr.Purged())
+	}
+}
+
+func TestTxnCompleteUnknownTxn(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 5, Insert)
+	tr.TxnComplete(99, true) // no tuples; must not disturb others
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	tr := New(1, true)
+	tr.Log(objO, parentR, 5, Delete)
+	tr.Log(objO2, parentS, 6, Insert)
+	snap := tr.Snapshot()
+	tr.Log(objO, parentS, 7, Insert) // diverge
+
+	r := New(1, true)
+	r.Restore(snap)
+	if r.Len() != 2 {
+		t.Fatalf("restored Len = %d", r.Len())
+	}
+	tp, ok := r.Take(objO)
+	if !ok || tp.Parent != parentR || tp.Act != Delete || tp.Txn != 5 {
+		t.Fatalf("restored tuple = %+v, %v", tp, ok)
+	}
+	// Purge bookkeeping must work after restore.
+	r.TxnComplete(6, true)
+	if r.Len() != 1 {
+		t.Fatalf("Len after restore+complete = %d", r.Len())
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if Insert.String() != "insert" || Delete.String() != "delete" {
+		t.Fatal("Action.String broken")
+	}
+}
+
+func TestCreationTracking(t *testing.T) {
+	tr := New(1, true)
+	if got := tr.TakeCreations(); len(got) != 0 {
+		t.Fatalf("fresh table has creations: %v", got)
+	}
+	a := oid.New(1, 2, 0)
+	b := oid.New(1, 2, 1)
+	tr.LogCreation(a)
+	tr.LogCreation(b)
+	got := tr.TakeCreations()
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("TakeCreations = %v", got)
+	}
+	// Taking clears the list; later creations accumulate afresh.
+	if got := tr.TakeCreations(); len(got) != 0 {
+		t.Fatalf("second take = %v", got)
+	}
+	tr.LogCreation(a)
+	if got := tr.TakeCreations(); len(got) != 1 {
+		t.Fatalf("after re-log = %v", got)
+	}
+}

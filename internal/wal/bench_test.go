@@ -1,0 +1,37 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/oid"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	l := NewLog()
+	rec := Record{Type: RecUpdate, Txn: 1, OID: oid.New(1, 1, 1), Before: make([]byte, 100), After: make([]byte, 100)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := rec
+		if _, err := l.Append(&r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := &Record{Type: RecUpdate, Txn: 1, OID: oid.New(1, 1, 1), Before: make([]byte, 100), After: make([]byte, 100)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(r)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	buf := Encode(&Record{Type: RecUpdate, Txn: 1, OID: oid.New(1, 1, 1), Before: make([]byte, 100), After: make([]byte, 100)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+// Package wal implements the write-ahead log.
+//
+// Transactions follow the WAL protocol the paper assumes (§2): the undo
+// image of an update is logged before the update is performed, and the
+// redo image is logged before the lock on the object is released. Commit
+// forces the log; a group-commit flusher with configurable simulated
+// device latency models the log disk. That latency is what gives the
+// paper's MPL experiments their shape — "logs have to be flushed to disk
+// at commit time; therefore, there is some CPU I/O parallelism to be
+// exploited" (§5.3.1), which is why throughput peaks above MPL 1.
+//
+// Every appended record is also handed, in LSN order, to an optional
+// observer. The log analyzer (internal/analyzer) registers itself there
+// to maintain the ERT and TRT, mirroring the paper's design where "a
+// separate process called log analyzer" processes log records "as soon as
+// they are handed over to the logging subsystem" (§3.3).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/oid"
+)
+
+// LSN is a log sequence number; 0 means "none".
+type LSN uint64
+
+// TxnID mirrors lock.TxnID without importing it (the WAL layer is below
+// the lock manager).
+type TxnID uint64
+
+// RecType enumerates log record types.
+type RecType uint8
+
+// Log record types.
+const (
+	// RecBegin marks the start of a transaction.
+	RecBegin RecType = iota + 1
+	// RecCommit marks a committed transaction; the commit is durable
+	// once this record is flushed.
+	RecCommit
+	// RecAbort marks a fully rolled-back transaction.
+	RecAbort
+	// RecUpdate is a payload update carrying full before/after images of
+	// the object.
+	RecUpdate
+	// RecCreate records object creation; After holds the image.
+	RecCreate
+	// RecDelete records object deletion; Before holds the image.
+	RecDelete
+	// RecRefInsert records insertion of a reference Child into object
+	// OID, with full before/after images of OID.
+	RecRefInsert
+	// RecRefDelete records deletion of the reference Child from object
+	// OID, with full before/after images.
+	RecRefDelete
+	// RecRefUpdate records an in-place retarget of a reference in OID
+	// from Child to Child2 (used when a parent is repointed to a
+	// migrated object's new address).
+	RecRefUpdate
+	// RecCheckpoint marks an action-consistent checkpoint; Active lists
+	// transactions alive at checkpoint time.
+	RecCheckpoint
+)
+
+var recTypeNames = map[RecType]string{
+	RecBegin: "Begin", RecCommit: "Commit", RecAbort: "Abort",
+	RecUpdate: "Update", RecCreate: "Create", RecDelete: "Delete",
+	RecRefInsert: "RefInsert", RecRefDelete: "RefDelete", RecRefUpdate: "RefUpdate",
+	RecCheckpoint: "Checkpoint",
+}
+
+func (t RecType) String() string {
+	if s, ok := recTypeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("RecType(%d)", uint8(t))
+}
+
+// Record is a log record. Images are full object images: redo and undo
+// simply install After or Before, which keeps recovery idempotent.
+//
+// Compensation records (rollback) are typed: undoing a RecRefInsert
+// writes a RecRefDelete with CLR set, and so on. A CLR is redo-only —
+// recovery never undoes it — and its UndoNxt points at the next record of
+// the transaction still to be undone, so repeated crashes during rollback
+// never undo the same update twice.
+type Record struct {
+	LSN     LSN
+	Prev    LSN // previous record of the same transaction
+	Type    RecType
+	Txn     TxnID
+	CLR     bool    // compensation record (redo-only)
+	OID     oid.OID // object affected
+	Child   oid.OID // referenced object for Ref* records
+	Child2  oid.OID // new referenced object for RecRefUpdate
+	Before  []byte  // undo image
+	After   []byte  // redo image
+	UndoNxt LSN     // CLR: next LSN of this txn to undo
+	Active  []TxnID // checkpoint: active transactions
+}
+
+// IsRefChange reports whether the record inserts or deletes an object
+// reference — the records the log analyzer cares about.
+func (r *Record) IsRefChange() bool {
+	switch r.Type {
+	case RecRefInsert, RecRefDelete, RecRefUpdate:
+		return true
+	}
+	return false
+}
+
+// Observer receives every appended record, in LSN order, synchronously
+// with the append. Implementations must be fast and must not call back
+// into the log.
+type Observer func(r *Record)
+
+// Log is a write-ahead log. Records live in memory; durability comes
+// from the flush device — by default a simulated one (a sleep of
+// FlushLatency per group-committed batch), optionally a real FileDevice.
+type Log struct {
+	flushLatency time.Duration
+	device       func(records []*Record) error
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	records  []*Record
+	nextLSN  LSN
+	firstLSN LSN // LSN of records[0] (advances on Truncate)
+	flushed  LSN
+	flushing bool
+	closed   bool
+	devErr   error
+	observer Observer
+}
+
+// Option configures a Log.
+type LogOption func(*Log)
+
+// WithFlushLatency sets the simulated log-device write latency. Zero
+// means flushes complete instantly (still in order).
+func WithFlushLatency(d time.Duration) LogOption {
+	return func(l *Log) { l.flushLatency = d }
+}
+
+// WithObserver registers the append observer.
+func WithObserver(fn Observer) LogOption {
+	return func(l *Log) { l.observer = fn }
+}
+
+// WithFileDevice makes the log durable on a real file device: each
+// group-committed batch is encoded, appended to the current segment and
+// fsynced. FlushLatency, if also set, is added on top (useful to model a
+// slower device than the host disk).
+func WithFileDevice(dev *FileDevice) LogOption {
+	return func(l *Log) { l.device = dev.write }
+}
+
+// NewLog creates a log.
+func NewLog(opts ...LogOption) *Log {
+	l := &Log{nextLSN: 1, firstLSN: 1}
+	l.cond = sync.NewCond(&l.mu)
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// Append assigns the next LSN to r, stores it, and hands it to the
+// observer. It does not wait for durability; use FlushWait for that.
+func (l *Log) Append(r *Record) (LSN, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	r.LSN = l.nextLSN
+	l.nextLSN++
+	l.records = append(l.records, r)
+	obs := l.observer
+	if obs != nil {
+		// Observer runs under the log mutex so it sees records in strict
+		// LSN order — the property the TRT correctness argument needs.
+		obs(r)
+	}
+	l.mu.Unlock()
+	return r.LSN, nil
+}
+
+// FlushWait blocks until all records up to and including lsn are durable.
+// Concurrent callers are group-committed: one simulated device write
+// covers every record appended before it starts.
+func (l *Log) FlushWait(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.flushed < lsn {
+		if l.closed {
+			return ErrClosed
+		}
+		if l.devErr != nil {
+			return l.devErr
+		}
+		if !l.flushing {
+			l.flushing = true
+			target := l.nextLSN - 1
+			var batch []*Record
+			if l.device != nil && target >= l.flushed+1 {
+				lo := l.flushed + 1
+				if lo < l.firstLSN {
+					lo = l.firstLSN
+				}
+				batch = append(batch, l.records[lo-l.firstLSN:target-l.firstLSN+1]...)
+			}
+			if l.device != nil || l.flushLatency > 0 {
+				l.mu.Unlock()
+				var err error
+				if l.device != nil {
+					err = l.device(batch)
+				}
+				if err == nil && l.flushLatency > 0 {
+					time.Sleep(l.flushLatency)
+				}
+				l.mu.Lock()
+				if err != nil {
+					// The log medium failed: nothing past the durable
+					// horizon can ever commit.
+					l.devErr = fmt.Errorf("wal: flush device: %w", err)
+					l.flushing = false
+					l.cond.Broadcast()
+					return l.devErr
+				}
+			}
+			l.flushed = target
+			l.flushing = false
+			l.cond.Broadcast()
+			continue
+		}
+		l.cond.Wait()
+	}
+	return nil
+}
+
+// FlushedLSN returns the durable horizon.
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// TailLSN returns the LSN of the most recently appended record (0 if
+// none).
+func (l *Log) TailLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Get returns the record with the given LSN, or nil if it has been
+// truncated or never existed.
+func (l *Log) Get(lsn LSN) *Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn < l.firstLSN || lsn >= l.nextLSN {
+		return nil
+	}
+	return l.records[lsn-l.firstLSN]
+}
+
+// Records returns the records with LSN >= from, in order.
+func (l *Log) Records(from LSN) []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < l.firstLSN {
+		from = l.firstLSN
+	}
+	if from >= l.nextLSN {
+		return nil
+	}
+	src := l.records[from-l.firstLSN:]
+	out := make([]*Record, len(src))
+	copy(out, src)
+	return out
+}
+
+// Truncate discards records with LSN < before; they must be covered by a
+// checkpoint.
+func (l *Log) Truncate(before LSN) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if before <= l.firstLSN {
+		return
+	}
+	if before > l.nextLSN {
+		before = l.nextLSN
+	}
+	l.records = append([]*Record(nil), l.records[before-l.firstLSN:]...)
+	l.firstLSN = before
+}
+
+// Close marks the log closed and wakes waiters.
+func (l *Log) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.cond.Broadcast()
+}
+
+// Encoding: records serialize to a length-prefixed binary format. The
+// in-memory log keeps structs for speed, but the format is exercised by
+// tests and available for file-backed persistence.
+
+const recMagic = 0x4c524f47 // "GORL"
+
+// Encode serializes r.
+func Encode(r *Record) []byte {
+	var scratch [8]byte
+	buf := make([]byte, 0, 64+len(r.Before)+len(r.After))
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		buf = append(buf, scratch[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		buf = append(buf, scratch[:8]...)
+	}
+	putBytes := func(b []byte) {
+		put32(uint32(len(b)))
+		buf = append(buf, b...)
+	}
+	put32(recMagic)
+	buf = append(buf, byte(r.Type))
+	var flags byte
+	if r.CLR {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	put64(uint64(r.LSN))
+	put64(uint64(r.Prev))
+	put64(uint64(r.Txn))
+	put64(uint64(r.OID))
+	put64(uint64(r.Child))
+	put64(uint64(r.Child2))
+	put64(uint64(r.UndoNxt))
+	putBytes(r.Before)
+	putBytes(r.After)
+	put32(uint32(len(r.Active)))
+	for _, t := range r.Active {
+		put64(uint64(t))
+	}
+	return buf
+}
+
+// ErrCorrupt reports a malformed encoded record.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Decode parses a record serialized by Encode and returns it along with
+// the number of bytes consumed.
+func Decode(buf []byte) (*Record, int, error) {
+	pos := 0
+	need := func(n int) bool { return pos+n <= len(buf) }
+	get32 := func() (uint32, bool) {
+		if !need(4) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(buf[pos:])
+		pos += 4
+		return v, true
+	}
+	get64 := func() (uint64, bool) {
+		if !need(8) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		return v, true
+	}
+	magic, ok := get32()
+	if !ok || magic != recMagic {
+		return nil, 0, ErrCorrupt
+	}
+	if !need(2) {
+		return nil, 0, ErrCorrupt
+	}
+	r := &Record{Type: RecType(buf[pos]), CLR: buf[pos+1]&1 != 0}
+	pos += 2
+	fields := []*uint64{
+		(*uint64)(&r.LSN), (*uint64)(&r.Prev), (*uint64)(&r.Txn),
+		(*uint64)(&r.OID), (*uint64)(&r.Child), (*uint64)(&r.Child2),
+		(*uint64)(&r.UndoNxt),
+	}
+	for _, f := range fields {
+		v, ok := get64()
+		if !ok {
+			return nil, 0, ErrCorrupt
+		}
+		*f = v
+	}
+	getBytes := func() ([]byte, bool) {
+		n, ok := get32()
+		if !ok || !need(int(n)) {
+			return nil, false
+		}
+		if n == 0 {
+			return nil, true
+		}
+		b := append([]byte(nil), buf[pos:pos+int(n)]...)
+		pos += int(n)
+		return b, true
+	}
+	if r.Before, ok = getBytes(); !ok {
+		return nil, 0, ErrCorrupt
+	}
+	if r.After, ok = getBytes(); !ok {
+		return nil, 0, ErrCorrupt
+	}
+	nActive, ok := get32()
+	if !ok {
+		return nil, 0, ErrCorrupt
+	}
+	for i := uint32(0); i < nActive; i++ {
+		v, ok := get64()
+		if !ok {
+			return nil, 0, ErrCorrupt
+		}
+		r.Active = append(r.Active, TxnID(v))
+	}
+	return r, pos, nil
+}

@@ -1,0 +1,259 @@
+package wal
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/oid"
+)
+
+func TestAppendAssignsSequentialLSNs(t *testing.T) {
+	l := NewLog()
+	for i := 1; i <= 5; i++ {
+		lsn, err := l.Append(&Record{Type: RecBegin, Txn: TxnID(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != LSN(i) {
+			t.Fatalf("lsn = %d, want %d", lsn, i)
+		}
+	}
+	if l.TailLSN() != 5 {
+		t.Fatalf("TailLSN = %d", l.TailLSN())
+	}
+}
+
+func TestFlushWaitAdvancesDurableHorizon(t *testing.T) {
+	l := NewLog(WithFlushLatency(time.Millisecond))
+	lsn, _ := l.Append(&Record{Type: RecCommit, Txn: 1})
+	if l.FlushedLSN() >= lsn {
+		t.Fatal("record durable before FlushWait")
+	}
+	if err := l.FlushWait(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if l.FlushedLSN() < lsn {
+		t.Fatalf("FlushedLSN = %d < %d after FlushWait", l.FlushedLSN(), lsn)
+	}
+}
+
+func TestGroupCommit(t *testing.T) {
+	l := NewLog(WithFlushLatency(5 * time.Millisecond))
+	const n = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lsn, _ := l.Append(&Record{Type: RecCommit, Txn: TxnID(i)})
+			if err := l.FlushWait(lsn); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	// n sequential flushes would take >= n*5ms; group commit should take
+	// far fewer device writes. Allow generous slack for scheduling.
+	if elapsed > time.Duration(n)*5*time.Millisecond {
+		t.Fatalf("flushes not grouped: %d commits took %v", n, elapsed)
+	}
+}
+
+func TestObserverSeesRecordsInOrder(t *testing.T) {
+	var seen []LSN
+	var l *Log
+	l = NewLog(WithObserver(func(r *Record) { seen = append(seen, r.LSN) }))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Append(&Record{Type: RecUpdate})
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 400 {
+		t.Fatalf("observer saw %d records, want 400", len(seen))
+	}
+	for i, lsn := range seen {
+		if lsn != LSN(i+1) {
+			t.Fatalf("observer order broken at %d: %d", i, lsn)
+		}
+	}
+}
+
+func TestRecordsAndGet(t *testing.T) {
+	l := NewLog()
+	l.Append(&Record{Type: RecBegin, Txn: 1})
+	l.Append(&Record{Type: RecUpdate, Txn: 1, OID: oid.New(1, 2, 3)})
+	l.Append(&Record{Type: RecCommit, Txn: 1})
+	recs := l.Records(2)
+	if len(recs) != 2 || recs[0].Type != RecUpdate || recs[1].Type != RecCommit {
+		t.Fatalf("Records(2) = %v", recs)
+	}
+	if r := l.Get(2); r == nil || r.OID != oid.New(1, 2, 3) {
+		t.Fatalf("Get(2) = %+v", r)
+	}
+	if l.Get(99) != nil {
+		t.Fatal("Get(99) returned phantom record")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	l := NewLog()
+	for i := 0; i < 10; i++ {
+		l.Append(&Record{Type: RecUpdate, Txn: TxnID(i)})
+	}
+	l.Truncate(6)
+	if l.Get(5) != nil {
+		t.Fatal("truncated record still accessible")
+	}
+	if r := l.Get(6); r == nil || r.Txn != 5 {
+		t.Fatalf("Get(6) after truncate = %+v", r)
+	}
+	recs := l.Records(1)
+	if len(recs) != 5 {
+		t.Fatalf("Records(1) after truncate = %d records", len(recs))
+	}
+	// Appends continue with monotone LSNs.
+	lsn, _ := l.Append(&Record{Type: RecCommit})
+	if lsn != 11 {
+		t.Fatalf("post-truncate lsn = %d", lsn)
+	}
+}
+
+func TestClose(t *testing.T) {
+	l := NewLog(WithFlushLatency(50 * time.Millisecond))
+	lsn, _ := l.Append(&Record{Type: RecCommit})
+	done := make(chan error, 1)
+	// A waiter in a second goroutine is stuck behind the flusher; Close
+	// must wake it with ErrClosed (or the flush completes first — both
+	// are acceptable terminations).
+	go func() { done <- l.FlushWait(lsn + 100) }()
+	time.Sleep(5 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("FlushWait stuck after Close")
+	}
+	if _, err := l.Append(&Record{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := &Record{
+		LSN: 42, Prev: 41, Type: RecRefUpdate, Txn: 7, CLR: true,
+		OID: oid.New(1, 2, 3), Child: oid.New(4, 5, 6), Child2: oid.New(7, 8, 9),
+		Before: []byte("before"), After: []byte("after"),
+		UndoNxt: 40, Active: []TxnID{1, 2, 3},
+	}
+	buf := Encode(r)
+	got, n, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", n, len(buf))
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", r, got)
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(lsn, prev, txn, o, c uint64, typ uint8, clr bool, before, after []byte) bool {
+		r := &Record{
+			LSN: LSN(lsn), Prev: LSN(prev), Type: RecType(typ%10 + 1), Txn: TxnID(txn),
+			CLR: clr, OID: oid.OID(o), Child: oid.OID(c),
+			Before: before, After: after,
+		}
+		if len(r.Before) == 0 {
+			r.Before = nil
+		}
+		if len(r.After) == 0 {
+			r.After = nil
+		}
+		got, _, err := Decode(Encode(r))
+		return err == nil && reflect.DeepEqual(r, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short buffer: %v", err)
+	}
+	buf := Encode(&Record{Type: RecBegin})
+	buf[0] ^= 0xff // break magic
+	if _, _, err := Decode(buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	good := Encode(&Record{Type: RecUpdate, Before: []byte("abc")})
+	if _, _, err := Decode(good[:len(good)-2]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated: %v", err)
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	var buf []byte
+	want := []RecType{RecBegin, RecUpdate, RecCommit}
+	for i, typ := range want {
+		buf = append(buf, Encode(&Record{LSN: LSN(i + 1), Type: typ})...)
+	}
+	var got []RecType
+	for len(buf) > 0 {
+		r, n, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, r.Type)
+		buf = buf[n:]
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stream = %v, want %v", got, want)
+	}
+}
+
+func TestIsRefChange(t *testing.T) {
+	for _, tc := range []struct {
+		typ  RecType
+		want bool
+	}{
+		{RecRefInsert, true}, {RecRefDelete, true}, {RecRefUpdate, true},
+		{RecUpdate, false}, {RecBegin, false}, {RecCommit, false},
+	} {
+		if got := (&Record{Type: tc.typ}).IsRefChange(); got != tc.want {
+			t.Errorf("IsRefChange(%v) = %v", tc.typ, got)
+		}
+	}
+}
+
+func TestZeroLatencyFlush(t *testing.T) {
+	l := NewLog()
+	lsn, _ := l.Append(&Record{Type: RecCommit})
+	done := make(chan struct{})
+	go func() {
+		l.FlushWait(lsn)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("zero-latency flush did not complete")
+	}
+}
