@@ -25,11 +25,15 @@ func main() {
 	var (
 		expID   = flag.String("exp", "", "experiment id (see -list), or 'all'")
 		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
+		quick   = flag.Bool("quick", false, "shorthand for -scale quick")
 		list    = flag.Bool("list", false, "list available experiments")
 		seed    = flag.Int64("seed", 1, "workload random seed")
 		verbose = flag.Bool("v", false, "print per-experiment timing")
 	)
 	flag.Parse()
+	if *quick {
+		*scale = "quick"
+	}
 
 	if *list || *expID == "" {
 		fmt.Println("experiments:")

@@ -8,6 +8,7 @@
 //
 //	reorgck                       # defaults: IRA, small database
 //	reorgck -mode twolock -mpl 20 -objects 2040 -rounds 2
+//	reorgck -workers 4            # reorganize all partitions concurrently
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 		modeName   = flag.String("mode", "ira", "reorganization algorithm: ira, twolock, pqr")
 		batch      = flag.Int("batch", 1, "object migrations per transaction (ira)")
 		rounds     = flag.Int("rounds", 1, "times to reorganize every partition")
+		workers    = flag.Int("workers", 1, "scheduler worker pool size; >1 reorganizes partitions concurrently")
 		seed       = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
@@ -74,6 +76,28 @@ func main() {
 	driver.Start()
 
 	for round := 1; round <= *rounds; round++ {
+		if *workers > 1 {
+			// Parallel round: the scheduler fans the algorithm out over
+			// every data partition at once.
+			var parts []oid.PartitionID
+			for p := 1; p <= *partitions; p++ {
+				parts = append(parts, oid.PartitionID(p))
+			}
+			s, err := reorg.NewScheduler(w.DB, parts, reorg.FleetOptions{
+				Workers: *workers,
+				Reorg:   reorg.Options{Mode: mode, BatchSize: *batch},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if err := s.Run(); err != nil {
+				fatal(fmt.Errorf("round %d: %w", round, err))
+			}
+			st := s.Stats()
+			fmt.Printf("round %d: %s fleet (%d workers) migrated %d objects over %d partitions, %d parent updates, %d retries in %s\n",
+				round, mode, s.Workers(), st.Migrated, st.Done, st.ParentsUpdated, st.Retries, st.Duration().Round(1e6))
+			continue
+		}
 		for p := 1; p <= *partitions; p++ {
 			r := reorg.New(w.DB, oid.PartitionID(p), reorg.Options{Mode: mode, BatchSize: *batch})
 			if err := r.Run(); err != nil {

@@ -19,6 +19,7 @@
 package analyzer
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/ert"
@@ -79,10 +80,15 @@ func (a *Analyzer) DropERT(part oid.PartitionID) {
 }
 
 // AttachTRT starts routing reference changes affecting t's partition into
-// t. Called when a reorganization begins.
+// t. Called when a reorganization begins. At most one TRT may exist per
+// partition — two reorganizers on the same partition would silently steal
+// each other's reference tuples, so a double attach is a caller bug.
 func (a *Analyzer) AttachTRT(t *trt.Table) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if old, ok := a.trts[t.Partition()]; ok && old != t {
+		panic(fmt.Sprintf("analyzer: TRT already attached for partition %d", t.Partition()))
+	}
 	a.trts[t.Partition()] = t
 }
 

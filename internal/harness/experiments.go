@@ -21,6 +21,9 @@ type Scale struct {
 	GlueFactors     []float64
 	PathLens        []int
 	PartitionCounts []int
+	// WorkerCounts is the scheduler pool-size sweep of the parallel
+	// reorganization experiment (`preorg`).
+	WorkerCounts []int
 }
 
 // QuickScale is sized so the full experiment suite completes in minutes.
@@ -37,6 +40,7 @@ func QuickScale() Scale {
 		GlueFactors:     []float64{0, 0.05, 0.2, 0.5},
 		PathLens:        []int{2, 8, 16},
 		PartitionCounts: []int{5, 10, 20},
+		WorkerCounts:    []int{1, 2, 4, 8},
 	}
 }
 
@@ -52,6 +56,7 @@ func FullScale() Scale {
 		GlueFactors:     []float64{0, 0.02, 0.05, 0.1, 0.2, 0.5},
 		PathLens:        []int{2, 4, 8, 16, 32},
 		PartitionCounts: []int{2, 5, 10, 20},
+		WorkerCounts:    []int{1, 2, 4, 8, 16},
 	}
 }
 
@@ -80,6 +85,7 @@ func All() []Experiment {
 		{"pathlen", "§5.3.4: transaction path length sweep", runPathLen},
 		{"partitions", "§5.3.4: number of partitions sweep", runPartitions},
 		{"equal-duration", "§5.3.4: PQR measured over IRA's duration", runEqualDuration},
+		{"preorg", "parallel reorganization: scheduler worker-count sweep", runParallelReorg},
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/db"
+	"repro/internal/reorg"
 	"repro/internal/workload"
 )
 
@@ -27,6 +29,7 @@ func tinyScale() Scale {
 		GlueFactors:     []float64{0, 0.5},
 		PathLens:        []int{2, 8},
 		PartitionCounts: []int{2, 3},
+		WorkerCounts:    []int{1, 2},
 	}
 }
 
@@ -104,7 +107,7 @@ func TestRunWithFixedWindow(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
+	if len(all) != 16 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	ids := map[string]bool{}
@@ -160,6 +163,64 @@ func TestFig6TinySweep(t *testing.T) {
 	}
 	if !strings.Contains(lines[0], "NR(tps)") {
 		t.Fatalf("header = %q", lines[0])
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	dbCfg := db.DefaultConfig()
+	dbCfg.FlushLatency = 0
+	dbCfg.LockTimeout = 100 * time.Millisecond
+	res, err := RunParallel(ParallelConfig{
+		Params:  tinyScale().Params,
+		DB:      dbCfg,
+		Mode:    reorg.ModeIRA,
+		Workers: 2,
+		Warmup:  30 * time.Millisecond,
+		Verify:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != 2 {
+		t.Fatalf("Workers = %d", res.Workers)
+	}
+	if res.Fleet.Done != 3 || res.Fleet.Migrated != 3*170 {
+		t.Fatalf("fleet stats: %+v", res.Fleet)
+	}
+	if len(res.PerWorker) != 2 {
+		t.Fatalf("PerWorker has %d entries", len(res.PerWorker))
+	}
+	parts := 0
+	for _, p := range res.PerWorker {
+		parts += p.Partitions
+	}
+	if parts != 3 {
+		t.Fatalf("workers completed %d partitions, want 3", parts)
+	}
+	if res.Summary.Commits == 0 {
+		t.Fatal("no transactions committed during the fleet")
+	}
+}
+
+// TestPreorgTinySweep runs the preorg experiment end to end on the
+// miniature scale.
+func TestPreorgTinySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test skipped in -short mode")
+	}
+	sc := tinyScale()
+	var buf bytes.Buffer
+	e, _ := ByID("preorg")
+	if err := e.Run(&buf, sc); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// Header + NR baseline + one row per worker count.
+	if len(lines) != 2+len(sc.WorkerCounts) {
+		t.Fatalf("preorg produced %d lines:\n%s", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "Workers") || !strings.Contains(lines[1], "NR") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
 	}
 }
 

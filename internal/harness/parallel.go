@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+	"repro/internal/workload"
+)
+
+// ParallelConfig describes one parallel-reorganization measurement cell:
+// the reorg scheduler fans out over every data partition with a worker
+// pool while the MPL transaction threads keep running.
+type ParallelConfig struct {
+	Params workload.Params
+	DB     db.Config
+	// Mode is the per-partition algorithm (IRA or two-lock IRA).
+	Mode      reorg.Mode
+	BatchSize int
+	// Workers is the scheduler pool size.
+	Workers int
+	Warmup  time.Duration
+	Drain   time.Duration
+	Verify  bool
+}
+
+// ParallelResult is the outcome of one parallel-reorg cell.
+type ParallelResult struct {
+	Workers int
+	// Summary covers the transactions that ran during the fleet.
+	Summary metrics.Summary
+	// Fleet aggregates the per-partition reorganization statistics.
+	Fleet reorg.FleetStats
+	// PerWorker is the final per-worker progress breakdown.
+	PerWorker []metrics.WorkerProgress
+	BuildTime time.Duration
+}
+
+// RunParallel executes one parallel-reorg cell: build the workload, start
+// the drivers, reorganize every data partition through the scheduler, and
+// measure transaction throughput over the reorganization window.
+func RunParallel(cfg ParallelConfig) (*ParallelResult, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	buildStart := time.Now()
+	w, err := workload.Build(cfg.DB, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("harness: build workload: %w", err)
+	}
+	defer w.DB.Close()
+	res := &ParallelResult{Workers: cfg.Workers, BuildTime: time.Since(buildStart)}
+
+	rec := metrics.NewRecorder()
+	driver := workload.NewDriver(w, rec)
+	driver.Start()
+	time.Sleep(cfg.Warmup)
+	rec.StartWindow()
+
+	var parts []oid.PartitionID
+	for p := 1; p <= cfg.Params.NumPartitions; p++ {
+		parts = append(parts, oid.PartitionID(p))
+	}
+	fleet := metrics.NewFleetRecorder(cfg.Workers)
+	s, err := reorg.NewScheduler(w.DB, parts, reorg.FleetOptions{
+		Workers: cfg.Workers,
+		Reorg: reorg.Options{
+			Mode:      cfg.Mode,
+			BatchSize: cfg.BatchSize,
+			PerObjectWork: func() {
+				w.BurnCPU(cfg.Params.ReorgCPUPerObject)
+			},
+		},
+		Fleet: fleet,
+	})
+	if err != nil {
+		driver.Stop()
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		driver.Stop()
+		return nil, fmt.Errorf("harness: parallel reorganization: %w", err)
+	}
+	res.Fleet = s.Stats()
+	res.PerWorker = fleet.Snapshot()
+
+	if cfg.Drain > 0 {
+		time.Sleep(cfg.Drain)
+	}
+	res.Summary = rec.Stop()
+	driver.Stop()
+
+	if cfg.Verify {
+		rep, err := check.Verify(w.DB, w.Roots())
+		if err != nil {
+			return nil, err
+		}
+		if err := rep.Err(); err != nil {
+			return nil, fmt.Errorf("harness: post-run consistency: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// runParallelReorg is the `preorg` experiment: sweep the scheduler's
+// worker count over a whole-database reorganization under load, reporting
+// fleet completion time and transaction throughput next to an NR
+// baseline. The reorganizer's simulated per-object CPU charge is zeroed
+// here — the capacity-1 uniprocessor token that reproduces the paper's
+// 1997 testbed would, by construction, serialize any worker pool; the
+// experiment measures the scheduler's own scaling (lock, WAL group
+// commit, and flush overlap), not the token's.
+func runParallelReorg(w io.Writer, sc Scale) error {
+	nr, err := cell(sc, NR, nil)
+	if err != nil {
+		return err
+	}
+	params := sc.Params
+	params.ReorgCPUPerObject = 0
+
+	fmt.Fprintf(w, "%-8s %12s %10s %10s %10s  %s\n",
+		"Workers", "Reorg(ms)", "Migrated", "tput", "mean(ms)", "parts/worker")
+	fmt.Fprintf(w, "%-8s %12s %10s %10.1f %10.1f\n",
+		"NR", "-", "-", nr.Summary.Throughput, ms(nr.Summary.Mean))
+	for _, n := range sc.WorkerCounts {
+		res, err := RunParallel(ParallelConfig{
+			Params:  params,
+			DB:      db.DefaultConfig(),
+			Mode:    reorg.ModeIRA,
+			Workers: n,
+			Warmup:  300 * time.Millisecond,
+			Drain:   300 * time.Millisecond,
+			Verify:  true,
+		})
+		if err != nil {
+			return err
+		}
+		var perWorker []string
+		for _, p := range res.PerWorker {
+			perWorker = append(perWorker, fmt.Sprint(p.Partitions))
+		}
+		fmt.Fprintf(w, "%-8d %12.0f %10d %10.1f %10.1f  %s\n",
+			res.Workers, ms(res.Fleet.Duration()), res.Fleet.Migrated,
+			res.Summary.Throughput, ms(res.Summary.Mean),
+			strings.Join(perWorker, "/"))
+	}
+	return nil
+}

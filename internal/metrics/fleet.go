@@ -1,0 +1,99 @@
+package metrics
+
+import "sync/atomic"
+
+// FleetRecorder tracks the live progress of a parallel reorganization:
+// one set of counters per worker in the scheduler's pool, updated with
+// atomics so the workers never contend and a monitor can read a
+// consistent-enough snapshot at any time while the fleet runs.
+type FleetRecorder struct {
+	workers []fleetWorker
+}
+
+// fleetWorker is one worker's counters.
+type fleetWorker struct {
+	attempts   atomic.Int64
+	migrated   atomic.Int64
+	partitions atomic.Int64
+	failures   atomic.Int64
+}
+
+// NewFleetRecorder creates a recorder for a pool of n workers.
+func NewFleetRecorder(n int) *FleetRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FleetRecorder{workers: make([]fleetWorker, n)}
+}
+
+// Workers returns the pool size the recorder was created for.
+func (f *FleetRecorder) Workers() int { return len(f.workers) }
+
+// valid bounds-checks a worker index (a bad index is ignored rather than
+// panicking inside a reorganization).
+func (f *FleetRecorder) valid(worker int) bool {
+	return worker >= 0 && worker < len(f.workers)
+}
+
+// Attempt notes one object-migration attempt by worker. Attempts count
+// every pass over an object, including batches that are later rolled back
+// by a deadlock timeout and retried, so Attempts >= Migrated.
+func (f *FleetRecorder) Attempt(worker int) {
+	if f.valid(worker) {
+		f.workers[worker].attempts.Add(1)
+	}
+}
+
+// PartitionDone notes that worker completed a partition that committed
+// migrated object migrations.
+func (f *FleetRecorder) PartitionDone(worker, migrated int) {
+	if f.valid(worker) {
+		f.workers[worker].partitions.Add(1)
+		f.workers[worker].migrated.Add(int64(migrated))
+	}
+}
+
+// PartitionFailed notes that worker's reorganization of a partition
+// failed (crash, cancellation, or retry exhaustion).
+func (f *FleetRecorder) PartitionFailed(worker int) {
+	if f.valid(worker) {
+		f.workers[worker].failures.Add(1)
+	}
+}
+
+// WorkerProgress is a point-in-time snapshot of one worker's counters.
+type WorkerProgress struct {
+	Worker     int // worker index in the pool
+	Attempts   int // object migrations attempted (includes retries)
+	Migrated   int // object migrations committed (partition totals)
+	Partitions int // partitions completed
+	Failures   int // partitions failed
+}
+
+// Snapshot returns the current per-worker counters.
+func (f *FleetRecorder) Snapshot() []WorkerProgress {
+	out := make([]WorkerProgress, len(f.workers))
+	for i := range f.workers {
+		w := &f.workers[i]
+		out[i] = WorkerProgress{
+			Worker:     i,
+			Attempts:   int(w.attempts.Load()),
+			Migrated:   int(w.migrated.Load()),
+			Partitions: int(w.partitions.Load()),
+			Failures:   int(w.failures.Load()),
+		}
+	}
+	return out
+}
+
+// Totals sums the per-worker counters into one line (Worker is -1).
+func (f *FleetRecorder) Totals() WorkerProgress {
+	t := WorkerProgress{Worker: -1}
+	for _, w := range f.Snapshot() {
+		t.Attempts += w.Attempts
+		t.Migrated += w.Migrated
+		t.Partitions += w.Partitions
+		t.Failures += w.Failures
+	}
+	return t
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFleetRecorderCounts(t *testing.T) {
+	f := NewFleetRecorder(3)
+	if f.Workers() != 3 {
+		t.Fatalf("Workers() = %d", f.Workers())
+	}
+	f.Attempt(0)
+	f.Attempt(0)
+	f.Attempt(2)
+	f.PartitionDone(0, 40)
+	f.PartitionDone(2, 15)
+	f.PartitionFailed(1)
+
+	snap := f.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d workers", len(snap))
+	}
+	if snap[0].Attempts != 2 || snap[0].Migrated != 40 || snap[0].Partitions != 1 {
+		t.Fatalf("worker 0 = %+v", snap[0])
+	}
+	if snap[1].Failures != 1 || snap[1].Attempts != 0 {
+		t.Fatalf("worker 1 = %+v", snap[1])
+	}
+	if snap[2].Migrated != 15 {
+		t.Fatalf("worker 2 = %+v", snap[2])
+	}
+	tot := f.Totals()
+	if tot.Attempts != 3 || tot.Migrated != 55 || tot.Partitions != 2 || tot.Failures != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestFleetRecorderIgnoresBadWorkerIndex(t *testing.T) {
+	f := NewFleetRecorder(1)
+	f.Attempt(-1)
+	f.Attempt(5)
+	f.PartitionDone(99, 10)
+	f.PartitionFailed(-3)
+	if tot := f.Totals(); tot.Attempts != 0 || tot.Migrated != 0 || tot.Failures != 0 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestFleetRecorderConcurrent(t *testing.T) {
+	f := NewFleetRecorder(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				f.Attempt(w)
+			}
+			f.PartitionDone(w, 500)
+		}(w)
+	}
+	wg.Wait()
+	tot := f.Totals()
+	if tot.Attempts != 2000 || tot.Migrated != 2000 || tot.Partitions != 4 {
+		t.Fatalf("totals = %+v", tot)
+	}
+}
+
+func TestFleetRecorderMinimumOneWorker(t *testing.T) {
+	f := NewFleetRecorder(0)
+	if f.Workers() != 1 {
+		t.Fatalf("Workers() = %d", f.Workers())
+	}
+	f.Attempt(0)
+	if f.Totals().Attempts != 1 {
+		t.Fatal("counter lost")
+	}
+}

@@ -2,9 +2,13 @@ package reorg
 
 import (
 	"errors"
+	"sort"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/check"
+	"repro/internal/oid"
 	"repro/internal/recovery"
 )
 
@@ -239,4 +243,139 @@ func TestResumeSkipsCommittedMigrations(t *testing.T) {
 		t.Fatalf("resume migrated %d objects, checkpoint already had %d of 25",
 			r2.Stats().Migrated, prior)
 	}
+}
+
+// fleetCrashHarness kills one scheduler worker mid-migration at the
+// given failpoint (injected only into the victim partition via
+// Configure), lets the surviving workers drain the queue, performs ARIES
+// restart recovery, resumes the unfinished partitions as a second fleet
+// from their checkpointed states, and verifies full consistency.
+func fleetCrashHarness(t *testing.T, mode Mode, crashAt string, batch int) {
+	t.Helper()
+	const parts, clusterSize = 5, 25
+	victim := oid.PartitionID(3)
+	f := buildFixture(t, testConfig(), parts, clusterSize)
+	sig := f.signature(t)
+	ckpt, err := f.d.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var list []oid.PartitionID
+	for p := 1; p <= parts; p++ {
+		list = append(list, oid.PartitionID(p))
+	}
+	var fired atomic.Bool
+	s, err := NewScheduler(f.d, list, FleetOptions{
+		Workers: 2,
+		// Low MaxRetries and WaitTimeout: a surviving worker wedged on
+		// locks — or on the §4.5 pre-start wait for — the crashed worker's
+		// dead transaction must fail fast (it is resumed after restart)
+		// instead of waiting out the full default timeouts.
+		Reorg: Options{
+			Mode:            mode,
+			BatchSize:       batch,
+			MaxRetries:      25,
+			WaitTimeout:     500 * time.Millisecond,
+			CheckpointEvery: 5,
+		},
+		Configure: func(p oid.PartitionID, o *Options) {
+			if p == victim {
+				o.Failpoint = func(pt string) error {
+					if pt == crashAt && fired.CompareAndSwap(false, true) {
+						return ErrCrash
+					}
+					return nil
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := s.Run()
+	if !fired.Load() {
+		t.Fatalf("failpoint %q never fired", crashAt)
+	}
+	if runErr == nil {
+		t.Fatal("fleet reported success despite a crashed worker")
+	}
+	failures := s.Failures()
+	if !errors.Is(failures[victim], ErrCrash) {
+		t.Fatalf("victim partition error = %v, want ErrCrash", failures[victim])
+	}
+	if crashAt == "batch-done" {
+		// A clean crash point holds no locks, so the dead worker cannot
+		// wedge its siblings: every other partition must have completed.
+		if len(failures) != 1 {
+			t.Fatalf("clean crash point: failures = %v, want only partition %d", failures, victim)
+		}
+		if st := s.Stats(); st.Done != parts-1 {
+			t.Fatalf("Done = %d, want %d", st.Done, parts-1)
+		}
+	}
+	states := s.States()
+
+	// ARIES restart from the durable image, then a second fleet over
+	// exactly the unfinished partitions, resuming from their checkpoints.
+	img := recovery.CaptureImage(f.d, ckpt)
+	f.d.Close()
+	d2, err := recovery.Recover(img, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	f2 := &fixture{d: d2, roots: f.roots}
+
+	var redo []oid.PartitionID
+	resume := make(map[oid.PartitionID]*State)
+	for p := range failures {
+		redo = append(redo, p)
+		if st := states[p]; st != nil {
+			resume[p] = st
+		}
+	}
+	sort.Slice(redo, func(i, j int) bool { return redo[i] < redo[j] })
+	s2, err := NewScheduler(d2, redo, FleetOptions{
+		Workers:      2,
+		Reorg:        Options{Mode: mode, BatchSize: batch},
+		ResumeStates: resume,
+		Records:      img.Records,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(); err != nil {
+		t.Fatalf("resumed fleet: %v", err)
+	}
+	if crashAt == "batch-done" {
+		// The victim's checkpoint recorded its committed batches; the
+		// resumed fleet must migrate only the remainder, not redo them.
+		prior := len(resume[victim].Migrated)
+		if prior == 0 {
+			t.Fatal("no migrations recorded in victim checkpoint")
+		}
+		if got := s2.Stats().PerPartition[victim].Migrated; got > clusterSize-prior {
+			t.Fatalf("resume migrated %d objects, checkpoint already had %d of %d",
+				got, prior, clusterSize)
+		}
+	}
+	f2.verify(t, sig)
+	for p := 1; p <= parts; p++ {
+		if got := len(f2.partitionOIDs(t, oid.PartitionID(p))); got != clusterSize {
+			t.Fatalf("partition %d holds %d objects after resume, want %d", p, got, clusterSize)
+		}
+	}
+}
+
+func TestFleetCrashCleanPointOthersComplete(t *testing.T) {
+	fleetCrashHarness(t, ModeIRA, "batch-done", 5)
+}
+
+func TestFleetCrashMidMigrationThenResume(t *testing.T) {
+	fleetCrashHarness(t, ModeIRA, "parents-locked", 1)
+}
+
+func TestFleetCrashTwoLockInFlightThenResume(t *testing.T) {
+	fleetCrashHarness(t, ModeIRATwoLock, "twolock-inflight", 1)
 }

@@ -79,6 +79,9 @@ func (r *Reorganizer) runIRA() error {
 // Find_Exact_Parents.
 func (r *Reorganizer) migrateAllBasic() error {
 	for i := 0; i < len(r.objects); {
+		if err := r.gate(); err != nil {
+			return err
+		}
 		end := i + r.opts.BatchSize
 		if end > len(r.objects) {
 			end = len(r.objects)
@@ -105,6 +108,11 @@ func (r *Reorganizer) migrateAllBasic() error {
 		}
 		i = end
 		r.maybeCheckpoint(i)
+		// A crash point with no transaction in flight and no locks held:
+		// the cleanest place to kill a scheduler worker.
+		if err := r.fail("batch-done"); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -293,6 +301,9 @@ func (r *Reorganizer) moveObject(txn *db.Txn, oldO oid.OID, img object.Object, p
 func (r *Reorganizer) migrateLateCreations() error {
 	created := r.trt.TakeCreations()
 	for _, o := range created {
+		if err := r.gate(); err != nil {
+			return err
+		}
 		if _, done := r.migrated[o]; done || !r.wantsMigration(o) {
 			continue
 		}
@@ -348,6 +359,9 @@ func (r *Reorganizer) collectGarbage() error {
 		return err
 	}
 	for _, o := range garbage {
+		if err := r.gate(); err != nil {
+			return err
+		}
 		txn, err := r.d.Begin()
 		if err != nil {
 			return err

@@ -133,6 +133,14 @@ type Options struct {
 	// Failpoint, if set, is invoked at named points; returning ErrCrash
 	// simulates a crash at that point.
 	Failpoint func(point string) error
+	// Gate, if set, is invoked before each object (or batch) migration in
+	// the incremental modes, and before each late-creation migration and
+	// garbage deletion. Blocking inside it pauses the reorganization at an
+	// object boundary — no reorganizer locks are held across the call —
+	// and returning an error aborts the run cleanly (in-flight work rolled
+	// back, TRT detached). The parallel scheduler uses it for
+	// pause/resume and cancellation.
+	Gate func() error
 	// Transform, if set, rewrites an object's payload as it migrates —
 	// the schema-evolution case (§1): the object is re-written in its
 	// new representation at its new location, atomically with the
@@ -241,6 +249,16 @@ func (r *Reorganizer) fail(point string) error {
 		return nil
 	}
 	return r.opts.Failpoint(point)
+}
+
+// gate invokes the Gate hook at an object boundary. It is only called
+// while the reorganizer holds no locks, so blocking inside the hook
+// stalls nothing but this reorganization.
+func (r *Reorganizer) gate() error {
+	if r.opts.Gate == nil {
+		return nil
+	}
+	return r.opts.Gate()
 }
 
 // Run executes the reorganization. On ErrCrash it returns immediately

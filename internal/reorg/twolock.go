@@ -30,6 +30,9 @@ func (r *Reorganizer) migrateAllTwoLock() error {
 		r.inFlight = nil
 	}
 	for i, o := range r.objects {
+		if err := r.gate(); err != nil {
+			return err
+		}
 		if _, done := r.migrated[o]; done {
 			continue
 		}
