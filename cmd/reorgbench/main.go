@@ -6,6 +6,7 @@
 //	reorgbench -list
 //	reorgbench -exp fig6                # one experiment, quick scale
 //	reorgbench -exp all -scale full     # the whole evaluation, paper scale
+//	reorgbench -bench lockscale         # lock-manager scaling sweep → BENCH_lock.json
 //
 // Quick scale preserves the paper's shapes (who wins, by what factor,
 // where curves peak) in minutes; full scale uses the exact Table 1
@@ -23,16 +24,48 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale   = flag.String("scale", "quick", "experiment scale: quick or full")
-		quick   = flag.Bool("quick", false, "shorthand for -scale quick")
-		list    = flag.Bool("list", false, "list available experiments")
-		seed    = flag.Int64("seed", 1, "workload random seed")
-		verbose = flag.Bool("v", false, "print per-experiment timing")
+		expID    = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
+		quick    = flag.Bool("quick", false, "shorthand for -scale quick")
+		list     = flag.Bool("list", false, "list available experiments")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+		verbose  = flag.Bool("v", false, "print per-experiment timing")
+		bench    = flag.String("bench", "", "benchmark id: lockscale")
+		benchout = flag.String("benchout", "BENCH_lock.json", "JSON report path for -bench")
 	)
 	flag.Parse()
 	if *quick {
 		*scale = "quick"
+	}
+
+	if *bench != "" {
+		var sc harness.Scale
+		switch *scale {
+		case "quick":
+			sc = harness.QuickScale()
+		case "full":
+			sc = harness.FullScale()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown scale %q (quick or full)\n", *scale)
+			os.Exit(2)
+		}
+		sc.Params.Seed = *seed
+		switch *bench {
+		case "lockscale":
+			fmt.Printf("== lockscale — lock-manager scaling sweep (scale: %s) ==\n", sc.Name)
+			start := time.Now()
+			if err := harness.RunLockScale(os.Stdout, sc, *benchout); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark lockscale failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- lockscale completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale)\n", *bench)
+			os.Exit(2)
+		}
+		return
 	}
 
 	if *list || *expID == "" {

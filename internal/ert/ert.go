@@ -15,7 +15,7 @@ package ert
 
 import (
 	"sort"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/exthash"
 	"repro/internal/oid"
@@ -29,8 +29,10 @@ type Table struct {
 	// is mutated only via exthash.Update, under the hash table's lock.
 	m *exthash.Map[map[oid.OID]int]
 
-	mu    sync.Mutex
-	nRefs int
+	// nRefs is the total reference count (with multiplicity). Atomic so
+	// AddRef/RemoveRef touch exactly one lock — the hash bucket's — per
+	// call instead of also serializing on a table-wide side mutex.
+	nRefs atomic.Int64
 }
 
 // New creates an empty ERT for partition part.
@@ -51,9 +53,7 @@ func (t *Table) AddRef(child, parent oid.OID) {
 		cur[parent]++
 		return cur, true
 	})
-	t.mu.Lock()
-	t.nRefs++
-	t.mu.Unlock()
+	t.nRefs.Add(1)
 }
 
 // RemoveRef removes one external reference parent→child. Removing a
@@ -76,9 +76,7 @@ func (t *Table) RemoveRef(child, parent oid.OID) {
 		return cur, len(cur) > 0
 	})
 	if removed {
-		t.mu.Lock()
-		t.nRefs--
-		t.mu.Unlock()
+		t.nRefs.Add(-1)
 	}
 }
 
@@ -120,11 +118,7 @@ func (t *Table) Children() int { return t.m.Len() }
 
 // Refs returns the total number of external references (counting
 // multiplicity).
-func (t *Table) Refs() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.nRefs
-}
+func (t *Table) Refs() int { return int(t.nRefs.Load()) }
 
 // Range calls fn for every (child, parent, count) triple until fn returns
 // false. Parents for one child are visited together but in map order.
@@ -150,9 +144,7 @@ func (t *Table) Range(fn func(child, parent oid.OID, count int) bool) {
 // Clear empties the table.
 func (t *Table) Clear() {
 	t.m.Clear()
-	t.mu.Lock()
-	t.nRefs = 0
-	t.mu.Unlock()
+	t.nRefs.Store(0)
 }
 
 // Snapshot captures the table contents for checkpointing (§4.4 discusses

@@ -24,6 +24,14 @@ type Scale struct {
 	// WorkerCounts is the scheduler pool-size sweep of the parallel
 	// reorganization experiment (`preorg`).
 	WorkerCounts []int
+	// LockScaleMPLs × LockScaleWorkers is the grid of the lockscale
+	// benchmark's workload sweep (see RunLockScale).
+	LockScaleMPLs    []int
+	LockScaleWorkers []int
+	// LockScaleMicroDuration is how long each point of the lockscale
+	// micro sweep (striped vs reference manager, per goroutine count)
+	// measures.
+	LockScaleMicroDuration time.Duration
 }
 
 // QuickScale is sized so the full experiment suite completes in minutes.
@@ -41,6 +49,10 @@ func QuickScale() Scale {
 		PathLens:        []int{2, 8, 16},
 		PartitionCounts: []int{5, 10, 20},
 		WorkerCounts:    []int{1, 2, 4, 8},
+
+		LockScaleMPLs:          []int{4, 16},
+		LockScaleWorkers:       []int{1, 4},
+		LockScaleMicroDuration: 150 * time.Millisecond,
 	}
 }
 
@@ -57,6 +69,10 @@ func FullScale() Scale {
 		PathLens:        []int{2, 4, 8, 16, 32},
 		PartitionCounts: []int{2, 5, 10, 20},
 		WorkerCounts:    []int{1, 2, 4, 8, 16},
+
+		LockScaleMPLs:          []int{4, 16, 30},
+		LockScaleWorkers:       []int{1, 2, 4, 8},
+		LockScaleMicroDuration: 500 * time.Millisecond,
 	}
 }
 

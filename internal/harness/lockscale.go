@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/lock"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+)
+
+// This file is the `lockscale` benchmark: the perf-trajectory harness for
+// the striped lock manager. It measures two things and writes both to a
+// JSON report (BENCH_lock.json by default) so successive runs can be
+// compared across commits:
+//
+//  1. a micro sweep — raw Begin/Lock/Finish throughput of the striped and
+//     the reference (single-mutex) manager at 1/2/4/8 goroutines, plus the
+//     striped/reference speedup at 8 goroutines, and
+//  2. a workload sweep — the full system (MPL transaction threads × fleet
+//     reorganization workers) per grid cell, reporting transaction
+//     throughput, mean and p99 response time, reorganization duration and
+//     the lock manager's cumulative counters.
+
+// LockMicroPoint is one cell of the micro sweep.
+type LockMicroPoint struct {
+	Impl       string  `json:"impl"`
+	Goroutines int     `json:"goroutines"`
+	Ops        uint64  `json:"ops"`
+	Seconds    float64 `json:"seconds"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+}
+
+// LockWorkloadPoint is one cell of the workload sweep.
+type LockWorkloadPoint struct {
+	MPL           int     `json:"mpl"`
+	Workers       int     `json:"workers"`
+	Throughput    float64 `json:"throughput_tps"`
+	MeanMs        float64 `json:"mean_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	ReorgMs       float64 `json:"reorg_ms"`
+	Migrated      int     `json:"migrated"`
+	LocksAcquired uint64  `json:"locks_acquired"`
+	LockWaits     uint64  `json:"lock_waits"`
+	LockTimeouts  uint64  `json:"lock_timeouts"`
+}
+
+// LockScaleReport is the persisted shape of one lockscale run.
+type LockScaleReport struct {
+	Timestamp  string              `json:"timestamp"`
+	Scale      string              `json:"scale"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Micro      []LockMicroPoint    `json:"micro"`
+	SpeedupAt8 float64             `json:"speedup_at_8"`
+	Workload   []LockWorkloadPoint `json:"workload"`
+}
+
+// lockMicro measures aggregate Begin/Lock/Finish throughput of manager m
+// with g goroutines over roughly d. Each goroutine locks a disjoint OID
+// pool so every cycle is conflict-free: the only contention is on the
+// manager's own structures, which is the axis striping addresses.
+func lockMicro(m *lock.Manager, g int, d time.Duration) (uint64, float64) {
+	var (
+		ops  atomic.Uint64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pool := make([]oid.OID, 64)
+			for i := range pool {
+				pool[i] = oid.New(oid.PartitionID(w+1), oid.PageNum(i/8+1), oid.SlotNum(i%8))
+			}
+			txn := lock.TxnID(uint64(w)<<32 + 1)
+			var n uint64
+			for !stop.Load() {
+				txn++
+				m.Begin(txn)
+				m.Lock(txn, pool[n%uint64(len(pool))], lock.Exclusive)
+				m.Finish(txn)
+				n++
+			}
+			ops.Add(n)
+		}(w)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	return ops.Load(), time.Since(start).Seconds()
+}
+
+// RunLockScale runs both sweeps, prints a human-readable summary to w and
+// writes the JSON report to outPath ("" skips the file).
+func RunLockScale(w io.Writer, sc Scale, outPath string) error {
+	rep := &LockScaleReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      sc.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Micro sweep: striped vs reference at each goroutine count.
+	micro := sc.LockScaleMicroDuration
+	if micro <= 0 {
+		micro = 150 * time.Millisecond
+	}
+	gors := []int{1, 2, 4, 8}
+	perImpl := map[string]map[int]float64{}
+	fmt.Fprintf(w, "micro sweep (Begin/Lock/Finish, disjoint objects, %s/point)\n", micro)
+	fmt.Fprintf(w, "%-10s %-11s %14s\n", "impl", "goroutines", "ops/sec")
+	for _, impl := range []struct {
+		name string
+		opts []lock.Option
+	}{
+		{"striped", nil},
+		{"reference", []lock.Option{lock.WithReference()}},
+	} {
+		perImpl[impl.name] = map[int]float64{}
+		for _, g := range gors {
+			ops, secs := lockMicro(lock.NewManager(impl.opts...), g, micro)
+			rate := float64(ops) / secs
+			perImpl[impl.name][g] = rate
+			rep.Micro = append(rep.Micro, LockMicroPoint{
+				Impl: impl.name, Goroutines: g, Ops: ops, Seconds: secs, OpsPerSec: rate,
+			})
+			fmt.Fprintf(w, "%-10s %-11d %14.0f\n", impl.name, g, rate)
+		}
+	}
+	if ref := perImpl["reference"][8]; ref > 0 {
+		rep.SpeedupAt8 = perImpl["striped"][8] / ref
+	}
+	fmt.Fprintf(w, "striped/reference speedup at 8 goroutines: %.2fx (GOMAXPROCS=%d)\n\n",
+		rep.SpeedupAt8, rep.GOMAXPROCS)
+
+	// Workload sweep: MPL × fleet workers under a whole-database
+	// reorganization. Quick scale shrinks the database so the sweep fits a
+	// CI smoke job; the reorganizer's simulated uniprocessor charge is
+	// zeroed as in the preorg experiment, since it would serialize any
+	// worker pool by construction.
+	params := sc.Params
+	params.ReorgCPUPerObject = 0
+	if sc.Name == "quick" {
+		params.NumPartitions = 4
+		params.ObjectsPerPartition = 510
+	}
+	fmt.Fprintf(w, "workload sweep (MPL × fleet workers, %d partitions × %d objects)\n",
+		params.NumPartitions, params.ObjectsPerPartition)
+	fmt.Fprintf(w, "%-5s %-8s %10s %9s %9s %10s %10s %8s %8s\n",
+		"MPL", "Workers", "tput", "mean(ms)", "p99(ms)", "reorg(ms)", "acquired", "waits", "tmouts")
+	for _, mpl := range sc.LockScaleMPLs {
+		for _, workers := range sc.LockScaleWorkers {
+			p := params
+			p.MPL = mpl
+			res, err := RunParallel(ParallelConfig{
+				Params:  p,
+				DB:      db.DefaultConfig(),
+				Mode:    reorg.ModeIRA,
+				Workers: workers,
+				Warmup:  200 * time.Millisecond,
+				Drain:   200 * time.Millisecond,
+				Verify:  true,
+			})
+			if err != nil {
+				return fmt.Errorf("lockscale MPL=%d workers=%d: %w", mpl, workers, err)
+			}
+			pt := LockWorkloadPoint{
+				MPL:           mpl,
+				Workers:       workers,
+				Throughput:    res.Summary.Throughput,
+				MeanMs:        ms(res.Summary.Mean),
+				P99Ms:         ms(res.Summary.P99),
+				ReorgMs:       ms(res.Fleet.Duration()),
+				Migrated:      res.Fleet.Migrated,
+				LocksAcquired: res.Fleet.Locks.Acquired,
+				LockWaits:     res.Fleet.Locks.Waits,
+				LockTimeouts:  res.Fleet.Locks.Timeouts,
+			}
+			rep.Workload = append(rep.Workload, pt)
+			fmt.Fprintf(w, "%-5d %-8d %10.1f %9.1f %9.1f %10.0f %10d %8d %8d\n",
+				pt.MPL, pt.Workers, pt.Throughput, pt.MeanMs, pt.P99Ms, pt.ReorgMs,
+				pt.LocksAcquired, pt.LockWaits, pt.LockTimeouts)
+		}
+	}
+
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return fmt.Errorf("lockscale: write report: %w", err)
+		}
+		fmt.Fprintf(w, "\nreport written to %s\n", outPath)
+	}
+	return nil
+}

@@ -1,0 +1,397 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/oid"
+)
+
+// The equivalence suite drives the striped manager and the single-mutex
+// reference manager through identical random schedules and requires them
+// to grant, queue, and time out identically.
+//
+// Determinism argument: the schedule driver is single-threaded. A sync
+// Lock that cannot be granted immediately must time out, because grants
+// only ever happen inside the driver's own Finish/Unlock calls, which the
+// blocked driver cannot issue. An async Lock is settled — granted,
+// failed, or durably queued (the Waits counter proves it) — before the
+// driver proceeds. Whether a queued waiter has since been granted is read
+// from Holds, which both implementations update synchronously inside the
+// releasing call, never from goroutine timing. Waiters still queued at
+// the end of the script resolve during cleanup: granted in FIFO order as
+// the driver finishes transactions, or timed out if they form an upgrade
+// deadlock cycle. Async timeouts are staggered by op index (200 ms apart,
+// far above scheduling jitter) so the order in which cycle members give
+// up is schedule-determined too.
+
+const (
+	eqTxns        = 3
+	eqObjs        = 3
+	eqSyncTO      = 5 * time.Millisecond
+	eqAsyncTO     = 700 * time.Millisecond
+	eqAsyncStride = 200 * time.Millisecond
+)
+
+type eqOpKind uint8
+
+const (
+	opBegin eqOpKind = iota
+	opLockSync
+	opLockAsync
+	opUnlock
+	opFinish
+	eqOpKinds
+)
+
+type eqOp struct {
+	kind eqOpKind
+	txn  TxnID
+	obj  oid.OID
+	mode Mode
+}
+
+// eqScript is a random schedule; it implements quick.Generator.
+type eqScript struct {
+	ops []eqOp
+}
+
+func (eqScript) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 4 + r.Intn(10)
+	s := eqScript{ops: make([]eqOp, n)}
+	for i := range s.ops {
+		mode := Shared
+		if r.Intn(2) == 0 {
+			mode = Exclusive
+		}
+		s.ops[i] = eqOp{
+			kind: eqOpKind(r.Intn(int(eqOpKinds))),
+			txn:  TxnID(1 + r.Intn(eqTxns)),
+			obj:  oid.New(1, 1, oid.SlotNum(r.Intn(eqObjs))),
+			mode: mode,
+		}
+	}
+	return reflect.ValueOf(s)
+}
+
+// errClass folds an error into a comparable label.
+func errClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrTimeout):
+		return "timeout"
+	case errors.Is(err, ErrUnknownTxn):
+		return "unknown"
+	default:
+		return "err:" + err.Error()
+	}
+}
+
+// asyncReq is one in-flight async lock request.
+type asyncReq struct {
+	op   int
+	txn  TxnID
+	obj  oid.OID
+	mode Mode
+	done chan error
+}
+
+// eqRun applies script to m and returns a transcript: one line per
+// observable event, with async outcomes appended in op order. Two
+// semantically equal managers produce equal transcripts.
+func eqRun(t *testing.T, m *Manager, script eqScript) []string {
+	t.Helper()
+	var log []string
+	active := map[TxnID]bool{}
+	busy := map[TxnID]*asyncReq{}
+	resolved := map[int]string{} // async op index -> outcome
+
+	digest := func() string {
+		var sb strings.Builder
+		for tx := TxnID(1); tx <= eqTxns; tx++ {
+			for s := 0; s < eqObjs; s++ {
+				o := oid.New(1, 1, oid.SlotNum(s))
+				if mode, ok := m.Holds(tx, o); ok {
+					fmt.Fprintf(&sb, " %d:%s=%s", tx, o, mode)
+				}
+			}
+		}
+		for s := 0; s < eqObjs; s++ {
+			o := oid.New(1, 1, oid.SlotNum(s))
+			ever := m.EverLockedBy(o, 0)
+			sort.Slice(ever, func(i, j int) bool { return ever[i] < ever[j] })
+			if len(ever) > 0 {
+				fmt.Fprintf(&sb, " ever(%s)=%v", o, ever)
+			}
+		}
+		return sb.String()
+	}
+
+	// await blocks for req's goroutine to report after its outcome is
+	// already decided (grant observed via Holds, or timeout fired).
+	await := func(req *asyncReq) string {
+		select {
+		case err := <-req.done:
+			delete(busy, req.txn)
+			out := errClass(err)
+			resolved[req.op] = out
+			return out
+		case <-time.After(10 * time.Second):
+			t.Fatalf("async lock op %d (txn %d) decided but never reported", req.op, req.txn)
+			return ""
+		}
+	}
+
+	// settleGranted collects every queued waiter whose grant has already
+	// happened (visible through Holds — updated synchronously inside the
+	// releasing call, so this is schedule-determined, not timing-based).
+	settleGranted := func() {
+		for tx, req := range busy {
+			if mode, ok := m.Holds(tx, req.obj); ok && mode >= req.mode {
+				await(req)
+			}
+		}
+	}
+
+	for i, op := range script.ops {
+		switch op.kind {
+		case opBegin:
+			if active[op.txn] {
+				log = append(log, fmt.Sprintf("%02d begin skip", i))
+				continue
+			}
+			m.Begin(op.txn)
+			active[op.txn] = true
+			log = append(log, fmt.Sprintf("%02d begin %d", i, op.txn))
+		case opLockSync:
+			if !active[op.txn] || busy[op.txn] != nil {
+				log = append(log, fmt.Sprintf("%02d lock skip", i))
+				continue
+			}
+			err := m.LockTimeout(op.txn, op.obj, op.mode, eqSyncTO)
+			log = append(log, fmt.Sprintf("%02d lock %d %s %s -> %s%s",
+				i, op.txn, op.obj, op.mode, errClass(err), digest()))
+		case opLockAsync:
+			if !active[op.txn] || busy[op.txn] != nil {
+				log = append(log, fmt.Sprintf("%02d alock skip", i))
+				continue
+			}
+			req := &asyncReq{op: i, txn: op.txn, obj: op.obj, mode: op.mode,
+				done: make(chan error, 1)}
+			timeout := eqAsyncTO + time.Duration(i)*eqAsyncStride
+			waitsBefore := m.Stats().Waits
+			go func() {
+				req.done <- m.LockTimeout(req.txn, req.obj, req.mode, timeout)
+			}()
+			// Settle: resolved immediately, or durably queued.
+			busy[op.txn] = req
+			outcome := "queued"
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				select {
+				case err := <-req.done:
+					delete(busy, op.txn)
+					outcome = errClass(err)
+					resolved[i] = outcome
+				default:
+				}
+				if _, still := busy[op.txn]; !still || m.Stats().Waits > waitsBefore {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("async lock op %d neither queued nor resolved", i)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			log = append(log, fmt.Sprintf("%02d alock %d %s %s -> %s%s",
+				i, op.txn, op.obj, op.mode, outcome, digest()))
+		case opUnlock:
+			if !active[op.txn] || busy[op.txn] != nil {
+				log = append(log, fmt.Sprintf("%02d unlock skip", i))
+				continue
+			}
+			err := m.Unlock(op.txn, op.obj)
+			settleGranted()
+			log = append(log, fmt.Sprintf("%02d unlock %d %s -> %s%s",
+				i, op.txn, op.obj, errClass(err), digest()))
+		case opFinish:
+			if !active[op.txn] || busy[op.txn] != nil {
+				log = append(log, fmt.Sprintf("%02d finish skip", i))
+				continue
+			}
+			err := m.Finish(op.txn)
+			delete(active, op.txn)
+			settleGranted()
+			log = append(log, fmt.Sprintf("%02d finish %d -> %s%s",
+				i, op.txn, errClass(err), digest()))
+		}
+	}
+
+	// Cleanup: finish every quiescent transaction (smallest id first);
+	// queued waiters either get granted along the way — making their
+	// transactions finishable — or belong to a deadlock cycle and time
+	// out, earliest-issued first thanks to the staggered timeouts.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		settleGranted()
+		// Collect timeouts that have fired.
+		for _, req := range busy {
+			select {
+			case err := <-req.done:
+				delete(busy, req.txn)
+				resolved[req.op] = errClass(err)
+			default:
+			}
+		}
+		var quiescent []TxnID
+		for tx := range active {
+			if busy[tx] == nil {
+				quiescent = append(quiescent, tx)
+			}
+		}
+		sort.Slice(quiescent, func(i, j int) bool { return quiescent[i] < quiescent[j] })
+		if len(quiescent) > 0 {
+			m.Finish(quiescent[0])
+			delete(active, quiescent[0])
+			continue
+		}
+		if len(busy) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cleanup stuck with %d busy transactions", len(busy))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	idxs := make([]int, 0, len(resolved))
+	for i := range resolved {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		log = append(log, fmt.Sprintf("async %02d -> %s", i, resolved[i]))
+	}
+	return log
+}
+
+// TestStripedMatchesReference is the testing/quick property: on every
+// random schedule, the striped manager and the reference manager produce
+// identical transcripts (grants, queues, timeouts, lock tables, history
+// sets) and identical cumulative Stats.
+func TestStripedMatchesReference(t *testing.T) {
+	prop := func(script eqScript) bool {
+		ref := NewManager(WithReference(), WithTimeout(eqSyncTO), WithHistory(true))
+		str := NewManager(WithStripes(4), WithTimeout(eqSyncTO), WithHistory(true))
+
+		type res struct {
+			log   []string
+			stats Stats
+		}
+		run := func(m *Manager, out chan<- res) {
+			log := eqRun(t, m, script)
+			out <- res{log: log, stats: m.Stats()}
+		}
+		refCh := make(chan res, 1)
+		strCh := make(chan res, 1)
+		go run(ref, refCh)
+		go run(str, strCh)
+		r, s := <-refCh, <-strCh
+
+		if !reflect.DeepEqual(r.log, s.log) {
+			t.Logf("reference transcript:\n  %s", strings.Join(r.log, "\n  "))
+			t.Logf("striped transcript:\n  %s", strings.Join(s.log, "\n  "))
+			return false
+		}
+		if r.stats != s.stats {
+			t.Logf("stats diverged: reference=%+v striped=%+v", r.stats, s.stats)
+			return false
+		}
+		// Both managers must end empty.
+		heads := 0
+		str.forEachLockState(func(oid.OID, *lockState) { heads++ })
+		ref.forEachLockState(func(oid.OID, *lockState) { heads++ })
+		if heads != 0 || len(str.ActiveTxns()) != 0 || len(ref.ActiveTxns()) != 0 {
+			t.Logf("state leaked: %d heads, striped txns %v, reference txns %v",
+				heads, str.ActiveTxns(), ref.ActiveTxns())
+			return false
+		}
+		return true
+	}
+	count := 30
+	if testing.Short() {
+		count = 8
+	}
+	cfg := &quick.Config{
+		MaxCount: count,
+		Rand:     rand.New(rand.NewSource(20260806)),
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStripedFinishSpansBuckets pins the cross-bucket Finish path: one
+// transaction locks many objects spread over every bucket of a small
+// striped manager (guaranteeing multi-OID buckets), with queued waiters
+// on several of them; Finish must release everything and wake all
+// waiters.
+func TestStripedFinishSpansBuckets(t *testing.T) {
+	m := NewManager(WithStripes(2), WithTimeout(2*time.Second), WithHistory(true))
+	m.Begin(1)
+	const n = 32
+	objs := make([]oid.OID, n)
+	for i := range objs {
+		objs[i] = oid.New(1, 1, oid.SlotNum(i))
+		if err := m.Lock(1, objs[i], Exclusive); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Queue a waiter on every fourth object.
+	errs := make(chan error, n/4)
+	for i := 0; i < n; i += 4 {
+		tx := TxnID(100 + i)
+		m.Begin(tx)
+		go func(tx TxnID, o oid.OID) {
+			errs <- m.LockTimeout(tx, o, Shared, 5*time.Second)
+		}(tx, objs[i])
+	}
+	// Wait until all are queued.
+	for deadline := time.Now().Add(5 * time.Second); m.Stats().Waits < n/4; {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters not queued: stats=%+v", m.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Finish(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n/4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("waiter after Finish: %v", err)
+		}
+	}
+	if got := len(m.HeldLocks(1)); got != 0 {
+		t.Fatalf("finished txn still holds %d locks", got)
+	}
+	// Duplicate Finish must report unknown, not panic or double-release.
+	if err := m.Finish(1); !errors.Is(err, ErrUnknownTxn) {
+		t.Fatalf("second Finish: %v", err)
+	}
+	// History for finished txn 1 must be gone everywhere.
+	for _, o := range objs {
+		for _, tx := range m.EverLockedBy(o, 0) {
+			if tx == 1 {
+				t.Fatalf("history for finished txn survived on %s", o)
+			}
+		}
+	}
+}

@@ -12,16 +12,31 @@
 // such transactions to finish, which makes transactions "behave as though
 // they were following strict 2PL with respect to the reorganization
 // process."
+//
+// Two implementations share the same semantics:
+//
+//   - the striped manager (the default): lock heads live in power-of-two
+//     hash buckets keyed by OID — the same scheme as internal/latch — and
+//     per-transaction state lives in a separately sharded transaction
+//     table, so Begin/Lock/Unlock/Finish from different threads only
+//     contend when they touch the same bucket;
+//   - the reference manager (WithReference): the original single-mutex
+//     implementation, kept as the semantic oracle for the equivalence
+//     property tests.
 package lock
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/oid"
 )
+
+// timeoutErrorf wraps ErrTimeout with context.
+func timeoutErrorf(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrTimeout}, args...)...)
+}
 
 // Mode is a lock mode.
 type Mode int
@@ -47,6 +62,10 @@ type TxnID uint64
 // DefaultTimeout is the lock wait timeout used when none is configured;
 // it matches the paper's 1-second setting.
 const DefaultTimeout = time.Second
+
+// DefaultStripes is the bucket count of the striped manager's lock table
+// (and its transaction table) when none is configured.
+const DefaultStripes = 64
 
 // Errors.
 var (
@@ -76,308 +95,16 @@ type lockState struct {
 	ever map[TxnID]struct{}
 }
 
-// txnState tracks one active transaction.
-type txnState struct {
-	held map[oid.OID]Mode
-	// everLocked lists objects whose lockState.ever contains this txn,
-	// so Finish can clean them up.
-	everLocked map[oid.OID]struct{}
-	done       chan struct{} // closed when the transaction finishes
-}
-
-// Stats are cumulative lock-manager counters.
-type Stats struct {
-	Acquired uint64 // locks granted
-	Waits    uint64 // requests that had to queue
-	Timeouts uint64 // requests that timed out (deadlock victims)
-}
-
-// Manager is the lock manager. All state is guarded by a single mutex;
-// waits happen on per-request channels outside the critical section.
-type Manager struct {
-	timeout      time.Duration
-	trackHistory bool
-
-	mu    sync.Mutex
-	locks map[oid.OID]*lockState
-	txns  map[TxnID]*txnState
-	stats Stats
-}
-
-// Option configures a Manager.
-type Option func(*Manager)
-
-// WithTimeout sets the deadlock timeout.
-func WithTimeout(d time.Duration) Option {
-	return func(m *Manager) { m.timeout = d }
-}
-
-// WithHistory enables ever-locked tracking (needed only when transactions
-// do not follow strict 2PL, paper §4.1).
-func WithHistory(on bool) Option {
-	return func(m *Manager) { m.trackHistory = on }
-}
-
-// NewManager creates a lock manager.
-func NewManager(opts ...Option) *Manager {
-	m := &Manager{
-		timeout: DefaultTimeout,
-		locks:   make(map[oid.OID]*lockState),
-		txns:    make(map[TxnID]*txnState),
-	}
-	for _, o := range opts {
-		o(m)
-	}
-	return m
-}
-
-// Timeout returns the configured deadlock timeout.
-func (m *Manager) Timeout() time.Duration { return m.timeout }
-
-// Begin registers a transaction with the lock manager.
-func (m *Manager) Begin(txn TxnID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.txns[txn]; ok {
-		panic(fmt.Sprintf("lock: transaction %d begun twice", txn))
-	}
-	m.txns[txn] = &txnState{
-		held:       make(map[oid.OID]Mode),
-		everLocked: make(map[oid.OID]struct{}),
-		done:       make(chan struct{}),
-	}
-}
-
-// Finish releases every lock held by txn, clears its history entries, and
-// wakes anyone waiting for the transaction to complete. It is idempotent
-// in the sense that finishing an unknown transaction is an error the
-// caller can ignore for already-finished transactions.
-func (m *Manager) Finish(txn TxnID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts, ok := m.txns[txn]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
-	}
-	for o := range ts.held {
-		m.releaseLocked(txn, o)
-	}
-	for o := range ts.everLocked {
-		if ls, ok := m.locks[o]; ok {
-			delete(ls.ever, txn)
-			m.maybeReap(o, ls)
-		}
-	}
-	delete(m.txns, txn)
-	close(ts.done)
-	return nil
-}
-
-// Done returns a channel closed when txn finishes, or a closed channel if
-// the transaction is already gone.
-func (m *Manager) Done(txn TxnID) <-chan struct{} {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if ts, ok := m.txns[txn]; ok {
-		return ts.done
-	}
-	ch := make(chan struct{})
-	close(ch)
-	return ch
-}
-
-// Holds reports the mode txn holds on o, if any.
-func (m *Manager) Holds(txn TxnID, o oid.OID) (Mode, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts, ok := m.txns[txn]
-	if !ok {
-		return 0, false
-	}
-	mode, ok := ts.held[o]
-	return mode, ok
-}
-
-// HeldLocks returns the set of objects txn currently locks.
-func (m *Manager) HeldLocks(txn TxnID) []oid.OID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts, ok := m.txns[txn]
-	if !ok {
-		return nil
-	}
-	out := make([]oid.OID, 0, len(ts.held))
-	for o := range ts.held {
-		out = append(out, o)
-	}
-	return out
-}
-
-// Stats returns a copy of the cumulative counters.
-func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
-}
-
-// Lock acquires o in the given mode for txn, waiting up to the configured
-// timeout. A Shared request by a holder of Exclusive is a no-op; a request
-// for Exclusive by a holder of Shared is an upgrade, which queues ahead of
-// ordinary waiters.
-func (m *Manager) Lock(txn TxnID, o oid.OID, mode Mode) error {
-	return m.LockTimeout(txn, o, mode, m.timeout)
-}
-
-// LockTimeout is Lock with an explicit timeout.
-func (m *Manager) LockTimeout(txn TxnID, o oid.OID, mode Mode, timeout time.Duration) error {
-	m.mu.Lock()
-	ts, ok := m.txns[txn]
-	if !ok {
-		m.mu.Unlock()
-		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
-	}
-	ls := m.locks[o]
-	if ls == nil {
-		ls = &lockState{holders: make(map[TxnID]Mode), ever: make(map[TxnID]struct{})}
-		m.locks[o] = ls
-	}
-	held, holding := ls.holders[txn]
-	if holding && held >= mode {
-		m.mu.Unlock()
-		return nil
-	}
-	upgrade := holding // held == Shared, mode == Exclusive
-	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, granted: make(chan struct{})}
-	if m.grantable(ls, w) {
-		m.grant(ls, w, ts, o)
-		m.stats.Acquired++
-		m.mu.Unlock()
-		return nil
-	}
-	// Queue: upgrades go ahead of non-upgrade waiters so a reader
-	// upgrading does not wait behind writers that cannot proceed anyway.
-	if upgrade {
-		pos := 0
-		for pos < len(ls.queue) && ls.queue[pos].upgrade {
-			pos++
-		}
-		ls.queue = append(ls.queue, nil)
-		copy(ls.queue[pos+1:], ls.queue[pos:])
-		ls.queue[pos] = w
-	} else {
-		ls.queue = append(ls.queue, w)
-	}
-	m.stats.Waits++
-	m.mu.Unlock()
-
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case <-w.granted:
-		return nil
-	case <-timer.C:
-	}
-	// Timed out — but a grant may have raced the timer.
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	select {
-	case <-w.granted:
-		return nil
-	default:
-	}
-	for i, q := range ls.queue {
-		if q == w {
-			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
-			break
-		}
-	}
-	m.maybeReap(o, ls)
-	m.stats.Timeouts++
-	return fmt.Errorf("%w: txn %d, %s lock on %s", ErrTimeout, txn, mode, o)
-}
-
-// Unlock releases txn's lock on o before transaction end (short-duration
-// locking, paper §4.1). Under strict 2PL, callers use Finish instead.
-func (m *Manager) Unlock(txn TxnID, o oid.OID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ts, ok := m.txns[txn]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
-	}
-	if _, ok := ts.held[o]; !ok {
-		return fmt.Errorf("lock: txn %d does not hold %s", txn, o)
-	}
-	m.releaseLocked(txn, o)
-	return nil
-}
-
-// EverLockedBy returns the active transactions (excluding `exclude`) that
-// have ever locked o. Requires history tracking.
-func (m *Manager) EverLockedBy(o oid.OID, exclude TxnID) []TxnID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ls, ok := m.locks[o]
-	if !ok {
-		return nil
-	}
-	out := make([]TxnID, 0, len(ls.ever))
-	for t := range ls.ever {
-		if t != exclude {
-			out = append(out, t)
-		}
-	}
-	return out
-}
-
-// WaitEverLockers blocks until every active transaction that ever locked
-// o (other than exclude) has finished, or the timeout expires. This is
-// the §4.1 wait that restores strict-2PL behaviour with respect to the
-// reorganizer when ordinary transactions release locks early.
-func (m *Manager) WaitEverLockers(o oid.OID, exclude TxnID, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for {
-		lockers := m.EverLockedBy(o, exclude)
-		if len(lockers) == 0 {
-			return nil
-		}
-		// Wait for the first one; loop re-evaluates the set.
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return fmt.Errorf("%w: waiting for historical lockers of %s", ErrTimeout, o)
-		}
-		timer := time.NewTimer(remaining)
-		select {
-		case <-m.Done(lockers[0]):
-			timer.Stop()
-		case <-timer.C:
-			return fmt.Errorf("%w: waiting for historical lockers of %s", ErrTimeout, o)
-		}
-	}
-}
-
-// ActiveTxns returns the ids of all registered transactions.
-func (m *Manager) ActiveTxns() []TxnID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]TxnID, 0, len(m.txns))
-	for t := range m.txns {
-		out = append(out, t)
-	}
-	return out
+func newLockState() *lockState {
+	return &lockState{holders: make(map[TxnID]Mode), ever: make(map[TxnID]struct{})}
 }
 
 // grantable reports whether w can be granted right now: compatible with
 // all current holders and not overtaking the queue (upgrades may overtake
-// non-upgrade waiters).
-func (m *Manager) grantable(ls *lockState, w *waiter) bool {
-	for t, mode := range ls.holders {
-		if t == w.txn {
-			continue // upgrade: own shared lock is not a conflict
-		}
-		if w.mode == Exclusive || mode == Exclusive {
-			return false
-		}
+// non-upgrade waiters). Caller holds the mutex guarding ls.
+func grantable(ls *lockState, w *waiter) bool {
+	if !compatible(ls, w) {
+		return false
 	}
 	if len(ls.queue) == 0 {
 		return true
@@ -389,53 +116,12 @@ func (m *Manager) grantable(ls *lockState, w *waiter) bool {
 	return false
 }
 
-// grant records the grant of w. Caller holds m.mu.
-func (m *Manager) grant(ls *lockState, w *waiter, ts *txnState, o oid.OID) {
-	ls.holders[w.txn] = w.mode
-	ts.held[o] = w.mode
-	if m.trackHistory {
-		ls.ever[w.txn] = struct{}{}
-		ts.everLocked[o] = struct{}{}
-	}
-	close(w.granted)
-}
-
-// releaseLocked removes txn's hold on o and grants now-compatible waiters
-// in FIFO order. Caller holds m.mu.
-func (m *Manager) releaseLocked(txn TxnID, o oid.OID) {
-	ls, ok := m.locks[o]
-	if !ok {
-		return
-	}
-	delete(ls.holders, txn)
-	ts := m.txns[txn]
-	delete(ts.held, o)
-	// Grant from the head of the queue while compatible.
-	for len(ls.queue) > 0 {
-		w := ls.queue[0]
-		if !m.grantableHead(ls, w) {
-			break
-		}
-		ls.queue = ls.queue[1:]
-		wts, ok := m.txns[w.txn]
-		if !ok {
-			// The waiter's transaction finished while queued. That
-			// violates the caller contract (Finish must not race a
-			// pending Lock), so do not fake a grant; the orphaned
-			// request will time out.
-			continue
-		}
-		m.grant(ls, w, wts, o)
-		m.stats.Acquired++
-	}
-	m.maybeReap(o, ls)
-}
-
-// grantableHead is grantable for the waiter already at the queue head.
-func (m *Manager) grantableHead(ls *lockState, w *waiter) bool {
+// compatible reports whether w conflicts with no current holder (the
+// grantable check for the waiter already at the queue head).
+func compatible(ls *lockState, w *waiter) bool {
 	for t, mode := range ls.holders {
 		if t == w.txn {
-			continue
+			continue // upgrade: own shared lock is not a conflict
 		}
 		if w.mode == Exclusive || mode == Exclusive {
 			return false
@@ -444,9 +130,172 @@ func (m *Manager) grantableHead(ls *lockState, w *waiter) bool {
 	return true
 }
 
-// maybeReap drops an empty lock head. Caller holds m.mu.
-func (m *Manager) maybeReap(o oid.OID, ls *lockState) {
-	if len(ls.holders) == 0 && len(ls.queue) == 0 && len(ls.ever) == 0 {
-		delete(m.locks, o)
+// enqueue inserts w into ls's wait queue: upgrades go ahead of non-upgrade
+// waiters so a reader upgrading does not wait behind writers that cannot
+// proceed anyway. Caller holds the mutex guarding ls.
+func enqueue(ls *lockState, w *waiter) {
+	if w.upgrade {
+		pos := 0
+		for pos < len(ls.queue) && ls.queue[pos].upgrade {
+			pos++
+		}
+		ls.queue = append(ls.queue, nil)
+		copy(ls.queue[pos+1:], ls.queue[pos:])
+		ls.queue[pos] = w
+		return
+	}
+	ls.queue = append(ls.queue, w)
+}
+
+// dequeue removes w from ls's wait queue if still present. Caller holds
+// the mutex guarding ls.
+func dequeue(ls *lockState, w *waiter) {
+	for i, q := range ls.queue {
+		if q == w {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// reapable reports whether an empty lock head can be dropped.
+func reapable(ls *lockState) bool {
+	return len(ls.holders) == 0 && len(ls.queue) == 0 && len(ls.ever) == 0
+}
+
+// Stats are cumulative lock-manager counters. The striped manager keeps
+// them as atomics so Stats snapshots never contend with the grant path.
+type Stats struct {
+	Acquired uint64 // locks granted
+	Waits    uint64 // requests that had to queue
+	Timeouts uint64 // requests that timed out (deadlock victims)
+}
+
+// Impl is the contract shared by the striped manager and the single-mutex
+// reference manager. The unexported method keeps outside packages from
+// implementing it (and gives tests a way to inspect lock heads under the
+// owning mutex).
+type Impl interface {
+	// Timeout returns the configured deadlock timeout.
+	Timeout() time.Duration
+	// Begin registers a transaction with the lock manager.
+	Begin(txn TxnID)
+	// Finish releases every lock held by txn, clears its history entries,
+	// and wakes anyone waiting for the transaction to complete.
+	Finish(txn TxnID) error
+	// Done returns a channel closed when txn finishes, or a closed channel
+	// if the transaction is already gone.
+	Done(txn TxnID) <-chan struct{}
+	// Holds reports the mode txn holds on o, if any.
+	Holds(txn TxnID, o oid.OID) (Mode, bool)
+	// HeldLocks returns the set of objects txn currently locks.
+	HeldLocks(txn TxnID) []oid.OID
+	// Lock acquires o in the given mode for txn, waiting up to the
+	// configured timeout. A Shared request by a holder of Exclusive is a
+	// no-op; a request for Exclusive by a holder of Shared is an upgrade,
+	// which queues ahead of ordinary waiters.
+	Lock(txn TxnID, o oid.OID, mode Mode) error
+	// LockTimeout is Lock with an explicit timeout.
+	LockTimeout(txn TxnID, o oid.OID, mode Mode, timeout time.Duration) error
+	// Unlock releases txn's lock on o before transaction end
+	// (short-duration locking, paper §4.1). Under strict 2PL, callers use
+	// Finish instead.
+	Unlock(txn TxnID, o oid.OID) error
+	// EverLockedBy returns the active transactions (excluding `exclude`)
+	// that have ever locked o. Requires history tracking.
+	EverLockedBy(o oid.OID, exclude TxnID) []TxnID
+	// ActiveTxns returns the ids of all registered transactions.
+	ActiveTxns() []TxnID
+	// Stats returns a copy of the cumulative counters.
+	Stats() Stats
+
+	// forEachLockState visits every live lock head under its owning mutex
+	// (test instrumentation).
+	forEachLockState(fn func(o oid.OID, ls *lockState))
+}
+
+// Manager is the lock manager handed to the rest of the system. It wraps
+// whichever implementation the options selected (striped by default).
+type Manager struct {
+	Impl
+}
+
+// config collects option settings.
+type config struct {
+	timeout      time.Duration
+	trackHistory bool
+	stripes      int
+	reference    bool
+}
+
+// Option configures a Manager.
+type Option func(*config)
+
+// WithTimeout sets the deadlock timeout.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// WithHistory enables ever-locked tracking (needed only when transactions
+// do not follow strict 2PL, paper §4.1).
+func WithHistory(on bool) Option {
+	return func(c *config) { c.trackHistory = on }
+}
+
+// WithStripes sets the striped manager's bucket count, rounded up to a
+// power of two; n <= 0 selects DefaultStripes. Ignored by the reference
+// implementation.
+func WithStripes(n int) Option {
+	return func(c *config) { c.stripes = n }
+}
+
+// WithReference selects the original single-mutex implementation instead
+// of the striped one. It exists as the semantic oracle for equivalence
+// tests and as an escape hatch; production code should use the default.
+func WithReference() Option {
+	return func(c *config) { c.reference = true }
+}
+
+// NewManager creates a lock manager.
+func NewManager(opts ...Option) *Manager {
+	cfg := config{timeout: DefaultTimeout, stripes: DefaultStripes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.reference {
+		return &Manager{Impl: newReference(cfg)}
+	}
+	return &Manager{Impl: newStriped(cfg)}
+}
+
+// WaitEverLockers blocks until every active transaction that ever locked
+// o (other than exclude) has finished, or the timeout expires. This is
+// the §4.1 wait that restores strict-2PL behaviour with respect to the
+// reorganizer when ordinary transactions release locks early.
+func (m *Manager) WaitEverLockers(o oid.OID, exclude TxnID, timeout time.Duration) error {
+	return waitEverLockers(m.Impl, o, exclude, timeout)
+}
+
+// waitEverLockers is WaitEverLockers over any implementation; it only
+// needs EverLockedBy and Done, so it is shared.
+func waitEverLockers(m Impl, o oid.OID, exclude TxnID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		lockers := m.EverLockedBy(o, exclude)
+		if len(lockers) == 0 {
+			return nil
+		}
+		// Wait for the first one; loop re-evaluates the set.
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return timeoutErrorf("waiting for historical lockers of %s", o)
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-m.Done(lockers[0]):
+			timer.Stop()
+		case <-timer.C:
+			return timeoutErrorf("waiting for historical lockers of %s", o)
+		}
 	}
 }

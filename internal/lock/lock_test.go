@@ -17,35 +17,52 @@ func newMgr(opts ...Option) *Manager {
 	return NewManager(append([]Option{WithTimeout(200 * time.Millisecond)}, opts...)...)
 }
 
+// bothImpls runs a subtest against the striped (default) and reference
+// implementations.
+func bothImpls(t *testing.T, fn func(t *testing.T, mk func(opts ...Option) *Manager)) {
+	t.Run("striped", func(t *testing.T) {
+		fn(t, func(opts ...Option) *Manager { return newMgr(opts...) })
+	})
+	t.Run("reference", func(t *testing.T) {
+		fn(t, func(opts ...Option) *Manager {
+			return newMgr(append([]Option{WithReference()}, opts...)...)
+		})
+	})
+}
+
 func TestSharedLocksCompatible(t *testing.T) {
-	m := newMgr()
-	m.Begin(1)
-	m.Begin(2)
-	if err := m.Lock(1, testOID, Shared); err != nil {
-		t.Fatal(err)
-	}
-	if err := m.Lock(2, testOID, Shared); err != nil {
-		t.Fatalf("second shared lock blocked: %v", err)
-	}
+	bothImpls(t, func(t *testing.T, mk func(opts ...Option) *Manager) {
+		m := mk()
+		m.Begin(1)
+		m.Begin(2)
+		if err := m.Lock(1, testOID, Shared); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Lock(2, testOID, Shared); err != nil {
+			t.Fatalf("second shared lock blocked: %v", err)
+		}
+	})
 }
 
 func TestExclusiveExcludes(t *testing.T) {
-	m := newMgr()
-	m.Begin(1)
-	m.Begin(2)
-	if err := m.Lock(1, testOID, Exclusive); err != nil {
-		t.Fatal(err)
-	}
-	if err := m.Lock(2, testOID, Shared); !errors.Is(err, ErrTimeout) {
-		t.Fatalf("shared vs exclusive: %v", err)
-	}
-	if err := m.Lock(2, testOID, Exclusive); !errors.Is(err, ErrTimeout) {
-		t.Fatalf("exclusive vs exclusive: %v", err)
-	}
-	st := m.Stats()
-	if st.Timeouts != 2 {
-		t.Fatalf("Timeouts = %d, want 2", st.Timeouts)
-	}
+	bothImpls(t, func(t *testing.T, mk func(opts ...Option) *Manager) {
+		m := mk()
+		m.Begin(1)
+		m.Begin(2)
+		if err := m.Lock(1, testOID, Exclusive); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Lock(2, testOID, Shared); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("shared vs exclusive: %v", err)
+		}
+		if err := m.Lock(2, testOID, Exclusive); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("exclusive vs exclusive: %v", err)
+		}
+		st := m.Stats()
+		if st.Timeouts != 2 {
+			t.Fatalf("Timeouts = %d, want 2", st.Timeouts)
+		}
+	})
 }
 
 func TestFinishReleasesAndWakes(t *testing.T) {
@@ -315,60 +332,60 @@ func TestNoLostUpdatesUnderX(t *testing.T) {
 
 // TestInvariantNoIncompatibleHolders randomly locks/unlocks and validates
 // that the holder set never contains an X holder together with any other
-// holder.
+// holder — against both implementations.
 func TestInvariantNoIncompatibleHolders(t *testing.T) {
-	m := NewManager(WithTimeout(50 * time.Millisecond))
-	objs := []oid.OID{oid.New(0, 1, 0), oid.New(0, 1, 1), oid.New(0, 1, 2)}
-	var wg sync.WaitGroup
-	var violation atomic.Bool
-	var next atomic.Uint64
-	for g := 0; g < 12; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(g)))
-			for i := 0; i < 300; i++ {
-				txn := TxnID(next.Add(1))
-				m.Begin(txn)
-				for _, o := range objs {
-					mode := Shared
-					if rng.Intn(2) == 0 {
-						mode = Exclusive
-					}
-					if err := m.Lock(txn, o, mode); err != nil {
-						break
-					}
-				}
-				// Validate holder compatibility.
-				m.mu.Lock()
-				for _, ls := range m.locks {
-					var xHolders, holders int
-					for _, md := range ls.holders {
-						holders++
-						if md == Exclusive {
-							xHolders++
+	bothImpls(t, func(t *testing.T, mk func(opts ...Option) *Manager) {
+		m := mk(WithTimeout(50 * time.Millisecond))
+		objs := []oid.OID{oid.New(0, 1, 0), oid.New(0, 1, 1), oid.New(0, 1, 2)}
+		var wg sync.WaitGroup
+		var violation atomic.Bool
+		var next atomic.Uint64
+		for g := 0; g < 12; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)))
+				for i := 0; i < 300; i++ {
+					txn := TxnID(next.Add(1))
+					m.Begin(txn)
+					for _, o := range objs {
+						mode := Shared
+						if rng.Intn(2) == 0 {
+							mode = Exclusive
+						}
+						if err := m.Lock(txn, o, mode); err != nil {
+							break
 						}
 					}
-					if xHolders > 0 && holders > 1 {
-						violation.Store(true)
-					}
+					// Validate holder compatibility. forEachLockState holds
+					// the owning mutex, so each head is a consistent view.
+					m.forEachLockState(func(_ oid.OID, ls *lockState) {
+						var xHolders, holders int
+						for _, md := range ls.holders {
+							holders++
+							if md == Exclusive {
+								xHolders++
+							}
+						}
+						if xHolders > 0 && holders > 1 {
+							violation.Store(true)
+						}
+					})
+					m.Finish(txn)
 				}
-				m.mu.Unlock()
-				m.Finish(txn)
-			}
-		}(g)
-	}
-	wg.Wait()
-	if violation.Load() {
-		t.Fatal("incompatible holders coexisted")
-	}
-	// All lock heads should be reaped once everything finishes.
-	m.mu.Lock()
-	n := len(m.locks)
-	m.mu.Unlock()
-	if n != 0 {
-		t.Fatalf("%d lock heads leaked", n)
-	}
+			}(g)
+		}
+		wg.Wait()
+		if violation.Load() {
+			t.Fatal("incompatible holders coexisted")
+		}
+		// All lock heads should be reaped once everything finishes.
+		n := 0
+		m.forEachLockState(func(oid.OID, *lockState) { n++ })
+		if n != 0 {
+			t.Fatalf("%d lock heads leaked", n)
+		}
+	})
 }
 
 func TestDoneChannel(t *testing.T) {

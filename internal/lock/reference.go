@@ -1,0 +1,271 @@
+package lock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/oid"
+)
+
+// reference is the original lock manager: all state guarded by a single
+// mutex, waits on per-request channels outside the critical section. It
+// is retained verbatim (modulo the shared lockState helpers) as the
+// semantic oracle that the striped manager is property-tested against,
+// selectable with WithReference.
+type reference struct {
+	timeout      time.Duration
+	trackHistory bool
+
+	mu    sync.Mutex
+	locks map[oid.OID]*lockState
+	txns  map[TxnID]*refTxnState
+	stats Stats
+}
+
+// refTxnState tracks one active transaction; everything is guarded by the
+// manager's single mutex.
+type refTxnState struct {
+	held       map[oid.OID]Mode
+	everLocked map[oid.OID]struct{}
+	done       chan struct{} // closed when the transaction finishes
+}
+
+func newReference(cfg config) *reference {
+	return &reference{
+		timeout:      cfg.timeout,
+		trackHistory: cfg.trackHistory,
+		locks:        make(map[oid.OID]*lockState),
+		txns:         make(map[TxnID]*refTxnState),
+	}
+}
+
+func (m *reference) Timeout() time.Duration { return m.timeout }
+
+func (m *reference) Begin(txn TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.txns[txn]; ok {
+		panic(fmt.Sprintf("lock: transaction %d begun twice", txn))
+	}
+	m.txns[txn] = &refTxnState{
+		held:       make(map[oid.OID]Mode),
+		everLocked: make(map[oid.OID]struct{}),
+		done:       make(chan struct{}),
+	}
+}
+
+func (m *reference) Finish(txn TxnID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
+	}
+	for o := range ts.held {
+		m.releaseLocked(txn, o)
+	}
+	for o := range ts.everLocked {
+		if ls, ok := m.locks[o]; ok {
+			delete(ls.ever, txn)
+			m.maybeReap(o, ls)
+		}
+	}
+	delete(m.txns, txn)
+	close(ts.done)
+	return nil
+}
+
+func (m *reference) Done(txn TxnID) <-chan struct{} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts, ok := m.txns[txn]; ok {
+		return ts.done
+	}
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}
+
+func (m *reference) Holds(txn TxnID, o oid.OID) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return 0, false
+	}
+	mode, ok := ts.held[o]
+	return mode, ok
+}
+
+func (m *reference) HeldLocks(txn TxnID) []oid.OID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return nil
+	}
+	out := make([]oid.OID, 0, len(ts.held))
+	for o := range ts.held {
+		out = append(out, o)
+	}
+	return out
+}
+
+func (m *reference) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *reference) Lock(txn TxnID, o oid.OID, mode Mode) error {
+	return m.LockTimeout(txn, o, mode, m.timeout)
+}
+
+func (m *reference) LockTimeout(txn TxnID, o oid.OID, mode Mode, timeout time.Duration) error {
+	m.mu.Lock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
+	}
+	ls := m.locks[o]
+	if ls == nil {
+		ls = newLockState()
+		m.locks[o] = ls
+	}
+	held, holding := ls.holders[txn]
+	if holding && held >= mode {
+		m.mu.Unlock()
+		return nil
+	}
+	upgrade := holding // held == Shared, mode == Exclusive
+	w := &waiter{txn: txn, mode: mode, upgrade: upgrade, granted: make(chan struct{})}
+	if grantable(ls, w) {
+		m.grant(ls, w, ts, o)
+		m.stats.Acquired++
+		m.mu.Unlock()
+		return nil
+	}
+	enqueue(ls, w)
+	m.stats.Waits++
+	m.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.granted:
+		return nil
+	case <-timer.C:
+	}
+	// Timed out — but a grant may have raced the timer.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	select {
+	case <-w.granted:
+		return nil
+	default:
+	}
+	dequeue(ls, w)
+	m.maybeReap(o, ls)
+	m.stats.Timeouts++
+	return timeoutErrorf("txn %d, %s lock on %s", txn, mode, o)
+}
+
+func (m *reference) Unlock(txn TxnID, o oid.OID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.txns[txn]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownTxn, txn)
+	}
+	if _, ok := ts.held[o]; !ok {
+		return fmt.Errorf("lock: txn %d does not hold %s", txn, o)
+	}
+	m.releaseLocked(txn, o)
+	return nil
+}
+
+func (m *reference) EverLockedBy(o oid.OID, exclude TxnID) []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.locks[o]
+	if !ok {
+		return nil
+	}
+	out := make([]TxnID, 0, len(ls.ever))
+	for t := range ls.ever {
+		if t != exclude {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func (m *reference) ActiveTxns() []TxnID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TxnID, 0, len(m.txns))
+	for t := range m.txns {
+		out = append(out, t)
+	}
+	return out
+}
+
+// grant records the grant of w. Caller holds m.mu.
+func (m *reference) grant(ls *lockState, w *waiter, ts *refTxnState, o oid.OID) {
+	ls.holders[w.txn] = w.mode
+	ts.held[o] = w.mode
+	if m.trackHistory {
+		ls.ever[w.txn] = struct{}{}
+		ts.everLocked[o] = struct{}{}
+	}
+	close(w.granted)
+}
+
+// releaseLocked removes txn's hold on o and grants now-compatible waiters
+// in FIFO order. Caller holds m.mu.
+func (m *reference) releaseLocked(txn TxnID, o oid.OID) {
+	ls, ok := m.locks[o]
+	if !ok {
+		return
+	}
+	delete(ls.holders, txn)
+	ts := m.txns[txn]
+	delete(ts.held, o)
+	// Grant from the head of the queue while compatible.
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		if !compatible(ls, w) {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		wts, ok := m.txns[w.txn]
+		if !ok {
+			// The waiter's transaction finished while queued. That
+			// violates the caller contract (Finish must not race a
+			// pending Lock), so do not fake a grant; the orphaned
+			// request will time out.
+			continue
+		}
+		m.grant(ls, w, wts, o)
+		m.stats.Acquired++
+	}
+	m.maybeReap(o, ls)
+}
+
+// maybeReap drops an empty lock head. Caller holds m.mu.
+func (m *reference) maybeReap(o oid.OID, ls *lockState) {
+	if reapable(ls) {
+		delete(m.locks, o)
+	}
+}
+
+// forEachLockState visits every lock head under the manager mutex.
+func (m *reference) forEachLockState(fn func(o oid.OID, ls *lockState)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for o, ls := range m.locks {
+		fn(o, ls)
+	}
+}

@@ -11,52 +11,131 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
+// recorderShards is the number of sample shards. Workload threads record
+// into distinct shards (via Handle), so at typical MPLs no two threads
+// share a shard mutex; shards are merged once, at window close.
+const recorderShards = 32
+
 // Recorder accumulates per-transaction response times over a measurement
-// window. It is safe for concurrent use by the workload threads.
+// window. It is safe for concurrent use by the workload threads: samples
+// land in per-thread shards (see Handle) that are only merged when a
+// summary is taken, so the record hot path never crosses a global mutex.
 type Recorder struct {
-	mu        sync.Mutex
-	samples   []time.Duration
-	aborts    int
-	started   time.Time
-	measuring bool
+	measuring atomic.Bool
+	next      atomic.Uint64 // round-robin for handle-less Record calls
+
+	mu      sync.Mutex // guards window lifecycle (started)
+	started time.Time
+
+	shards [recorderShards]recorderShard
+}
+
+// recorderShard is one slice of the sample set, padded so neighbouring
+// shards do not share a cache line.
+type recorderShard struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	aborts  int
+	_       [24]byte
 }
 
 // NewRecorder creates an idle recorder; call StartWindow to begin
 // measuring.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// Handle returns a recording handle pinned to one shard. Worker threads
+// that know their index should record through a handle: thread i and
+// thread j (i ≠ j mod recorderShards) never contend.
+func (r *Recorder) Handle(i int) *Handle {
+	if i < 0 {
+		i = -i
+	}
+	return &Handle{r: r, sh: &r.shards[i%recorderShards]}
+}
+
+// Handle records into a single shard of a Recorder.
+type Handle struct {
+	r  *Recorder
+	sh *recorderShard
+}
+
+// Record notes a completed transaction's response time through the handle.
+func (h *Handle) Record(d time.Duration) {
+	if !h.r.measuring.Load() {
+		return
+	}
+	h.sh.mu.Lock()
+	h.sh.samples = append(h.sh.samples, d)
+	h.sh.mu.Unlock()
+}
+
+// RecordAbort notes a deadlock-timeout abort through the handle.
+func (h *Handle) RecordAbort() {
+	if !h.r.measuring.Load() {
+		return
+	}
+	h.sh.mu.Lock()
+	h.sh.aborts++
+	h.sh.mu.Unlock()
+}
+
 // StartWindow discards prior samples and begins a measurement window.
 func (r *Recorder) StartWindow() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.samples = r.samples[:0]
-	r.aborts = 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		sh.samples = sh.samples[:0]
+		sh.aborts = 0
+		sh.mu.Unlock()
+	}
 	r.started = time.Now()
-	r.measuring = true
+	r.measuring.Store(true)
 }
 
 // Record notes a completed transaction's response time. Response time is
 // measured from first submission to successful commit, spanning any
 // deadlock-abort resubmissions — which is how a transaction stalled
 // behind PQR's quiesce locks accumulates an enormous response time.
+// Callers without a Handle are spread over the shards round-robin.
 func (r *Recorder) Record(d time.Duration) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.measuring {
-		r.samples = append(r.samples, d)
+	if !r.measuring.Load() {
+		return
 	}
+	sh := &r.shards[r.next.Add(1)%recorderShards]
+	sh.mu.Lock()
+	sh.samples = append(sh.samples, d)
+	sh.mu.Unlock()
 }
 
 // RecordAbort notes a deadlock-timeout abort (wasted work).
 func (r *Recorder) RecordAbort() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.measuring {
-		r.aborts++
+	if !r.measuring.Load() {
+		return
 	}
+	sh := &r.shards[r.next.Add(1)%recorderShards]
+	sh.mu.Lock()
+	sh.aborts++
+	sh.mu.Unlock()
+}
+
+// merge gathers every shard's samples. Caller holds r.mu.
+func (r *Recorder) merge() ([]time.Duration, int) {
+	var samples []time.Duration
+	aborts := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		samples = append(samples, sh.samples...)
+		aborts += sh.aborts
+		sh.mu.Unlock()
+	}
+	return samples, aborts
 }
 
 // Summary is the digest of one measurement window.
@@ -74,20 +153,22 @@ type Summary struct {
 	P99        time.Duration
 }
 
-// Stop ends the window and returns its summary.
+// Stop ends the window and returns its summary, merging the shards.
 func (r *Recorder) Stop() Summary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	window := time.Since(r.started)
-	r.measuring = false
-	return summarize(r.samples, r.aborts, window)
+	r.measuring.Store(false)
+	samples, aborts := r.merge()
+	return summarize(samples, aborts, window)
 }
 
 // Snapshot summarizes without ending the window.
 func (r *Recorder) Snapshot() Summary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return summarize(r.samples, r.aborts, time.Since(r.started))
+	samples, aborts := r.merge()
+	return summarize(samples, aborts, time.Since(r.started))
 }
 
 func summarize(samples []time.Duration, aborts int, window time.Duration) Summary {

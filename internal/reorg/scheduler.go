@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/oid"
 	"repro/internal/wal"
@@ -344,6 +345,13 @@ type FleetStats struct {
 	// old + new + one parent).
 	MaxWorkerLocks int
 
+	// Locks is the database lock manager's cumulative counters at the
+	// time Stats was taken (grants, queued waits, deadlock timeouts). The
+	// counters cover the whole database — fleet workers and concurrent
+	// transactions alike — and are atomics, so snapshotting them never
+	// contends with the grant path.
+	Locks lock.Stats
+
 	Started  time.Time
 	Finished time.Time
 
@@ -362,6 +370,7 @@ func (s *Scheduler) Stats() FleetStats {
 	defer s.mu.Unlock()
 	out := FleetStats{
 		Partitions:   len(s.parts),
+		Locks:        s.d.Locks().Stats(),
 		Started:      s.started,
 		Finished:     s.finished,
 		PerPartition: make(map[oid.PartitionID]Stats, len(s.stats)),

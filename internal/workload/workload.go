@@ -342,6 +342,9 @@ func (d *Driver) stopped() bool {
 func (d *Driver) thread(id int, home oid.PartitionID) {
 	defer d.wg.Done()
 	rng := rand.New(rand.NewSource(d.w.Params.Seed + 1000*int64(id+1)))
+	// Each thread records through its own shard handle so the metrics
+	// hot path never funnels all MPL threads through one mutex.
+	rec := d.rec.Handle(id)
 	// Walks start at the persistent roots of the home partition, which
 	// live in the root partition — every entry into the data partition
 	// goes through an external parent, as the system model requires.
@@ -354,10 +357,10 @@ func (d *Driver) thread(id int, home oid.PartitionID) {
 				return // database closed
 			}
 			if committed {
-				d.rec.Record(time.Since(start))
+				rec.Record(time.Since(start))
 				break
 			}
-			d.rec.RecordAbort()
+			rec.RecordAbort()
 		}
 	}
 }
