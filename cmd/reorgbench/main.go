@@ -7,6 +7,7 @@
 //	reorgbench -exp fig6                # one experiment, quick scale
 //	reorgbench -exp all -scale full     # the whole evaluation, paper scale
 //	reorgbench -bench lockscale         # lock-manager scaling sweep → BENCH_lock.json
+//	reorgbench -bench torture           # crash-recovery torture sweep → BENCH_torture.json
 //
 // Quick scale preserves the paper's shapes (who wins, by what factor,
 // where curves peak) in minutes; full scale uses the exact Table 1
@@ -30,8 +31,8 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
-		bench    = flag.String("bench", "", "benchmark id: lockscale")
-		benchout = flag.String("benchout", "BENCH_lock.json", "JSON report path for -bench")
+		bench    = flag.String("bench", "", "benchmark id: lockscale, torture")
+		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
 	)
 	flag.Parse()
 	if *quick {
@@ -52,17 +53,41 @@ func main() {
 		sc.Params.Seed = *seed
 		switch *bench {
 		case "lockscale":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_lock.json"
+			}
 			fmt.Printf("== lockscale — lock-manager scaling sweep (scale: %s) ==\n", sc.Name)
 			start := time.Now()
-			if err := harness.RunLockScale(os.Stdout, sc, *benchout); err != nil {
+			if err := harness.RunLockScale(os.Stdout, sc, out); err != nil {
 				fmt.Fprintf(os.Stderr, "benchmark lockscale failed: %v\n", err)
 				os.Exit(1)
 			}
 			if *verbose {
 				fmt.Printf("-- lockscale completed in %s\n", time.Since(start).Round(time.Millisecond))
 			}
+		case "torture":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_torture.json"
+			}
+			// Quick scale covers every crash point a few times; full
+			// scale matches the acceptance sweep (17 seeds per point).
+			seeds := 3 * len(harness.DefaultTorturePoints())
+			if *scale == "full" {
+				seeds = 17 * len(harness.DefaultTorturePoints())
+			}
+			fmt.Printf("== torture — crash-recovery torture sweep (scale: %s, %d seeds) ==\n", sc.Name, seeds)
+			start := time.Now()
+			if err := harness.RunTortureBench(os.Stdout, harness.TortureSpec{Seeds: seeds, SeedBase: *seed - 1}, out); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark torture failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- torture completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale)\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture)\n", *bench)
 			os.Exit(2)
 		}
 		return

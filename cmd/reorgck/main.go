@@ -9,16 +9,26 @@
 //	reorgck                       # defaults: IRA, small database
 //	reorgck -mode twolock -mpl 20 -objects 2040 -rounds 2
 //	reorgck -workers 4            # reorganize all partitions concurrently
+//
+// With -torture it instead runs the seeded crash-recovery torture
+// sweep (see internal/harness.RunTorture): crash at schedule-chosen
+// fault points, recover, resume, verify. A failing run prints a replay
+// line naming the exact seed and crash point:
+//
+//	reorgck -torture -seeds 64
+//	reorgck -torture -seeds 1 -seedbase 83 -points reorg/twolock-parents-done
 package main
 
 import (
 	"fmt"
 	"os"
+	"strings"
 
 	"flag"
 
 	"repro/internal/check"
 	"repro/internal/db"
+	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/oid"
 	"repro/internal/reorg"
@@ -35,8 +45,16 @@ func main() {
 		rounds     = flag.Int("rounds", 1, "times to reorganize every partition")
 		workers    = flag.Int("workers", 1, "scheduler worker pool size; >1 reorganizes partitions concurrently")
 		seed       = flag.Int64("seed", 1, "workload seed")
+		torture    = flag.Bool("torture", false, "run the crash-recovery torture sweep instead of the stress check")
+		seeds      = flag.Int("seeds", 24, "torture: number of seeded runs")
+		seedbase   = flag.Int64("seedbase", 0, "torture: first seed")
+		points     = flag.String("points", "", "torture: comma-separated crash points to rotate through (default: the full taxonomy)")
 	)
 	flag.Parse()
+
+	if *torture {
+		os.Exit(runTorture(*seeds, *seedbase, *points))
+	}
 
 	var mode reorg.Mode
 	switch *modeName {
@@ -137,4 +155,50 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// runTorture executes the seeded crash-recovery sweep and returns the
+// process exit code: 0 on a clean sweep, 1 on any invariant violation,
+// 2 on usage errors.
+func runTorture(seeds int, seedbase int64, pointsCSV string) int {
+	pts := harness.DefaultTorturePoints()
+	if pointsCSV != "" {
+		want := make(map[string]bool)
+		for _, p := range strings.Split(pointsCSV, ",") {
+			want[strings.TrimSpace(p)] = true
+		}
+		var sel []harness.TorturePoint
+		for _, tp := range pts {
+			if want[tp.Point] {
+				sel = append(sel, tp)
+			}
+		}
+		if len(sel) == 0 {
+			fmt.Fprintf(os.Stderr, "no crash points match %q; known points:\n", pointsCSV)
+			for _, tp := range pts {
+				fmt.Fprintf(os.Stderr, "  %s (%s)\n", tp.Point, tp.Mode)
+			}
+			return 2
+		}
+		pts = sel
+	}
+	fmt.Printf("torture: %d seeds from %d over %d crash points\n", seeds, seedbase, len(pts))
+	failures, err := harness.RunTortureSweep(os.Stdout, harness.TortureSpec{
+		Seeds:    seeds,
+		SeedBase: seedbase,
+		Points:   pts,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "%v\n  %s\n", f.Err, f.ReplayLine())
+		}
+		fmt.Fprintf(os.Stderr, "torture: %d of %d seeds FAILED\n", len(failures), seeds)
+		return 1
+	}
+	fmt.Printf("torture: OK — %d seeds, every invariant held through every crash\n", seeds)
+	return 0
 }

@@ -243,6 +243,11 @@ func (d *Database) ActiveTxnIDs() []lock.TxnID {
 	return out
 }
 
+// ErrTxnWaitTimeout reports that WaitForTxns gave up before every
+// listed transaction finished (the §4.5 wait for pre-reorganization
+// transactions to drain).
+var ErrTxnWaitTimeout = errors.New("db: timed out waiting for transaction")
+
 // WaitForTxns blocks until every listed transaction has finished or the
 // timeout expires.
 func (d *Database) WaitForTxns(ids []lock.TxnID, timeout time.Duration) error {
@@ -250,14 +255,14 @@ func (d *Database) WaitForTxns(ids []lock.TxnID, timeout time.Duration) error {
 	for _, id := range ids {
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
-			return fmt.Errorf("db: timed out waiting for transaction %d", id)
+			return fmt.Errorf("%w %d", ErrTxnWaitTimeout, id)
 		}
 		timer := time.NewTimer(remaining)
 		select {
 		case <-d.locks.Done(id):
 			timer.Stop()
 		case <-timer.C:
-			return fmt.Errorf("db: timed out waiting for transaction %d", id)
+			return fmt.Errorf("%w %d", ErrTxnWaitTimeout, id)
 		}
 	}
 	return nil
@@ -335,6 +340,9 @@ func (d *Database) Checkpoint() (*Checkpoint, error) {
 	lsn, err := d.log.Append(rec)
 	if err != nil {
 		return nil, err
+	}
+	if ferr := fpDBCheckpoint.Maybe(); ferr != nil {
+		return nil, fmt.Errorf("db: checkpoint interrupted: %w", ferr)
 	}
 	// The checkpoint is only usable once everything up to its record is
 	// on the durable log medium.

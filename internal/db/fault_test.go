@@ -1,0 +1,121 @@
+package db
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/lock"
+	"repro/internal/oid"
+	"repro/internal/wal"
+)
+
+func openFaultTestDB(t *testing.T) *Database {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.FlushLatency = 0
+	d := Open(cfg)
+	t.Cleanup(d.Close)
+	if err := d.CreatePartition(1); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestCommitFaultPointFails: an error-kind firing at db/commit fails
+// the commit to the caller and finishes the transaction (locks
+// released), leaving durability to the log — the same ambiguity a
+// real crash in that window has.
+func TestCommitFaultPointFails(t *testing.T) {
+	d := openFaultTestDB(t)
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := tx.Create(1, []byte("x"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := fault.NewRegistry(1)
+	reg.Arm(fault.Trigger{Point: fault.DBCommit, Kind: fault.KindError, Hit: 1})
+	restore := fault.Install(reg)
+	defer restore()
+
+	if err := tx.Commit(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Commit with armed point: %v", err)
+	}
+	// The transaction is finished: its exclusive lock on o is gone.
+	tx2, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Lock(o, lock.Exclusive); err != nil {
+		t.Fatalf("lock held after failed commit: %v", err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCommitCrashFreezesLog: a crash-kind firing at db/commit with an
+// OnCrash hook that fails the log models the process dying between
+// append and flush — every later commit must see ErrDeviceFailed.
+func TestCommitCrashFreezesLog(t *testing.T) {
+	d := openFaultTestDB(t)
+
+	reg := fault.NewRegistry(2)
+	reg.Arm(fault.Trigger{Point: fault.DBCommit, Kind: fault.KindCrash, Hit: 1})
+	reg.OnCrash(func() { d.Log().Fail(nil) })
+	restore := fault.Install(reg)
+	defer restore()
+
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Create(1, []byte("victim"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); !fault.IsCrash(err) {
+		t.Fatalf("Commit at crash point: %v", err)
+	}
+	if !reg.Crashed() {
+		t.Fatal("registry did not latch crashed")
+	}
+
+	tx2, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Create(1, []byte("after"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); !errors.Is(err, wal.ErrDeviceFailed) {
+		t.Fatalf("commit after crash instant: %v", err)
+	}
+}
+
+// TestCheckpointFaultPoint: an interrupted checkpoint surfaces an
+// error and hands back no checkpoint — callers keep using the
+// previous one, exactly the atomic-replace contract SaveCheckpoint
+// provides on disk.
+func TestCheckpointFaultPoint(t *testing.T) {
+	d := openFaultTestDB(t)
+
+	reg := fault.NewRegistry(3)
+	reg.Arm(fault.Trigger{Point: fault.DBCheckpoint, Kind: fault.KindError, Hit: 1})
+	restore := fault.Install(reg)
+	defer restore()
+
+	if ckpt, err := d.Checkpoint(); err == nil || ckpt != nil {
+		t.Fatalf("Checkpoint with armed point: ckpt=%v err=%v", ckpt, err)
+	}
+	// The gate must have been released: a second checkpoint works.
+	ckpt, err := d.Checkpoint()
+	if err != nil || ckpt == nil {
+		t.Fatalf("checkpoint after interrupted one: %v", err)
+	}
+}
+
+var _ = oid.Nil // keep the import if assertions above change

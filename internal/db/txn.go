@@ -4,11 +4,18 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/object"
 	"repro/internal/oid"
 	"repro/internal/storage"
 	"repro/internal/wal"
+)
+
+// Fault points on the transaction durability path.
+var (
+	fpDBCommit     = fault.Point(fault.DBCommit)
+	fpDBCheckpoint = fault.Point(fault.DBCheckpoint)
 )
 
 // Txn is a transaction. A transaction must be driven by one goroutine and
@@ -294,6 +301,13 @@ func (t *Txn) RollbackTo(sp Savepoint) error {
 
 // Commit makes the transaction durable: the commit record is appended and
 // the log flushed through it before locks are released.
+//
+// The db/commit fault point sits in the window between the append and
+// the flush — precisely where a crash leaves the commit record's fate
+// ambiguous (it commits iff the record made the durable prefix). A
+// firing there fails the commit to this caller; whether the
+// transaction actually committed is decided by the log, exactly as
+// with a real crash.
 func (t *Txn) Commit() error {
 	if t.ended {
 		return ErrTxnDone
@@ -304,6 +318,10 @@ func (t *Txn) Commit() error {
 	if err != nil {
 		t.finish()
 		return err
+	}
+	if ferr := fpDBCommit.Maybe(); ferr != nil {
+		t.finish()
+		return fmt.Errorf("db: commit interrupted: %w", ferr)
 	}
 	if err := t.db.log.FlushWait(lsn); err != nil {
 		t.finish()

@@ -1,0 +1,357 @@
+// Package fault is a process-wide, deterministic fault-injection
+// registry. Subsystems declare named fault points (cheap no-ops in
+// production) and tests arm a seeded Registry that decides, per hit,
+// whether a point fires and how: a typed error, a simulated crash, or
+// an injected delay.
+//
+// Design constraints:
+//
+//   - Disabled cost is one atomic pointer load per Maybe() call, so
+//     points can sit on hot paths (lock acquisition, WAL writes).
+//   - Everything is seeded. Given the same Registry seed and the same
+//     sequence of hits at a point, the same firings occur, including
+//     the per-firing Rand value used by callers (e.g. to choose where
+//     to tear a WAL record).
+//   - A crash firing is sticky and process-visible: the first
+//     Kind=Crash firing closes CrashC and runs the registered OnCrash
+//     callbacks exactly once (the torture harness uses these to freeze
+//     the WAL durable horizon at the crash instant).
+//
+// Point names are slash-scoped ("wal/crash", "db/commit",
+// "reorg/parents-locked"). The canonical set lives in the constants
+// below; reorg points are derived from the reorganizer's existing
+// failpoint names via "reorg/" + name.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical fault-point names. Reorg points are "reorg/<failpoint>"
+// for every name the reorganizer passes to its fail() hook.
+const (
+	WALWrite         = "wal/write"         // segment append I/O error (retryable)
+	WALSync          = "wal/sync"          // fsync error (retryable)
+	WALCrash         = "wal/crash"         // hard crash mid-append: torn record, frozen device
+	DBCommit         = "db/commit"         // between commit-record append and flush
+	DBCheckpoint     = "db/checkpoint"     // between checkpoint-record append and flush
+	LockAcquire      = "lock/acquire"      // spurious lock timeout
+	LatchAcquire     = "latch/acquire"     // latch acquisition delay
+	RecoveryAnalysis = "recovery/analysis" // crash after restart analysis pass
+	RecoveryRedo     = "recovery/redo"     // crash after redo pass
+	RecoveryUndo     = "recovery/undo"     // crash after undo pass
+)
+
+// Kind classifies what happens when a trigger fires.
+type Kind uint8
+
+const (
+	// KindError makes Maybe return an *Injected error; the caller
+	// treats it like the real failure it stands in for.
+	KindError Kind = iota
+	// KindCrash simulates a process kill at this instant: the
+	// registry latches crashed, closes CrashC, and runs OnCrash
+	// callbacks; Maybe returns an *Injected error the caller must
+	// propagate without cleanup that wouldn't survive a real crash.
+	KindCrash
+	// KindDelay sleeps for the trigger's Delay inside Maybe and
+	// returns nil, perturbing timing without failing the operation.
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindError:
+		return "error"
+	case KindCrash:
+		return "crash"
+	case KindDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ErrInjected is the sentinel wrapped by every injected error, so
+// callers can distinguish injected faults from organic failures with
+// errors.Is(err, fault.ErrInjected).
+var ErrInjected = errors.New("fault: injected")
+
+// Injected is the error returned by a firing Error or Crash trigger.
+type Injected struct {
+	Point string
+	Kind  Kind
+	Hit   int     // 1-based hit index at which this firing occurred
+	Rand  float64 // seeded draw in [0,1), stable for (seed, point, hit)
+	Cause error   // optional underlying error from the trigger
+}
+
+func (e *Injected) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("fault: %s %s at hit %d: %v", e.Point, e.Kind, e.Hit, e.Cause)
+	}
+	return fmt.Sprintf("fault: %s %s at hit %d", e.Point, e.Kind, e.Hit)
+}
+
+func (e *Injected) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrInjected, e.Cause}
+	}
+	return []error{ErrInjected}
+}
+
+// IsCrash reports whether err is (or wraps) a crash-kind injection.
+func IsCrash(err error) bool {
+	var inj *Injected
+	return errors.As(err, &inj) && inj.Kind == KindCrash
+}
+
+// RandOf extracts the seeded per-firing draw from an injected error,
+// or returns 0.5 if err carries none. Callers use it to derive
+// deterministic secondary choices (e.g. where to tear a record).
+func RandOf(err error) float64 {
+	var inj *Injected
+	if errors.As(err, &inj) {
+		return inj.Rand
+	}
+	return 0.5
+}
+
+// Trigger arms one behavior at one point. Exactly one of the firing
+// rules applies: if Prob > 0 the trigger fires independently per hit
+// with that probability; otherwise it fires on hits
+// [max(Hit,1), max(Hit,1)+Times) — Times<=0 means fire once,
+// Times<0 is normalized by Forever below.
+type Trigger struct {
+	Point string
+	Kind  Kind
+	Hit   int           // 1-based first hit that fires (0 → 1)
+	Times int           // consecutive firings (0 → 1; Forever → every hit)
+	Prob  float64       // per-hit firing probability; overrides Hit/Times when > 0
+	Delay time.Duration // sleep length for KindDelay
+	Err   error         // optional cause embedded in the Injected error
+}
+
+// Forever as Trigger.Times makes the trigger fire on every hit from
+// Hit onward.
+const Forever = -1
+
+// Firing records one trigger activation, for post-mortem reports.
+type Firing struct {
+	Point string
+	Kind  Kind
+	Hit   int
+}
+
+func (f Firing) String() string { return fmt.Sprintf("%s:%s@%d", f.Point, f.Kind, f.Hit) }
+
+type pointState struct {
+	hits     int
+	triggers []Trigger
+}
+
+// Registry is one seeded fault schedule. Install it globally with
+// Install; arm points before (or while) the system under test runs.
+type Registry struct {
+	seed int64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	points  map[string]*pointState
+	firings []Firing
+	crashed bool
+	onCrash []func()
+
+	crashC chan struct{}
+}
+
+// NewRegistry returns an empty registry with a deterministic RNG.
+func NewRegistry(seed int64) *Registry {
+	return &Registry{
+		seed:   seed,
+		rng:    rand.New(rand.NewSource(seed)),
+		points: make(map[string]*pointState),
+		crashC: make(chan struct{}),
+	}
+}
+
+// Seed returns the seed the registry was built with.
+func (r *Registry) Seed() int64 { return r.seed }
+
+// Arm adds a trigger. Multiple triggers may be armed at one point;
+// the first that fires on a given hit wins.
+func (r *Registry) Arm(t Trigger) {
+	if t.Point == "" {
+		panic("fault: Arm with empty point name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ps := r.points[t.Point]
+	if ps == nil {
+		ps = &pointState{}
+		r.points[t.Point] = ps
+	}
+	ps.triggers = append(ps.triggers, t)
+}
+
+// Disarm removes all triggers at a point (hit counting continues).
+func (r *Registry) Disarm(point string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ps := r.points[point]; ps != nil {
+		ps.triggers = nil
+	}
+}
+
+// OnCrash registers a callback run exactly once, at the first
+// crash-kind firing, after the registry latches crashed and closes
+// CrashC but before Maybe returns to the crashing goroutine. The
+// callback must not hit fault points itself.
+func (r *Registry) OnCrash(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onCrash = append(r.onCrash, fn)
+}
+
+// Crashed reports whether a crash-kind trigger has fired.
+func (r *Registry) Crashed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.crashed
+}
+
+// CrashC is closed at the first crash-kind firing.
+func (r *Registry) CrashC() <-chan struct{} { return r.crashC }
+
+// Hits returns how many times a point has been evaluated.
+func (r *Registry) Hits(point string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ps := r.points[point]; ps != nil {
+		return ps.hits
+	}
+	return 0
+}
+
+// Firings returns a copy of the activation log, in order.
+func (r *Registry) Firings() []Firing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Firing, len(r.firings))
+	copy(out, r.firings)
+	return out
+}
+
+// hit evaluates one Maybe() call at a named point.
+func (r *Registry) hit(name string) error {
+	r.mu.Lock()
+	ps := r.points[name]
+	if ps == nil {
+		ps = &pointState{}
+		r.points[name] = ps
+	}
+	ps.hits++
+	h := ps.hits
+	var fired *Trigger
+	for i := range ps.triggers {
+		t := &ps.triggers[i]
+		if t.Prob > 0 {
+			if r.rng.Float64() < t.Prob {
+				fired = t
+				break
+			}
+			continue
+		}
+		start := t.Hit
+		if start < 1 {
+			start = 1
+		}
+		times := t.Times
+		if times == 0 {
+			times = 1
+		}
+		if h >= start && (times < 0 || h < start+times) {
+			fired = t
+			break
+		}
+	}
+	if fired == nil {
+		r.mu.Unlock()
+		return nil
+	}
+	draw := r.rng.Float64()
+	r.firings = append(r.firings, Firing{Point: name, Kind: fired.Kind, Hit: h})
+
+	switch fired.Kind {
+	case KindDelay:
+		d := fired.Delay
+		r.mu.Unlock()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		return nil
+	case KindCrash:
+		var callbacks []func()
+		if !r.crashed {
+			r.crashed = true
+			callbacks = append(callbacks, r.onCrash...)
+			close(r.crashC)
+		}
+		inj := &Injected{Point: name, Kind: KindCrash, Hit: h, Rand: draw, Cause: fired.Err}
+		r.mu.Unlock()
+		// Run crash callbacks outside r.mu (they take subsystem
+		// locks, e.g. the WAL mutex) but before returning, so the
+		// crashing goroutine observes the frozen world.
+		for _, fn := range callbacks {
+			fn()
+		}
+		return inj
+	default:
+		inj := &Injected{Point: name, Kind: KindError, Hit: h, Rand: draw, Cause: fired.Err}
+		r.mu.Unlock()
+		return inj
+	}
+}
+
+// global is the process-wide active registry; nil when disabled.
+var global atomic.Pointer[Registry]
+
+// Install makes r the process-wide registry and returns a restore
+// function that reinstates the previous one (usually nil). Tests that
+// install a registry must be serialized against each other.
+func Install(r *Registry) (restore func()) {
+	prev := global.Swap(r)
+	return func() { global.Store(prev) }
+}
+
+// Active returns the installed registry, or nil.
+func Active() *Registry { return global.Load() }
+
+// Enabled reports whether any registry is installed. Hot paths may
+// use it to skip building point names.
+func Enabled() bool { return global.Load() != nil }
+
+// Handle is a named fault point. Zero allocation; cache package-level
+// handles for hot paths.
+type Handle struct{ name string }
+
+// Point returns a handle for a named fault point.
+func Point(name string) Handle { return Handle{name: name} }
+
+// Name returns the point's name.
+func (h Handle) Name() string { return h.name }
+
+// Maybe evaluates the point against the installed registry. With no
+// registry installed it is a single atomic load returning nil.
+func (h Handle) Maybe() error {
+	r := global.Load()
+	if r == nil {
+		return nil
+	}
+	return r.hit(h.name)
+}

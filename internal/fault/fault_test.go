@@ -1,0 +1,196 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestMaybeDisabledIsNil(t *testing.T) {
+	if err := Point("x/y").Maybe(); err != nil {
+		t.Fatalf("Maybe with no registry: %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no registry")
+	}
+}
+
+func TestHitTimesWindow(t *testing.T) {
+	r := NewRegistry(1)
+	r.Arm(Trigger{Point: "p", Kind: KindError, Hit: 3, Times: 2})
+	restore := Install(r)
+	defer restore()
+
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if err := Point("p").Maybe(); err != nil {
+			fired = append(fired, i)
+			var inj *Injected
+			if !errors.As(err, &inj) {
+				t.Fatalf("hit %d: not an *Injected: %v", i, err)
+			}
+			if inj.Hit != i || inj.Point != "p" {
+				t.Fatalf("hit %d: got %+v", i, inj)
+			}
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: not ErrInjected", i)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 4 {
+		t.Fatalf("fired on hits %v, want [3 4]", fired)
+	}
+	if got := r.Hits("p"); got != 6 {
+		t.Fatalf("Hits = %d, want 6", got)
+	}
+	if fs := r.Firings(); len(fs) != 2 {
+		t.Fatalf("Firings = %v", fs)
+	}
+}
+
+func TestForeverAndCause(t *testing.T) {
+	cause := errors.New("disk on fire")
+	r := NewRegistry(2)
+	r.Arm(Trigger{Point: "p", Kind: KindError, Hit: 2, Times: Forever, Err: cause})
+	restore := Install(r)
+	defer restore()
+
+	if err := Point("p").Maybe(); err != nil {
+		t.Fatalf("hit 1 should not fire: %v", err)
+	}
+	for i := 2; i <= 5; i++ {
+		err := Point("p").Maybe()
+		if err == nil {
+			t.Fatalf("hit %d should fire", i)
+		}
+		if !errors.Is(err, cause) {
+			t.Fatalf("hit %d: cause not wrapped: %v", i, err)
+		}
+	}
+}
+
+func TestProbDeterministicForSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		r := NewRegistry(seed)
+		r.Arm(Trigger{Point: "p", Kind: KindError, Prob: 0.3})
+		restore := Install(r)
+		defer restore()
+		var fired []int
+		for i := 1; i <= 64; i++ {
+			if Point("p").Maybe() != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("degenerate firing pattern: %v", a)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(8)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("seeds 7 and 8 produced identical patterns %v", a)
+	}
+}
+
+func TestCrashLatchesOnceAndRunsCallbacks(t *testing.T) {
+	r := NewRegistry(3)
+	r.Arm(Trigger{Point: "c", Kind: KindCrash, Hit: 1, Times: Forever})
+	calls := 0
+	r.OnCrash(func() { calls++ })
+	restore := Install(r)
+	defer restore()
+
+	err := Point("c").Maybe()
+	if !IsCrash(err) {
+		t.Fatalf("first firing not crash: %v", err)
+	}
+	select {
+	case <-r.CrashC():
+	default:
+		t.Fatal("CrashC not closed")
+	}
+	if !r.Crashed() {
+		t.Fatal("Crashed() false after crash firing")
+	}
+	// Second firing still returns a crash error but callbacks run once.
+	if err := Point("c").Maybe(); !IsCrash(err) {
+		t.Fatalf("second firing: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("OnCrash ran %d times, want 1", calls)
+	}
+}
+
+func TestRandOfStableAndInRange(t *testing.T) {
+	draw := func() float64 {
+		r := NewRegistry(11)
+		r.Arm(Trigger{Point: "p", Kind: KindError})
+		restore := Install(r)
+		defer restore()
+		err := Point("p").Maybe()
+		if err == nil {
+			t.Fatal("did not fire")
+		}
+		return RandOf(err)
+	}
+	a, b := draw(), draw()
+	if a != b {
+		t.Fatalf("RandOf not stable: %v vs %v", a, b)
+	}
+	if a < 0 || a >= 1 {
+		t.Fatalf("RandOf out of range: %v", a)
+	}
+	if RandOf(errors.New("plain")) != 0.5 {
+		t.Fatal("RandOf fallback != 0.5")
+	}
+}
+
+func TestDelayKind(t *testing.T) {
+	r := NewRegistry(4)
+	r.Arm(Trigger{Point: "d", Kind: KindDelay, Hit: 1, Delay: 5 * time.Millisecond})
+	restore := Install(r)
+	defer restore()
+
+	start := time.Now()
+	if err := Point("d").Maybe(); err != nil {
+		t.Fatalf("delay kind returned error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("delay too short: %v", elapsed)
+	}
+}
+
+func TestDisarmAndRestore(t *testing.T) {
+	r := NewRegistry(5)
+	r.Arm(Trigger{Point: "p", Kind: KindError, Hit: 1, Times: Forever})
+	restore := Install(r)
+	if Point("p").Maybe() == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Disarm("p")
+	if err := Point("p").Maybe(); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	restore()
+	if Enabled() {
+		t.Fatal("Enabled after restore")
+	}
+}

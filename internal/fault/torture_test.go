@@ -1,0 +1,51 @@
+// Torture sweep: the acceptance gate for the fault-injection
+// subsystem. It lives here (package fault_test) so `go test
+// ./internal/fault/...` exercises the full registry → WAL → reorg →
+// recovery stack end to end; the harness itself is in
+// internal/harness to avoid an import cycle.
+package fault_test
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// TestTortureSweep runs the seeded crash matrix: every crash point in
+// the taxonomy (WAL append, commit flush, each IRA migration step in
+// both modes, traversal/wait phases), with crash-during-recovery
+// every third seed and chaos noise every second. Full mode covers
+// 204 seeds (17 per point); -short covers 36 (3 per point).
+//
+// Any failure message carries the seed and crash point; rerun with
+// exactly those values to replay the failing schedule.
+func TestTortureSweep(t *testing.T) {
+	points := harness.DefaultTorturePoints()
+	seeds := 17 * len(points) // 204
+	if testing.Short() {
+		seeds = 3 * len(points)
+	}
+	failures, err := harness.RunTortureSweep(nil, harness.TortureSpec{
+		Seeds: seeds,
+		Dir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range failures {
+		t.Errorf("%v\n  %s", f.Err, f.ReplayLine())
+	}
+	if len(failures) > 0 {
+		// CI uploads this file so a red run is replayable from the
+		// artifact alone.
+		report := ""
+		for _, f := range failures {
+			report += f.ReplayLine() + "\n"
+		}
+		if err := os.WriteFile("torture-failure.txt", []byte(report), 0o644); err != nil {
+			t.Logf("write failure artifact: %v", err)
+		}
+	}
+	t.Logf("torture sweep: %d seeds, %d failures", seeds, len(failures))
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// TortureReport is the JSON artifact RunTortureBench writes: enough to
+// assert a clean sweep in CI and to replay any failure by hand.
+type TortureReport struct {
+	Seeds    int      `json:"seeds"`
+	SeedBase int64    `json:"seed_base"`
+	Points   []string `json:"points"`
+	Failures []string `json:"failures"`
+}
+
+// RunTortureBench runs the torture sweep at benchmark scale and writes
+// a JSON report to out. It returns an error when any seed fails, after
+// the report is written — CI can upload the artifact either way.
+func RunTortureBench(w io.Writer, spec TortureSpec, out string) error {
+	points := spec.Points
+	if len(points) == 0 {
+		points = DefaultTorturePoints()
+	}
+	failures, err := RunTortureSweep(w, spec)
+	if err != nil {
+		return err
+	}
+	rep := TortureReport{Seeds: spec.Seeds, SeedBase: spec.SeedBase}
+	for _, p := range points {
+		rep.Points = append(rep.Points, p.Point)
+	}
+	for _, f := range failures {
+		rep.Failures = append(rep.Failures, f.ReplayLine())
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "torture: %d seeds, %d failures -> %s\n", spec.Seeds, len(rep.Failures), out)
+	if len(failures) > 0 {
+		return fmt.Errorf("torture: %d of %d seeds failed", len(failures), spec.Seeds)
+	}
+	return nil
+}

@@ -17,8 +17,15 @@ package latch
 import (
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/oid"
 )
+
+// fpLatchAcquire lets a fault registry stretch latch hold windows
+// (KindDelay) to widen latch/traversal races. Latches have no error
+// path, so error-kind firings are ignored; the delay happens inside
+// Maybe before the latch is taken.
+var fpLatchAcquire = fault.Point(fault.LatchAcquire)
 
 // DefaultStripes is the stripe count used by New when 0 is requested.
 const DefaultStripes = 1024
@@ -51,13 +58,19 @@ func (t *Table) stripe(o oid.OID) *sync.RWMutex {
 }
 
 // RLatch acquires the read latch for o.
-func (t *Table) RLatch(o oid.OID) { t.stripe(o).RLock() }
+func (t *Table) RLatch(o oid.OID) {
+	_ = fpLatchAcquire.Maybe()
+	t.stripe(o).RLock()
+}
 
 // RUnlatch releases the read latch for o.
 func (t *Table) RUnlatch(o oid.OID) { t.stripe(o).RUnlock() }
 
 // Latch acquires the write latch for o.
-func (t *Table) Latch(o oid.OID) { t.stripe(o).Lock() }
+func (t *Table) Latch(o oid.OID) {
+	_ = fpLatchAcquire.Maybe()
+	t.stripe(o).Lock()
+}
 
 // Unlatch releases the write latch for o.
 func (t *Table) Unlatch(o oid.OID) { t.stripe(o).Unlock() }

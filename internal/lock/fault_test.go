@@ -1,0 +1,38 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/oid"
+)
+
+// TestInjectedSpuriousTimeout: an armed lock/acquire point makes Lock
+// fail with ErrTimeout — indistinguishable from a presumed deadlock,
+// so every caller's timeout-retry path gets exercised. Once the
+// trigger window closes the same acquisition succeeds.
+func TestInjectedSpuriousTimeout(t *testing.T) {
+	m := NewManager()
+	m.Begin(1)
+	defer m.Finish(1)
+	o := oid.New(1, 0, 7)
+
+	reg := fault.NewRegistry(9)
+	reg.Arm(fault.Trigger{Point: fault.LockAcquire, Kind: fault.KindError, Hit: 1})
+	restore := fault.Install(reg)
+	defer restore()
+
+	err := m.Lock(1, o, Exclusive)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("injected acquisition: want ErrTimeout, got %v", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected acquisition should carry fault.ErrInjected: %v", err)
+	}
+	// The spurious timeout must not have recorded the lock: retrying
+	// (trigger window now past) succeeds.
+	if err := m.Lock(1, o, Exclusive); err != nil {
+		t.Fatalf("retry after spurious timeout: %v", err)
+	}
+}

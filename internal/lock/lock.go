@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/oid"
 )
 
@@ -266,6 +267,38 @@ func NewManager(opts ...Option) *Manager {
 		return &Manager{Impl: newReference(cfg)}
 	}
 	return &Manager{Impl: newStriped(cfg)}
+}
+
+// fpLockAcquire lets a fault registry inject spurious lock timeouts:
+// the request fails exactly as a deadlock victim would, exercising
+// every caller's abort-and-retry path without real contention.
+var fpLockAcquire = fault.Point(fault.LockAcquire)
+
+// injectedTimeout dresses an injected fault as a lock timeout. Both
+// sentinels stay matchable: callers treating it as a deadlock victim
+// see ErrTimeout, while the torture harness can still tell injected
+// failures apart via fault.ErrInjected.
+func injectedTimeout(o oid.OID, mode Mode, ferr error) error {
+	return fmt.Errorf("%w: injected while locking %s %s: %w", ErrTimeout, o, mode, ferr)
+}
+
+// Lock acquires o in the given mode for txn (see Impl.Lock). It
+// consults the lock/acquire fault point first, so an armed registry
+// can make any acquisition spuriously time out.
+func (m *Manager) Lock(txn TxnID, o oid.OID, mode Mode) error {
+	if ferr := fpLockAcquire.Maybe(); ferr != nil {
+		return injectedTimeout(o, mode, ferr)
+	}
+	return m.Impl.Lock(txn, o, mode)
+}
+
+// LockTimeout is Lock with an explicit timeout, with the same
+// lock/acquire fault point.
+func (m *Manager) LockTimeout(txn TxnID, o oid.OID, mode Mode, timeout time.Duration) error {
+	if ferr := fpLockAcquire.Maybe(); ferr != nil {
+		return injectedTimeout(o, mode, ferr)
+	}
+	return m.Impl.LockTimeout(txn, o, mode, timeout)
 }
 
 // WaitEverLockers blocks until every active transaction that ever locked

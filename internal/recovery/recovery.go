@@ -30,8 +30,20 @@ import (
 	"path/filepath"
 
 	"repro/internal/db"
+	"repro/internal/fault"
 	"repro/internal/storage"
 	"repro/internal/wal"
+)
+
+// Crash-during-recovery fault points, one after each restart pass.
+// A firing aborts Recover with the injected error; because recovery
+// never appends to the log, rerunning it from the same image is safe
+// and must produce the same database — the property the torture
+// harness checks by crashing restarts and restarting them.
+var (
+	fpAnalysis = fault.Point(fault.RecoveryAnalysis)
+	fpRedo     = fault.Point(fault.RecoveryRedo)
+	fpUndo     = fault.Point(fault.RecoveryUndo)
 )
 
 // Image is the durable state available after a crash.
@@ -95,6 +107,9 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 			losers = append(losers, t)
 		}
 	}
+	if ferr := fpAnalysis.Maybe(); ferr != nil {
+		return nil, fmt.Errorf("recovery: interrupted after analysis: %w", ferr)
+	}
 
 	// Redo everything past the checkpoint.
 	for _, r := range img.Records {
@@ -105,12 +120,18 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 			return nil, fmt.Errorf("recovery: redo LSN %d (%v): %w", r.LSN, r.Type, err)
 		}
 	}
+	if ferr := fpRedo.Maybe(); ferr != nil {
+		return nil, fmt.Errorf("recovery: interrupted after redo: %w", ferr)
+	}
 
 	// Undo losers.
 	for _, t := range losers {
 		if err := undoTxn(st, byLSN, lastLSN[t]); err != nil {
 			return nil, fmt.Errorf("recovery: undo txn %d: %w", t, err)
 		}
+	}
+	if ferr := fpUndo.Maybe(); ferr != nil {
+		return nil, fmt.Errorf("recovery: interrupted after undo: %w", ferr)
 	}
 
 	d := db.OpenWithStore(cfg, st)

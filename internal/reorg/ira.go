@@ -187,6 +187,19 @@ func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) 
 	}
 	unlockable := r.opts.BatchSize <= 1 // see note below
 
+	// S0: lock the object itself. Figure 4 observes that no lock on Oold
+	// is needed — but only against transactions that follow 2PL. A
+	// sibling reorganizer migrating Oold's parent X fuzzy-reads X without
+	// a lock while copying it; unless this migration holds Oold's lock,
+	// that copy can race the repoint of X below and commit a duplicate
+	// of X still referencing Oold after Oold is deleted — a durable
+	// dangling reference. Holding Oold's lock serializes the two: a
+	// sibling migrating X either sees the repointed reference, or its
+	// copy's creation lands in this partition's TRT before the S2 drain.
+	if err := r.lockParent(txn.ID(), oldO); err != nil {
+		return none, err
+	}
+
 	// S1: lock the approximate parents; drop those that no longer hold a
 	// reference. (With batched migrations, a lock may also protect an
 	// earlier migration in the same transaction, so early unlock is only
@@ -233,13 +246,14 @@ func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) 
 			r.d.Locks().Unlock(txn.ID(), R)
 		}
 	}
-	r.noteLocks(len(pset))
+	r.noteLocks(len(pset) + 1) // parents + the object itself
 	if err := r.fail("parents-locked"); err != nil {
 		return none, err
 	}
 
-	// All parents are locked; no transaction can reach oldO (no lock on
-	// oldO itself is needed — Figure 4's observation).
+	// All parents are locked, and S0 holds oldO's own lock: no user
+	// transaction can reach oldO, and no sibling reorganizer can copy a
+	// parent of oldO out from under the repoints below.
 	img, err := r.d.FuzzyRead(oldO)
 	if err != nil {
 		return none, errObjectGone

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/oid"
 	"repro/internal/trt"
@@ -243,12 +244,27 @@ func (r *Reorganizer) Stats() Stats {
 	return s
 }
 
-// fail triggers the failpoint hook.
+// fail triggers the failpoint hook and the process-wide fault
+// registry. Every named point is also a fault point "reorg/<name>":
+// a crash-kind firing becomes ErrCrash (no cleanup, as a real crash);
+// an error-kind firing aborts the run cleanly like any other error.
 func (r *Reorganizer) fail(point string) error {
-	if r.opts.Failpoint == nil {
+	if r.opts.Failpoint != nil {
+		if err := r.opts.Failpoint(point); err != nil {
+			return err
+		}
+	}
+	if !fault.Enabled() {
 		return nil
 	}
-	return r.opts.Failpoint(point)
+	ferr := fault.Point("reorg/" + point).Maybe()
+	if ferr == nil {
+		return nil
+	}
+	if fault.IsCrash(ferr) {
+		return fmt.Errorf("%w at %q: %v", ErrCrash, point, ferr)
+	}
+	return ferr
 }
 
 // gate invokes the Gate hook at an object boundary. It is only called

@@ -18,6 +18,14 @@ import (
 // transactions are rolled back and TRTs detached before Run returns.
 var ErrStopped = errors.New("reorg: scheduler stopped")
 
+// ErrQuiesced is returned for partitions the scheduler abandoned
+// because a worker hit a failed log device (wal.ErrDeviceFailed).
+// Migration cannot make progress when nothing can commit, so the
+// fleet stops cleanly — checkpointed states remain available for a
+// resume once the database is recovered — rather than letting every
+// worker grind through its retry budget against a dead log.
+var ErrQuiesced = errors.New("reorg: fleet quiesced (log device failed)")
+
 // FleetOptions configures a Scheduler.
 type FleetOptions struct {
 	// Workers is the pool size; <= 0 means 4. The pool is never larger
@@ -42,7 +50,10 @@ type FleetOptions struct {
 	// ResumeStates maps partitions to checkpointed states from a previous
 	// interrupted fleet; those partitions resume via Resume instead of
 	// starting fresh. Records must then hold the durable log records that
-	// survived the crash (recovery.Image.Records) for TRT rebuild.
+	// survived the crash (recovery.Image.Records) for TRT rebuild. The
+	// rebuild happens inside NewScheduler — create the scheduler before
+	// admitting transactions that could change references, or the rebuilt
+	// TRTs miss them.
 	ResumeStates map[oid.PartitionID]*State
 	Records      []*wal.Record
 	// Fleet, if set, receives live per-worker progress counters readable
@@ -62,12 +73,14 @@ const (
 
 // Scheduler fans IRA out over many partitions with a worker pool, while
 // concurrent transactions keep running. The paper's per-partition locking
-// discipline makes this sound with no new locking: each worker's
-// reorganizer locks only the parents of its object in flight (or old+new
-// object addresses in two-lock mode), TRTs are per-partition, and ERT
-// maintenance is serialized by the WAL append observer — so the fleet's
-// total lock footprint stays bounded by workers × the single-reorganizer
-// bound, and cross-partition reference updates race-free.
+// discipline makes this sound with one addition: each worker's
+// reorganizer locks the object in flight plus its parents (old+new
+// addresses plus one parent in two-lock mode) — the object's own lock is
+// what serializes two workers whose objects reference each other (see
+// migrateOne's S0). TRTs are per-partition, and ERT maintenance is
+// serialized by the WAL append observer — so the fleet's total lock
+// footprint stays bounded by workers × the single-reorganizer bound, and
+// cross-partition reference updates are race-free.
 type Scheduler struct {
 	d     *db.Database
 	parts []oid.PartitionID
@@ -77,13 +90,24 @@ type Scheduler struct {
 	cond    *sync.Cond
 	paused  bool
 	stopped bool
-	running bool
-	ran     bool
+	// quiesceCause, when non-nil, records the device failure that made
+	// the scheduler stop itself; abandoned partitions then fail with
+	// ErrQuiesced instead of ErrStopped.
+	quiesceCause error
+	running      bool
+	ran          bool
 
 	status   map[oid.PartitionID]partStatus
 	stats    map[oid.PartitionID]Stats
 	failures map[oid.PartitionID]error
 	states   map[oid.PartitionID]*State
+	// resumed holds reorganizers rebuilt eagerly from ResumeStates at
+	// construction time, so every resumed partition's TRT observes all
+	// reference changes of the new life — including repoints by sibling
+	// partitions that run earlier in this fleet. Lazy resume inside the
+	// worker loop would miss those (the §4.4 rebuild covers only records
+	// durable before the crash).
+	resumed map[oid.PartitionID]*Reorganizer
 
 	started  time.Time
 	finished time.Time
@@ -121,6 +145,43 @@ func NewScheduler(d *db.Database, parts []oid.PartitionID, opts FleetOptions) (*
 	s.cond = sync.NewCond(&s.mu)
 	for _, p := range parts {
 		s.status[p] = partPending
+	}
+	// Rebuild resumed reorganizers now, before the caller admits any
+	// transaction (or sibling partition) that could change references:
+	// Resume's TRT rebuild covers only the durable pre-crash log, so the
+	// attach must happen before anything new is logged.
+	s.resumed = make(map[oid.PartitionID]*Reorganizer)
+	for _, p := range s.parts {
+		st := opts.ResumeStates[p]
+		if st == nil {
+			continue
+		}
+		o := opts.Reorg
+		if opts.Configure != nil {
+			opts.Configure(p, &o)
+		}
+		r, err := Resume(d, st, opts.Records, o)
+		if err != nil {
+			for _, prev := range s.resumed {
+				prev.abandon()
+			}
+			return nil, fmt.Errorf("reorg: resume partition %d: %w", p, err)
+		}
+		s.resumed[p] = r
+		// Until the reorganizer emits a checkpoint of its own, a fresh
+		// snapshot of the just-rebuilt state is the partition's latest
+		// known checkpoint. Without this seeding a crash before the
+		// worker reaches p would erase the state — and with it any
+		// in-flight two-lock migration, leaking the already-created
+		// copy forever on the next (then fresh) restart. A re-snapshot,
+		// not the passed state: the rebuilt TRT already folds in the
+		// old records, so the snapshot's TRT horizon must point at this
+		// life's log tail, not the previous life's. (nil only if the
+		// new life's log device is already dead — then no checkpoint
+		// can be grounded and the partition restarts fresh next time.)
+		if st := r.snapshotState(); st != nil {
+			s.states[p] = st
+		}
 	}
 	return s, nil
 }
@@ -163,10 +224,16 @@ func (s *Scheduler) Run() error {
 	// Partitions still queued here had no live worker left to run them
 	// (every worker crashed, or Stop raced the queue drain).
 	s.mu.Lock()
+	// Resumed reorganizers no worker reached still hold their TRTs;
+	// release them so a later fleet can resume these partitions again.
+	for _, r := range s.resumed {
+		r.abandon()
+	}
+	s.resumed = nil
 	for p := range queue {
 		s.status[p] = partFailed
 		if s.stopped {
-			s.failures[p] = ErrStopped
+			s.failures[p] = s.stopErrLocked()
 		} else {
 			s.failures[p] = fmt.Errorf("reorg: partition %d not started: %w", p, ErrCrash)
 		}
@@ -190,11 +257,12 @@ func (s *Scheduler) workerLoop(worker int, queue <-chan oid.PartitionID) {
 	for p := range queue {
 		s.mu.Lock()
 		if s.stopped {
+			stopErr := s.stopErrLocked()
 			s.status[p] = partFailed
-			s.failures[p] = ErrStopped
+			s.failures[p] = stopErr
 			s.mu.Unlock()
 			if s.opts.OnPartitionDone != nil {
-				s.opts.OnPartitionDone(p, Stats{Partition: p}, ErrStopped)
+				s.opts.OnPartitionDone(p, Stats{Partition: p}, stopErr)
 			}
 			continue
 		}
@@ -208,6 +276,15 @@ func (s *Scheduler) workerLoop(worker int, queue <-chan oid.PartitionID) {
 		if err != nil {
 			s.status[p] = partFailed
 			s.failures[p] = err
+			if errors.Is(err, wal.ErrDeviceFailed) && !s.stopped {
+				// The log device is dead: nothing can commit anywhere,
+				// so further migration attempts are wasted retries.
+				// Quiesce the whole fleet cleanly; checkpointed states
+				// stay resumable after the database recovers.
+				s.stopped = true
+				s.quiesceCause = err
+				s.cond.Broadcast()
+			}
 		} else {
 			s.status[p] = partDone
 		}
@@ -273,17 +350,36 @@ func (s *Scheduler) runPartition(worker int, p oid.PartitionID) (Stats, error) {
 	}
 
 	var r *Reorganizer
-	if st := s.opts.ResumeStates[p]; st != nil {
-		var err error
-		r, err = Resume(s.d, st, s.opts.Records, o)
-		if err != nil {
-			return Stats{Partition: p}, err
-		}
+	if r = s.takeResumed(p); r != nil {
+		// The reorganizer was rebuilt (TRT attached) at construction;
+		// swap in the hook-wrapped options, keeping the mode Resume
+		// restored from the checkpointed state.
+		o.Mode = r.opts.Mode
+		r.opts = o
 	} else {
 		r = New(s.d, p, o)
 	}
 	err := r.Run()
 	return r.Stats(), err
+}
+
+// takeResumed claims the eagerly-resumed reorganizer for p, if any.
+func (s *Scheduler) takeResumed(p oid.PartitionID) *Reorganizer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.resumed[p]
+	delete(s.resumed, p)
+	return r
+}
+
+// stopErrLocked returns the error abandoned partitions fail with:
+// ErrQuiesced (wrapping the device failure) when the scheduler
+// stopped itself, ErrStopped when the caller asked. Caller holds s.mu.
+func (s *Scheduler) stopErrLocked() error {
+	if s.quiesceCause != nil {
+		return fmt.Errorf("%w: %v", ErrQuiesced, s.quiesceCause)
+	}
+	return ErrStopped
 }
 
 // gateWait blocks while the fleet is paused and aborts when stopped. It
@@ -296,7 +392,7 @@ func (s *Scheduler) gateWait() error {
 		s.cond.Wait()
 	}
 	if s.stopped {
-		return ErrStopped
+		return s.stopErrLocked()
 	}
 	return nil
 }
@@ -414,9 +510,9 @@ func (s *Scheduler) Failures() map[oid.PartitionID]error {
 }
 
 // States returns the latest checkpointed state per partition — the
-// resume inputs after a crash. Only partitions whose reorganizer emitted
-// at least one checkpoint (it always does after traversal when the
-// template enables checkpoints or the scheduler is used) appear.
+// resume inputs after a crash. A partition appears once its reorganizer
+// emits a checkpoint, or immediately if it was itself constructed from
+// a ResumeStates entry (the passed state stands until superseded).
 func (s *Scheduler) States() map[oid.PartitionID]*State {
 	s.mu.Lock()
 	defer s.mu.Unlock()

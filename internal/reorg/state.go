@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analyzer"
 	"repro/internal/db"
+	"repro/internal/object"
 	"repro/internal/oid"
 	"repro/internal/trt"
 	"repro/internal/wal"
@@ -29,12 +30,16 @@ type State struct {
 	InFlight *InFlight
 }
 
-// checkpoint emits a state snapshot to the configured sink.
+// checkpoint emits a state snapshot to the configured sink. A snapshot
+// that cannot be grounded in the durable log (dead device) is not
+// emitted — the previous checkpoint stands.
 func (r *Reorganizer) checkpoint() {
 	if r.opts.OnCheckpoint == nil {
 		return
 	}
-	r.opts.OnCheckpoint(r.snapshotState())
+	if s := r.snapshotState(); s != nil {
+		r.opts.OnCheckpoint(s)
+	}
 }
 
 // maybeCheckpoint emits a snapshot every CheckpointEvery migrations.
@@ -47,13 +52,26 @@ func (r *Reorganizer) maybeCheckpoint(done int) {
 	}
 }
 
-// snapshotState deep-copies the reorganizer's resumable state.
+// snapshotState deep-copies the reorganizer's resumable state, forcing
+// the log first so the snapshot never embeds effects of records that a
+// crash could drop. The parents map was read from the ERT at traversal
+// time and the ERT advances at append time — if a parent-removing
+// record sat in an unflushed tail when the state was captured, the
+// crash would erase the record (so the recovered heap keeps the
+// parent) while the state already forgot it, and the resumed migration
+// would commit a dangling reference. Returns nil if the log device is
+// dead: nothing newer can be made durable, so no newer checkpoint can
+// be taken.
 func (r *Reorganizer) snapshotState() *State {
+	tail := r.d.Log().TailLSN()
+	if err := r.d.Log().FlushWait(tail); err != nil {
+		return nil
+	}
 	s := &State{
 		Part:     r.part,
 		Mode:     r.opts.Mode,
 		StartLSN: r.startLSN,
-		TRTLSN:   r.d.Log().TailLSN(),
+		TRTLSN:   tail,
 		Objects:  append([]oid.OID(nil), r.objects...),
 		Parents:  make(map[oid.OID][]oid.OID, len(r.parents)),
 		Migrated: make(map[oid.OID]oid.OID, len(r.migrated)),
@@ -120,6 +138,28 @@ func Resume(d *db.Database, s *State, records []*wal.Record, opts Options) (*Reo
 	}
 	r.trt = table
 
+	// Restart rollback writes no CLRs — the undo of a loser transaction
+	// is invisible in the durable log. Yet the checkpoint's parents map
+	// and TRT snapshot were built by observing the loser's records live:
+	// a parent the loser deleted (or retargeted away) is restored in the
+	// recovered heap but absent from the checkpointed bookkeeping, and
+	// migrating past it commits a dangling reference. Compensate by
+	// feeding the reverse of every unterminated transaction's reference
+	// changes into the rebuilt tables. Over-compensation is harmless: a
+	// TRT tuple or parent entry only makes the migration lock the named
+	// parent and check it.
+	terminated := make(map[wal.TxnID]bool)
+	for _, rec := range records {
+		if rec.Type == wal.RecCommit || rec.Type == wal.RecAbort {
+			terminated[rec.Txn] = true
+		}
+	}
+	for _, rec := range records {
+		if !terminated[rec.Txn] {
+			r.compensate(rec)
+		}
+	}
+
 	// Drop stale migrations: a migration recorded as committed must have
 	// its new copy alive; recovery may have rolled back an in-flight
 	// batch whose state checkpoint raced the crash.
@@ -130,6 +170,61 @@ func Resume(d *db.Database, s *State, records []*wal.Record, opts Options) (*Reo
 	}
 	r.preMigrated = len(r.migrated)
 	return r, nil
+}
+
+// compensate applies the reverse of one loser-transaction record to the
+// rebuilt TRT and parents map (see Resume). References the restart
+// rollback restored are re-announced as insert tuples and approximate
+// parents; references it revoked become delete tuples (lock-and-check
+// hints). Children outside this reorganizer's partition are not its
+// concern and are skipped.
+func (r *Reorganizer) compensate(rec *wal.Record) {
+	restore := func(child, parent oid.OID) {
+		if child.IsNil() || child.Partition() != r.part {
+			return
+		}
+		r.trt.Log(child, parent, trt.TxnID(rec.Txn), trt.Insert)
+		r.addParent(child, parent)
+	}
+	revoke := func(child, parent oid.OID) {
+		if child.IsNil() || child.Partition() != r.part {
+			return
+		}
+		r.trt.Log(child, parent, trt.TxnID(rec.Txn), trt.Delete)
+	}
+	switch rec.Type {
+	case wal.RecRefInsert:
+		revoke(rec.Child, rec.OID)
+	case wal.RecRefDelete:
+		restore(rec.Child, rec.OID)
+	case wal.RecRefUpdate:
+		restore(rec.Child, rec.OID)
+		revoke(rec.Child2, rec.OID)
+	case wal.RecCreate:
+		if obj, err := object.Decode(rec.After); err == nil {
+			for _, c := range obj.Refs {
+				revoke(c, rec.OID)
+			}
+		}
+	case wal.RecDelete:
+		if obj, err := object.Decode(rec.Before); err == nil {
+			for _, c := range obj.Refs {
+				restore(c, rec.OID)
+			}
+		}
+	}
+}
+
+// abandon releases a resumed reorganizer that will never run (its
+// fleet stopped before a worker reached it): the TRT attached by
+// Resume is detached so a later resume of the same partition can
+// attach a fresh one.
+func (r *Reorganizer) abandon() {
+	if r.trt != nil && r.trtOwned {
+		r.d.StopReorgTRT(r.part)
+		r.trtOwned = false
+		r.trt = nil
+	}
 }
 
 // CollectPartition performs copying garbage collection (§4.6): every live

@@ -1,10 +1,13 @@
 package reorg
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
+	"repro/internal/db"
 	"repro/internal/lock"
+	"repro/internal/object"
 	"repro/internal/oid"
 )
 
@@ -12,8 +15,17 @@ import (
 // both addresses while parents are repointed one at a time. Reorganizer
 // checkpoints carry it so a restart can finish the migration instead of
 // duplicating the object (§4.2's failure discussion).
+//
+// Copied and CopiedRefs snapshot the new copy exactly as it was written.
+// During the migration the owner's exclusive locks keep both addresses
+// frozen, but after a crash the locks are gone and transactions reach
+// whichever copy their parents still reference — so on resume a copy
+// that no longer matches the snapshot is the one that received updates,
+// and the restart must complete the migration in its favor.
 type InFlight struct {
-	Old, New oid.OID
+	Old, New   oid.OID
+	Copied     []byte
+	CopiedRefs []oid.OID
 }
 
 // migrateAllTwoLock migrates objects with the §4.2 extension: the object
@@ -24,7 +36,7 @@ type InFlight struct {
 func (r *Reorganizer) migrateAllTwoLock() error {
 	// A restart may have an unfinished migration to complete first.
 	if r.inFlight != nil {
-		if err := r.migrateTwoLock(r.inFlight.Old, r.inFlight.New); err != nil {
+		if err := r.migrateTwoLock(r.inFlight.Old, r.inFlight); err != nil {
 			return err
 		}
 		r.inFlight = nil
@@ -39,7 +51,7 @@ func (r *Reorganizer) migrateAllTwoLock() error {
 		if !r.wantsMigration(o) {
 			continue
 		}
-		if err := r.migrateTwoLock(o, oid.Nil); err != nil {
+		if err := r.migrateTwoLock(o, nil); err != nil {
 			return err
 		}
 		r.maybeCheckpoint(i + 1)
@@ -47,9 +59,13 @@ func (r *Reorganizer) migrateAllTwoLock() error {
 	return nil
 }
 
-// migrateTwoLock migrates one object. existingNew is non-nil when a
-// restart resumes a migration whose copy was already created.
-func (r *Reorganizer) migrateTwoLock(oldO, existingNew oid.OID) error {
+// migrateTwoLock migrates one object. prior is non-nil when a restart
+// resumes a migration whose copy was already created.
+func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
+	existingNew := oid.Nil
+	if prior != nil {
+		existingNew = prior.New
+	}
 	// The owner transaction holds the locks on the old and new addresses
 	// for the whole migration and performs the final delete of the old
 	// copy.
@@ -83,7 +99,10 @@ func (r *Reorganizer) migrateTwoLock(oldO, existingNew oid.OID) error {
 	// so that a crash during parent updates cannot roll it away from
 	// under the already-repointed parents.
 	newO := existingNew
-	if newO.IsNil() || !r.d.Exists(newO) {
+	adopted := !newO.IsNil() && r.d.Exists(newO)
+	var copied []byte
+	var copiedRefs []oid.OID
+	if !adopted {
 		ctxn, err := r.d.Begin()
 		if err != nil {
 			return err
@@ -107,14 +126,25 @@ func (r *Reorganizer) migrateTwoLock(oldO, existingNew oid.OID) error {
 		if err := ctxn.Commit(); err != nil {
 			return err
 		}
+		copied = payload
+		copiedRefs = retargetSelf(img.Refs, oldO, newO)
 	}
 	if err := r.lockObjectRetry(owner.ID(), newO); err != nil {
 		return err
 	}
+	if adopted {
+		// A re-adopted copy may be stale — or may itself hold the only
+		// current version. Decide which side is authoritative and
+		// reconcile under the owner's locks before repointing more
+		// parents.
+		if copied, copiedRefs, err = r.refreshCopy(owner, oldO, newO, img, prior); err != nil {
+			return err
+		}
+	}
 	r.noteLocks(2 + 1) // old + new + at most one parent below
 
 	r.chargeWork()
-	r.inFlight = &InFlight{Old: oldO, New: newO}
+	r.inFlight = &InFlight{Old: oldO, New: newO, Copied: copied, CopiedRefs: copiedRefs}
 	r.checkpoint()
 	if err := r.fail("twolock-inflight"); err != nil {
 		return err
@@ -154,6 +184,87 @@ func (r *Reorganizer) migrateTwoLock(oldO, existingNew oid.OID) error {
 	r.fixupChildren(img.Refs, oldO, newO)
 	r.inFlight = nil
 	return nil
+}
+
+// refreshCopy reconciles a re-adopted in-flight migration whose owner
+// locks died with the crash: until the resume re-locked both addresses,
+// committed updates could land on whichever copy a parent still
+// referenced. The copy-time snapshot in prior decides the direction. If
+// the new copy no longer matches it, the updates came in through
+// already-repointed parents and the new copy is authoritative — the old
+// one is deleted as-is. Otherwise any divergence sits on the old copy,
+// and it is folded into the new one under the owner's locks, so the
+// remaining repoints publish current data. (If both sides changed —
+// possible only for a multi-parent object left reachable through both
+// addresses — the new side wins: its parents were repointed first.)
+// Returns the snapshot the continued migration records in its InFlight.
+func (r *Reorganizer) refreshCopy(owner *db.Txn, oldO, newO oid.OID, img object.Object, prior *InFlight) ([]byte, []oid.OID, error) {
+	cur, err := owner.Read(newO)
+	if err != nil {
+		return nil, nil, err
+	}
+	if prior != nil && prior.Copied != nil &&
+		(!bytes.Equal(cur.Payload, prior.Copied) || !refsEqual(cur.Refs, prior.CopiedRefs)) {
+		return prior.Copied, prior.CopiedRefs, nil
+	}
+	want := r.transformPayload(oldO, img.Payload)
+	if !bytes.Equal(cur.Payload, want) {
+		if err := owner.UpdatePayload(newO, want); err != nil {
+			return nil, nil, err
+		}
+	}
+	wantRefs := retargetSelf(img.Refs, oldO, newO)
+	diff := make(map[oid.OID]int)
+	for _, c := range wantRefs {
+		diff[c]++
+	}
+	for _, c := range cur.Refs {
+		diff[c]--
+	}
+	for c, n := range diff {
+		for ; n > 0; n-- {
+			if err := owner.InsertRef(newO, c); err != nil {
+				return nil, nil, err
+			}
+		}
+		for ; n < 0; n++ {
+			if err := owner.DeleteRef(newO, c); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return want, wantRefs, nil
+}
+
+// retargetSelf returns refs with every occurrence of oldO replaced by
+// newO — the reference list the new copy was created with.
+func retargetSelf(refs []oid.OID, oldO, newO oid.OID) []oid.OID {
+	out := make([]oid.OID, len(refs))
+	for i, c := range refs {
+		if c == oldO {
+			c = newO
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// refsEqual compares two reference lists as multisets.
+func refsEqual(a, b []oid.OID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	counts := make(map[oid.OID]int, len(a))
+	for _, c := range a {
+		counts[c]++
+	}
+	for _, c := range b {
+		counts[c]--
+		if counts[c] < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // updateOneParent locks R in a short transaction, repoints its references

@@ -1,0 +1,321 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestFileDeviceWriteErrorLatchesFailed: a write error that survives
+// the retry budget must latch the device, and every later FlushWait
+// must get a typed ErrDeviceFailed — never a silently-advanced
+// durable horizon.
+func TestFileDeviceWriteErrorLatchesFailed(t *testing.T) {
+	dev, _ := newFileDevice(t, 0)
+	dev.SetRetryPolicy(2, 0)
+	l := NewLog(WithFileDevice(dev))
+
+	reg := fault.NewRegistry(1)
+	reg.Arm(fault.Trigger{Point: fault.WALWrite, Kind: fault.KindError, Hit: 1, Times: fault.Forever})
+	restore := fault.Install(reg)
+	defer restore()
+
+	lsn, _ := l.Append(&Record{Type: RecCommit, Txn: 1})
+	err := l.FlushWait(lsn)
+	if !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("FlushWait after exhausted retries: %v", err)
+	}
+	if dev.Failed() == nil {
+		t.Fatal("device not latched failed")
+	}
+	if l.FlushedLSN() != 0 {
+		t.Fatalf("durable horizon advanced to %d past a failed write", l.FlushedLSN())
+	}
+	// The failure is sticky even with injection gone.
+	restore()
+	lsn2, _ := l.Append(&Record{Type: RecCommit, Txn: 2})
+	if err := l.FlushWait(lsn2); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("FlushWait on latched device: %v", err)
+	}
+}
+
+// TestFileDeviceTransientErrorsRetry: single injected write and fsync
+// errors heal within the retry budget and the batch lands intact.
+func TestFileDeviceTransientErrorsRetry(t *testing.T) {
+	dev, _ := newFileDevice(t, 0)
+	dev.SetRetryPolicy(3, 0)
+	l := NewLog(WithFileDevice(dev))
+
+	reg := fault.NewRegistry(2)
+	reg.Arm(fault.Trigger{Point: fault.WALWrite, Kind: fault.KindError, Hit: 1, Times: 1})
+	reg.Arm(fault.Trigger{Point: fault.WALSync, Kind: fault.KindError, Hit: 1, Times: 1})
+	restore := fault.Install(reg)
+	defer restore()
+
+	lsn, _ := l.Append(&Record{Type: RecCommit, Txn: 7})
+	if err := l.FlushWait(lsn); err != nil {
+		t.Fatalf("transient errors did not heal: %v", err)
+	}
+	if dev.Failed() != nil {
+		t.Fatalf("device latched failed on transient error: %v", dev.Failed())
+	}
+	recs, err := dev.ReadAll()
+	if err != nil || len(recs) != 1 || recs[0].Txn != 7 {
+		t.Fatalf("ReadAll = %v, %v", recs, err)
+	}
+}
+
+// TestFileDeviceCrashTearsRecord: a wal/crash firing freezes the
+// device with only a seeded prefix of the in-flight record on disk.
+// The durable image must scan cleanly to the committed prefix, and at
+// least one seed in the range must produce an actually-torn tail.
+func TestFileDeviceCrashTearsRecord(t *testing.T) {
+	torn := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		dev, _ := newFileDevice(t, 0)
+		l := NewLog(WithFileDevice(dev))
+
+		reg := fault.NewRegistry(seed)
+		reg.Arm(fault.Trigger{Point: fault.WALCrash, Kind: fault.KindCrash, Hit: 3})
+		restore := fault.Install(reg)
+
+		var flushed []LSN
+		var failedAt int
+		for i := 1; i <= 5; i++ {
+			lsn, _ := l.Append(&Record{Type: RecCommit, Txn: TxnID(i), After: []byte("payload-padding-0123456789")})
+			if err := l.FlushWait(lsn); err != nil {
+				if !errors.Is(err, ErrDeviceFailed) {
+					t.Fatalf("seed %d: crash surfaced as %v", seed, err)
+				}
+				failedAt = i
+				break
+			}
+			flushed = append(flushed, lsn)
+		}
+		restore()
+		if failedAt != 3 {
+			t.Fatalf("seed %d: crash fired at record %d, want 3", seed, failedAt)
+		}
+		scan, err := dev.ScanAll()
+		if err != nil {
+			t.Fatalf("seed %d: ScanAll after crash: %v", seed, err)
+		}
+		// Exactly the acked records, plus at most the fully-written
+		// crash victim (crash-after-write-before-ack).
+		if n := len(scan.Records); n != len(flushed) && n != len(flushed)+1 {
+			t.Fatalf("seed %d: %d records after crash, acked %d", seed, n, len(flushed))
+		}
+		for i, r := range scan.Records[:len(flushed)] {
+			if r.LSN != flushed[i] {
+				t.Fatalf("seed %d: record %d has LSN %d, want %d", seed, i, r.LSN, flushed[i])
+			}
+		}
+		if scan.DroppedBytes > 0 {
+			torn++
+			if scan.TornSegment == "" {
+				t.Fatalf("seed %d: dropped %d bytes but no torn segment named", seed, scan.DroppedBytes)
+			}
+			if len(scan.Records) != len(flushed) {
+				t.Fatalf("seed %d: torn tail but %d records (acked %d)", seed, len(scan.Records), len(flushed))
+			}
+		}
+		dev.Close()
+	}
+	if torn == 0 {
+		t.Fatal("no seed in 1..10 produced a torn tail; torn-write injection is not tearing")
+	}
+}
+
+// TestFileDeviceFreezeStopsDurability: Freeze latches the device
+// without touching files; reads still work, writes are refused.
+func TestFileDeviceFreezeStopsDurability(t *testing.T) {
+	dev, _ := newFileDevice(t, 0)
+	l := NewLog(WithFileDevice(dev))
+	a, _ := l.Append(&Record{Type: RecCommit, Txn: 1})
+	if err := l.FlushWait(a); err != nil {
+		t.Fatal(err)
+	}
+	dev.Freeze()
+	b, _ := l.Append(&Record{Type: RecCommit, Txn: 2})
+	if err := l.FlushWait(b); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("FlushWait on frozen device: %v", err)
+	}
+	recs, err := dev.ReadAll()
+	if err != nil || len(recs) != 1 || recs[0].Txn != 1 {
+		t.Fatalf("frozen device ReadAll = %v, %v", recs, err)
+	}
+}
+
+// TestLogFailWakesWaiters: Log.Fail must wake FlushWait callers
+// queued behind an in-flight flush with a typed error instead of
+// leaving them hung (and without advancing the horizon).
+func TestLogFailWakesWaiters(t *testing.T) {
+	l := NewLog(WithFlushLatency(300 * time.Millisecond))
+	lsn, _ := l.Append(&Record{Type: RecCommit, Txn: 1})
+	flusher := make(chan error, 1)
+	go func() { flusher <- l.FlushWait(lsn) }() // becomes the flusher, sleeps in the device
+	time.Sleep(10 * time.Millisecond)
+	waiter := make(chan error, 1)
+	go func() { waiter <- l.FlushWait(lsn) }() // queued behind the flusher
+	time.Sleep(10 * time.Millisecond)
+	l.Fail(errors.New("pulled the plug"))
+	select {
+	case err := <-waiter:
+		if !errors.Is(err, ErrDeviceFailed) {
+			t.Fatalf("woken waiter got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued FlushWait still blocked after Fail")
+	}
+	select {
+	case err := <-flusher:
+		if !errors.Is(err, ErrDeviceFailed) {
+			t.Fatalf("flusher completed with %v after Fail", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flusher still blocked after Fail")
+	}
+	if l.FlushedLSN() != 0 {
+		t.Fatalf("horizon advanced to %d past Fail", l.FlushedLSN())
+	}
+}
+
+// TestScanAllCorruptionIsError: a bit flip inside a record body (CRC
+// mismatch, not a torn tail) must be a hard error even in the final
+// segment — restart may not silently skip acknowledged records.
+func TestScanAllCorruptionIsError(t *testing.T) {
+	dev, dir := newFileDevice(t, 0)
+	l := NewLog(WithFileDevice(dev))
+	a, _ := l.Append(&Record{Type: RecCommit, Txn: 1, After: []byte("abcdefgh")})
+	b, _ := l.Append(&Record{Type: RecCommit, Txn: 2, After: []byte("ijklmnop")})
+	_ = a
+	l.FlushWait(b)
+	dev.Close()
+
+	segs, _ := dev.segments()
+	path := filepath.Join(dir, segs[len(segs)-1])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeaderBytes+8] ^= 0xff // flip a byte inside the first record's body
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := NewFileDevice(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	if _, err := dev2.ScanAll(); !errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTorn) {
+		t.Fatalf("corruption scanned as %v, want hard ErrCorrupt", err)
+	}
+}
+
+// TestScanAllReportsDroppedBytes: chopping bytes off the final record
+// yields a clean scan that accounts for exactly the dropped tail.
+func TestScanAllReportsDroppedBytes(t *testing.T) {
+	dev, dir := newFileDevice(t, 0)
+	l := NewLog(WithFileDevice(dev))
+	a, _ := l.Append(&Record{Type: RecCommit, Txn: 1})
+	b, _ := l.Append(&Record{Type: RecCommit, Txn: 2, After: []byte("0123456789")})
+	_ = a
+	l.FlushWait(b)
+	dev.Close()
+
+	segs, _ := dev.segments()
+	path := filepath.Join(dir, segs[len(segs)-1])
+	info, _ := os.Stat(path)
+	const chop = 5
+	if err := os.Truncate(path, info.Size()-chop); err != nil {
+		t.Fatal(err)
+	}
+	dev2, err := NewFileDevice(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev2.Close()
+	scan, err := dev2.ScanAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Records) != 1 || scan.Records[0].Txn != 1 {
+		t.Fatalf("scan kept %d records", len(scan.Records))
+	}
+	wantDropped := len(Encode(&Record{LSN: 2, Type: RecCommit, Txn: 2, After: []byte("0123456789")})) - chop
+	if scan.DroppedBytes != wantDropped {
+		t.Fatalf("DroppedBytes = %d, want %d", scan.DroppedBytes, wantDropped)
+	}
+	if scan.TornSegment == "" {
+		t.Fatal("torn segment not reported")
+	}
+}
+
+// TestTruncateBeforeRacesWriter: checkpoint truncation running
+// against an active appender must neither lose live records nor trip
+// the race detector.
+func TestTruncateBeforeRacesWriter(t *testing.T) {
+	dev, _ := newFileDevice(t, 256) // tiny segments: rotation + truncation churn
+	l := NewLog(WithFileDevice(dev))
+
+	const writes = 300
+	var mu sync.Mutex
+	var lastFlushed LSN
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			lsn, err := l.Append(&Record{Type: RecUpdate, Txn: TxnID(i), Before: make([]byte, 48)})
+			if err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			if err := l.FlushWait(lsn); err != nil {
+				t.Errorf("flush %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			lastFlushed = lsn
+			mu.Unlock()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			mu.Lock()
+			horizon := lastFlushed
+			mu.Unlock()
+			if horizon >= writes {
+				return
+			}
+			if horizon > 8 {
+				if err := dev.TruncateBefore(horizon - 8); err != nil {
+					t.Errorf("truncate at %d: %v", horizon, err)
+					return
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+
+	recs, err := dev.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].LSN != writes {
+		t.Fatalf("tail after race = %v", recs[len(recs)-1].LSN)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN != recs[i-1].LSN+1 {
+			t.Fatalf("gap in surviving records: %d -> %d", recs[i-1].LSN, recs[i].LSN)
+		}
+	}
+}

@@ -7,6 +7,20 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// Fault points on the file-device write path. wal/write and wal/sync
+// inject retryable I/O errors into the append and fsync steps;
+// wal/crash simulates a process kill mid-append, leaving a seeded
+// torn prefix of the in-flight record on disk and freezing the
+// device.
+var (
+	fpWALWrite = fault.Point(fault.WALWrite)
+	fpWALSync  = fault.Point(fault.WALSync)
+	fpWALCrash = fault.Point(fault.WALCrash)
 )
 
 // FileDevice persists encoded log records to segment files in a
@@ -16,21 +30,40 @@ import (
 // the same group-commit economics the simulated device models.
 //
 // Segment files are named wal-<firstLSN>.seg; records are stored in the
-// Encode framing, so a crash-truncated tail is detected by the decoder
-// and discarded at recovery.
+// CRC-framed Encode format, so a crash-truncated tail is detected by
+// the decoder (ErrTorn) and discarded at recovery, while flipped bits
+// surface as hard ErrCorrupt failures.
+//
+// Write and fsync errors are retried with bounded exponential backoff
+// (transient glitches heal invisibly). A failure that survives its
+// retry budget latches the device failed: the batch that hit it — and
+// every batch after it — returns an error wrapping ErrDeviceFailed,
+// so no caller can mistake a partially-applied batch for a durable
+// one, and FlushWait surfaces a typed error instead of silently
+// advancing the durable horizon.
 type FileDevice struct {
 	dir      string
 	segBytes int
+
+	attempts int
+	backoff  time.Duration
 
 	mu       sync.Mutex
 	cur      *os.File
 	curSize  int
 	curFirst LSN
 	closed   bool
+	failed   error
 }
 
 // DefaultSegmentBytes is the rotation threshold used when 0 is given.
 const DefaultSegmentBytes = 4 << 20
+
+// Default retry budget for segment write/fsync errors.
+const (
+	defaultWriteAttempts = 3
+	defaultWriteBackoff  = 500 * time.Microsecond
+)
 
 // NewFileDevice opens (creating if needed) a log directory.
 func NewFileDevice(dir string, segBytes int) (*FileDevice, error) {
@@ -40,7 +73,24 @@ func NewFileDevice(dir string, segBytes int) (*FileDevice, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: file device: %w", err)
 	}
-	return &FileDevice{dir: dir, segBytes: segBytes}, nil
+	return &FileDevice{
+		dir:      dir,
+		segBytes: segBytes,
+		attempts: defaultWriteAttempts,
+		backoff:  defaultWriteBackoff,
+	}, nil
+}
+
+// SetRetryPolicy overrides the write/fsync retry budget: attempts
+// total tries per operation (minimum 1) with exponential backoff
+// starting at the given base between tries.
+func (f *FileDevice) SetRetryPolicy(attempts int, backoff time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if attempts > 0 {
+		f.attempts = attempts
+	}
+	f.backoff = backoff
 }
 
 func segName(first LSN) string { return fmt.Sprintf("wal-%020d.seg", uint64(first)) }
@@ -50,49 +100,162 @@ func segName(first LSN) string { return fmt.Sprintf("wal-%020d.seg", uint64(firs
 func (f *FileDevice) write(records []*Record) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.failed != nil {
+		return f.failed
+	}
 	if f.closed {
 		return ErrClosed
 	}
 	for _, r := range records {
 		if f.cur == nil || f.curSize >= f.segBytes {
 			if err := f.rotateLocked(r.LSN); err != nil {
-				return err
+				return f.failLocked("segment rotate", err)
 			}
 		}
 		buf := Encode(r)
-		n, err := f.cur.Write(buf)
-		if err != nil {
-			return fmt.Errorf("wal: segment write: %w", err)
+		if ferr := fpWALCrash.Maybe(); fault.IsCrash(ferr) {
+			f.tearLocked(buf, fault.RandOf(ferr))
+			return f.failLocked("crash mid-append", ferr)
 		}
-		f.curSize += n
+		if err := f.appendLocked(buf); err != nil {
+			return f.failLocked("segment write", err)
+		}
+		f.curSize += len(buf)
 	}
 	if f.cur != nil {
-		if err := f.cur.Sync(); err != nil {
-			return fmt.Errorf("wal: segment sync: %w", err)
+		if err := f.syncLocked(); err != nil {
+			return f.failLocked("segment sync", err)
 		}
 	}
 	return nil
+}
+
+// tearLocked simulates the torn tail a crash leaves behind: a seeded
+// prefix of the in-flight record reaches the medium, the rest never
+// does. draw∈[0,1) picks the cut; 0 models crash-before-write and a
+// full-length cut models crash-after-write-before-ack.
+func (f *FileDevice) tearLocked(buf []byte, draw float64) {
+	if f.cur == nil {
+		return
+	}
+	cut := int(draw * float64(len(buf)+1))
+	if cut < 0 {
+		cut = 0
+	}
+	if cut > len(buf) {
+		cut = len(buf)
+	}
+	if cut == 0 {
+		return
+	}
+	// Errors are ignored: the device is dying at this instant, and
+	// whatever fraction of the prefix reached the medium is exactly
+	// the ambiguity recovery must tolerate.
+	if n, _ := f.cur.Write(buf[:cut]); n > 0 {
+		f.curSize += n
+	}
+	_ = f.cur.Sync()
+}
+
+// failLocked latches the device failed. The first cause wins.
+func (f *FileDevice) failLocked(op string, cause error) error {
+	if f.failed == nil {
+		f.failed = fmt.Errorf("%w: %s: %v", ErrDeviceFailed, op, cause)
+	}
+	return f.failed
+}
+
+// appendLocked writes buf to the current segment, retrying transient
+// errors with bounded backoff and resuming partial writes where they
+// stopped.
+func (f *FileDevice) appendLocked(buf []byte) error {
+	written := 0
+	var last error
+	for a := 0; a < f.attempts; a++ {
+		if a > 0 && f.backoff > 0 {
+			time.Sleep(f.backoff << (a - 1))
+		}
+		if ferr := fpWALWrite.Maybe(); ferr != nil {
+			last = ferr
+			continue
+		}
+		n, err := f.cur.Write(buf[written:])
+		written += n
+		if err == nil {
+			return nil
+		}
+		last = err
+	}
+	return fmt.Errorf("after %d attempts: %w", f.attempts, last)
+}
+
+// syncLocked fsyncs the current segment with the same retry policy.
+func (f *FileDevice) syncLocked() error {
+	var last error
+	for a := 0; a < f.attempts; a++ {
+		if a > 0 && f.backoff > 0 {
+			time.Sleep(f.backoff << (a - 1))
+		}
+		if ferr := fpWALSync.Maybe(); ferr != nil {
+			last = ferr
+			continue
+		}
+		if err := f.cur.Sync(); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return fmt.Errorf("after %d attempts: %w", f.attempts, last)
+}
+
+// Freeze latches the device failed without touching the files: the
+// durable image stays exactly what has already been written. Crash
+// harnesses call it (typically from a fault.Registry OnCrash hook) so
+// that nothing appended after the crash instant can reach the medium.
+func (f *FileDevice) Freeze() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failed == nil {
+		f.failed = fmt.Errorf("%w: frozen (simulated crash)", ErrDeviceFailed)
+	}
+}
+
+// Failed returns the latched failure cause, or nil.
+func (f *FileDevice) Failed() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
 }
 
 // rotateLocked closes the current segment and opens a new one whose name
 // carries the first LSN it will hold. Caller holds f.mu.
 func (f *FileDevice) rotateLocked(first LSN) error {
 	if f.cur != nil {
-		if err := f.cur.Sync(); err != nil {
+		if err := f.syncLocked(); err != nil {
 			return err
 		}
 		if err := f.cur.Close(); err != nil {
 			return err
 		}
+		f.cur = nil
 	}
-	file, err := os.OpenFile(filepath.Join(f.dir, segName(first)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("wal: open segment: %w", err)
+	var last error
+	for a := 0; a < f.attempts; a++ {
+		if a > 0 && f.backoff > 0 {
+			time.Sleep(f.backoff << (a - 1))
+		}
+		file, err := os.OpenFile(filepath.Join(f.dir, segName(first)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			last = err
+			continue
+		}
+		f.cur = file
+		f.curSize = 0
+		f.curFirst = first
+		return nil
 	}
-	f.cur = file
-	f.curSize = 0
-	f.curFirst = first
-	return nil
+	return fmt.Errorf("open segment after %d attempts: %w", f.attempts, last)
 }
 
 // segments lists segment files in LSN order.
@@ -111,37 +274,59 @@ func (f *FileDevice) segments() ([]string, error) {
 	return names, nil
 }
 
-// ReadAll decodes every durable record in LSN order. A corrupt (crash-
-// truncated) tail in the final segment ends the scan silently; corruption
-// elsewhere is an error.
-func (f *FileDevice) ReadAll() ([]*Record, error) {
+// ScanResult describes a full scan of the durable log.
+type ScanResult struct {
+	Records      []*Record
+	DroppedBytes int    // bytes discarded from a torn final-segment tail
+	TornSegment  string // segment whose tail was torn ("" if clean)
+}
+
+// ScanAll decodes every durable record in LSN order. A torn tail in
+// the final segment — a record cut short by a crash mid-write — ends
+// the scan cleanly, reporting how many bytes were dropped. Anything
+// else that fails to decode (CRC mismatch, bad magic, torn data
+// before the final tail) is real corruption and is an error: restart
+// must not silently skip records the system once acknowledged.
+func (f *FileDevice) ScanAll() (*ScanResult, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	names, err := f.segments()
 	if err != nil {
 		return nil, err
 	}
-	var out []*Record
+	res := &ScanResult{}
 	for i, name := range names {
 		buf, err := os.ReadFile(filepath.Join(f.dir, name))
 		if err != nil {
 			return nil, err
 		}
-		for len(buf) > 0 {
-			rec, n, err := Decode(buf)
-			if err != nil {
-				if i == len(names)-1 {
-					// Torn tail from a crash mid-write: everything
-					// before it is intact.
-					return out, nil
+		off := 0
+		for off < len(buf) {
+			rec, n, derr := Decode(buf[off:])
+			if derr != nil {
+				if i == len(names)-1 && errors.Is(derr, ErrTorn) {
+					res.DroppedBytes = len(buf) - off
+					res.TornSegment = name
+					return res, nil
 				}
-				return nil, fmt.Errorf("wal: segment %s corrupt mid-stream: %w", name, err)
+				return nil, fmt.Errorf("wal: segment %s offset %d: %w", name, off, derr)
 			}
-			out = append(out, rec)
-			buf = buf[n:]
+			res.Records = append(res.Records, rec)
+			off += n
 		}
 	}
-	return out, nil
+	return res, nil
+}
+
+// ReadAll decodes every durable record in LSN order, tolerating a
+// torn final-segment tail. See ScanAll for the full report including
+// dropped-byte accounting.
+func (f *FileDevice) ReadAll() ([]*Record, error) {
+	res, err := f.ScanAll()
+	if err != nil {
+		return nil, err
+	}
+	return res.Records, nil
 }
 
 // TruncateBefore removes whole segments whose records all precede lsn.
@@ -170,7 +355,9 @@ func (f *FileDevice) TruncateBefore(lsn LSN) error {
 	return nil
 }
 
-// Close syncs and closes the current segment.
+// Close closes the current segment, syncing it first unless the
+// device has failed — a failed or frozen device must not advance the
+// durable image on its way out.
 func (f *FileDevice) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -178,13 +365,19 @@ func (f *FileDevice) Close() error {
 		return nil
 	}
 	f.closed = true
-	if f.cur != nil {
-		if err := f.cur.Sync(); err != nil {
-			return err
-		}
-		return f.cur.Close()
+	if f.cur == nil {
+		return nil
 	}
-	return nil
+	cur := f.cur
+	f.cur = nil
+	if f.failed != nil {
+		_ = cur.Close()
+		return nil
+	}
+	if err := cur.Sync(); err != nil {
+		return err
+	}
+	return cur.Close()
 }
 
 // ErrNoDevice reports a FlushWait on a closed file device.
