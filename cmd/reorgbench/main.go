@@ -8,6 +8,8 @@
 //	reorgbench -exp all -scale full     # the whole evaluation, paper scale
 //	reorgbench -bench lockscale         # lock-manager scaling sweep → BENCH_lock.json
 //	reorgbench -bench torture           # crash-recovery torture sweep → BENCH_torture.json
+//	reorgbench -bench interference      # 100ms-window reorg-on/off series → BENCH_interference.json
+//	reorgbench -http :6060 -exp fig6    # expose expvar + pprof while running
 //
 // Quick scale preserves the paper's shapes (who wins, by what factor,
 // where curves peak) in minutes; full scale uses the exact Table 1
@@ -21,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -31,12 +34,16 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
-		bench    = flag.String("bench", "", "benchmark id: lockscale, torture")
+		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference")
 		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
+		httpAddr = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 	if *quick {
 		*scale = "quick"
+	}
+	if *httpAddr != "" {
+		obs.ServeDebug(*httpAddr)
 	}
 
 	if *bench != "" {
@@ -86,8 +93,22 @@ func main() {
 			if *verbose {
 				fmt.Printf("-- torture completed in %s\n", time.Since(start).Round(time.Millisecond))
 			}
+		case "interference":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_interference.json"
+			}
+			fmt.Printf("== interference — live reorg-on/off window series (scale: %s) ==\n", sc.Name)
+			start := time.Now()
+			if err := harness.RunInterference(os.Stdout, sc, out); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark interference failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- interference completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture)\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference)\n", *bench)
 			os.Exit(2)
 		}
 		return

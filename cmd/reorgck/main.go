@@ -20,6 +20,7 @@
 package main
 
 import (
+	"expvar"
 	"fmt"
 	"os"
 	"strings"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/reorg"
 	"repro/internal/workload"
@@ -49,8 +51,12 @@ func main() {
 		seeds      = flag.Int("seeds", 24, "torture: number of seeded runs")
 		seedbase   = flag.Int64("seedbase", 0, "torture: first seed")
 		points     = flag.String("points", "", "torture: comma-separated crash points to rotate through (default: the full taxonomy)")
+		httpAddr   = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	if *httpAddr != "" {
+		obs.ServeDebug(*httpAddr)
+	}
 
 	if *torture {
 		os.Exit(runTorture(*seeds, *seedbase, *points))
@@ -88,6 +94,20 @@ func main() {
 	}
 	fmt.Printf("reachable graph: %d objects\n", len(sigBefore))
 
+	var fleet *metrics.FleetRecorder
+	if *workers > 1 {
+		fleet = metrics.NewFleetRecorder(*workers)
+	}
+	if *httpAddr != "" {
+		// With the debug endpoint up, expose the live lock-manager
+		// counters and per-worker fleet progress alongside the obs
+		// tracer state.
+		expvar.Publish("locks", expvar.Func(func() any { return w.DB.Locks().Stats() }))
+		if fleet != nil {
+			expvar.Publish("fleet", expvar.Func(func() any { return fleet.Snapshot() }))
+		}
+	}
+
 	rec := metrics.NewRecorder()
 	driver := workload.NewDriver(w, rec)
 	rec.StartWindow()
@@ -104,6 +124,7 @@ func main() {
 			s, err := reorg.NewScheduler(w.DB, parts, reorg.FleetOptions{
 				Workers: *workers,
 				Reorg:   reorg.Options{Mode: mode, BatchSize: *batch},
+				Fleet:   fleet,
 			})
 			if err != nil {
 				fatal(err)

@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"context"
+	"os/exec"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun compiles and runs every example program end to end.
+// The examples are the package's front door — each one panics on any
+// internal inconsistency, so "go run exits 0" is a real assertion, and
+// this test keeps them compiling (they are separate main packages, so
+// `go build ./...` alone does not prove they still run).
+//
+// The examples run serially after one shared build pass: they share
+// almost their whole dependency graph, so warming the build cache once
+// keeps the per-example `go run` cheap even on a single-core runner.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("each example builds and runs a small database")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 8*time.Minute)
+	defer cancel()
+	if out, err := exec.CommandContext(ctx, "go", "build", "./examples/...").CombinedOutput(); err != nil {
+		t.Fatalf("examples do not build: %v\n%s", err, out)
+	}
+
+	examples := []string{"quickstart", "clustering", "compaction", "gc", "schemaevolution"}
+	for _, name := range examples {
+		t.Run(name, func(t *testing.T) {
+			runCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+			defer cancel()
+			out, err := exec.CommandContext(runCtx, "go", "run", "./examples/"+name).CombinedOutput()
+			if runCtx.Err() != nil {
+				t.Fatalf("example %s timed out:\n%s", name, out)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", name)
+			}
+		})
+	}
+}

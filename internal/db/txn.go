@@ -3,10 +3,12 @@ package db
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -311,6 +313,9 @@ func (t *Txn) RollbackTo(sp Savepoint) error {
 func (t *Txn) Commit() error {
 	if t.ended {
 		return ErrTxnDone
+	}
+	if obs.Enabled() {
+		defer obs.ObserveSince(obs.TxnCommit, time.Now())
 	}
 	t.ended = true
 	rec := &wal.Record{Type: wal.RecCommit, Txn: wal.TxnID(t.id), Prev: t.lastLSN}

@@ -1,0 +1,167 @@
+package ert
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/oid"
+)
+
+// ertOp is one random table operation. The fields are small unsigned
+// integers so testing/quick can generate sequences directly; kind is
+// interpreted modulo the number of operation kinds.
+type ertOp struct {
+	Kind   uint8
+	Child  uint8
+	Parent uint8
+}
+
+// childOID maps the generator's small child id into partition 1.
+func childOID(c uint8) oid.OID {
+	return oid.New(1, oid.PageNum(c/8+1), oid.SlotNum(c%8))
+}
+
+// parentOID maps the generator's small parent id outside partition 1.
+func parentOID(p uint8) oid.OID {
+	return oid.New(2, oid.PageNum(p/8+1), oid.SlotNum(p%8))
+}
+
+// ertOracle is the naive model: a plain nested map plus a total counter,
+// mutated with the obvious code.
+type ertOracle struct {
+	refs  map[oid.OID]map[oid.OID]int
+	total int
+}
+
+func newErtOracle() *ertOracle { return &ertOracle{refs: make(map[oid.OID]map[oid.OID]int)} }
+
+func (o *ertOracle) add(child, parent oid.OID) {
+	if o.refs[child] == nil {
+		o.refs[child] = make(map[oid.OID]int)
+	}
+	o.refs[child][parent]++
+	o.total++
+}
+
+func (o *ertOracle) remove(child, parent oid.OID) {
+	ps := o.refs[child]
+	if ps == nil || ps[parent] == 0 {
+		return // removing an unrecorded reference is a no-op
+	}
+	ps[parent]--
+	o.total--
+	if ps[parent] == 0 {
+		delete(ps, parent)
+	}
+	if len(ps) == 0 {
+		delete(o.refs, child)
+	}
+}
+
+func (o *ertOracle) parents(child oid.OID) []oid.OID {
+	ps := o.refs[child]
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]oid.OID, 0, len(ps))
+	for p := range ps {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// agree checks every observable accessor of the table against the
+// oracle; it returns false (and logs) on the first divergence.
+func agree(t *testing.T, tab *Table, o *ertOracle) bool {
+	t.Helper()
+	if tab.Refs() != o.total {
+		t.Logf("Refs() = %d, oracle total = %d", tab.Refs(), o.total)
+		return false
+	}
+	if tab.Children() != len(o.refs) {
+		t.Logf("Children() = %d, oracle children = %d", tab.Children(), len(o.refs))
+		return false
+	}
+	for child := range o.refs {
+		if got, want := tab.Parents(child), o.parents(child); !reflect.DeepEqual(got, want) {
+			t.Logf("Parents(%s) = %v, oracle %v", child, got, want)
+			return false
+		}
+	}
+	// Range must enumerate exactly the oracle's (child, parent, count)
+	// triples.
+	seen := make(map[oid.OID]map[oid.OID]int)
+	sum := 0
+	tab.Range(func(child, parent oid.OID, count int) bool {
+		if seen[child] == nil {
+			seen[child] = make(map[oid.OID]int)
+		}
+		seen[child][parent] += count
+		sum += count
+		return true
+	})
+	if sum != o.total || !reflect.DeepEqual(seen, o.refs) {
+		t.Logf("Range enumerated %d refs %v, oracle %d refs %v", sum, seen, o.total, o.refs)
+		return false
+	}
+	return true
+}
+
+// TestQuickTableMatchesOracle drives random AddRef / RemoveRef / migrate
+// sequences through the table and the naive oracle in lockstep. The
+// check after every operation pins the nRefs invariant: the atomic total
+// always equals the multiset size of the map contents — in particular
+// RemoveRef of an absent reference must not decrement it, and a migrate
+// (retargeting every reference of one child to a new child OID, as IRA
+// does when an object moves) must leave the total unchanged.
+func TestQuickTableMatchesOracle(t *testing.T) {
+	prop := func(ops []ertOp) bool {
+		tab := New(1)
+		o := newErtOracle()
+		for _, op := range ops {
+			child, parent := childOID(op.Child), parentOID(op.Parent)
+			switch op.Kind % 3 {
+			case 0:
+				tab.AddRef(child, parent)
+				o.add(child, parent)
+			case 1:
+				tab.RemoveRef(child, parent)
+				o.remove(child, parent)
+			case 2:
+				// Migrate: child moves to a fresh OID; every external
+				// reference is retargeted pair-wise, exactly as the
+				// reorganizer's parent repointing drives the table.
+				newChild := childOID(op.Child ^ 0x80)
+				if newChild == child {
+					continue
+				}
+				before := tab.Refs()
+				for _, p := range tab.Parents(child) {
+					n := o.refs[child][p]
+					for i := 0; i < n; i++ {
+						tab.RemoveRef(child, p)
+						tab.AddRef(newChild, p)
+						o.remove(child, p)
+						o.add(newChild, p)
+					}
+				}
+				if tab.Refs() != before {
+					t.Logf("migrate changed total refs: %d -> %d", before, tab.Refs())
+					return false
+				}
+			}
+			if !agree(t, tab, o) {
+				return false
+			}
+		}
+		// Snapshot / Restore must round-trip the final state.
+		tab.Restore(tab.Snapshot())
+		return agree(t, tab, o)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

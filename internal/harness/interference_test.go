@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/obs"
+	"repro/internal/reorg"
+	"repro/internal/workload"
+)
+
+// tinyInterferenceConfig is a cell small enough for the unit-test
+// budget while still exercising the full monitor path.
+func tinyInterferenceConfig() InterferenceConfig {
+	p := workload.DefaultParams()
+	p.NumPartitions = 2
+	p.ObjectsPerPartition = 64
+	p.MPL = 4
+	return InterferenceConfig{
+		Params:         p,
+		DB:             db.DefaultConfig(),
+		Mode:           reorg.ModeIRA,
+		ReorgPartition: 1,
+		Window:         25 * time.Millisecond,
+		Warmup:         50 * time.Millisecond,
+		LeadWindows:    2,
+		DrainWindows:   1,
+		Trace:          true,
+		Verify:         true,
+	}
+}
+
+// TestInterferencePairedReport runs the monitor on a tiny cell and checks
+// the report's structural invariants: the OFF series pairs the ON series
+// window for window, the lead windows are marked inactive, the
+// reorganization migrated the partition, and the traced step digests
+// cover the IRA steps.
+func TestInterferencePairedReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paired workload runs")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_interference.json")
+	var buf bytes.Buffer
+	if err := runInterference(&buf, tinyInterferenceConfig(), "test", out); err != nil {
+		t.Fatalf("runInterference: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep InterferenceReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+
+	if len(rep.On.Points) == 0 || len(rep.On.Points) != len(rep.Off.Points) {
+		t.Fatalf("series not paired: on=%d off=%d", len(rep.On.Points), len(rep.Off.Points))
+	}
+	for i := 0; i < rep.LeadWindows; i++ {
+		if rep.On.Points[i].ReorgActive {
+			t.Fatalf("lead window %d marked reorg-active", i)
+		}
+	}
+	active := 0
+	for i, p := range rep.On.Points {
+		if p.ReorgActive {
+			active++
+		}
+		if i > 0 && p.TMs <= rep.On.Points[i-1].TMs {
+			t.Fatalf("window %d start %.1fms not after window %d", i, p.TMs, i-1)
+		}
+		if p.WindowMs <= 0 {
+			t.Fatalf("window %d has non-positive width", i)
+		}
+	}
+	if active == 0 {
+		t.Fatal("no reorg-active windows sampled")
+	}
+	for _, p := range rep.Off.Points {
+		if p.ReorgActive {
+			t.Fatal("off series has a reorg-active window")
+		}
+	}
+	if rep.On.Migrated != 64 {
+		t.Fatalf("migrated %d of 64 objects", rep.On.Migrated)
+	}
+	if rep.Off.Migrated != 0 || rep.Off.ReorgMs != 0 {
+		t.Fatalf("off series carries reorg stats: %+v", rep.Off)
+	}
+	if rep.OffMeanTput <= 0 {
+		t.Fatal("off-series throughput is zero — pairing denominator broken")
+	}
+
+	steps := make(map[string]bool)
+	for _, s := range rep.Steps {
+		steps[s.Step] = true
+		if s.Count == 0 {
+			t.Fatalf("step %s digested zero spans", s.Step)
+		}
+	}
+	for _, want := range []string{obs.StepIRALockObject, obs.StepIRALockParents, obs.StepIRADrainTRT, obs.StepIRAMove} {
+		if !steps[want] {
+			t.Fatalf("step digest missing %s (have %v)", want, rep.Steps)
+		}
+	}
+	if rep.Metrics[obs.TxnCommit.String()].Count == 0 {
+		t.Fatal("traced run recorded no transaction commits")
+	}
+}
+
+// TestTracedRunsStayConsistent is the tracing-enabled race/linearizability
+// stress: with a tracer installed process-wide, the parallel fleet and the
+// crash-recovery torture harness must still pass their own oracles (graph
+// signature, ERT exactness, counter prefix) — i.e. observability must be
+// purely passive. Run under -race this also proves the tracer's internals
+// are data-race free against every instrumented hot path at once.
+func TestTracedRunsStayConsistent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second stress")
+	}
+	tr := obs.NewTracer()
+	restore := obs.Install(tr)
+	defer restore()
+
+	p := workload.DefaultParams()
+	p.NumPartitions = 3
+	p.ObjectsPerPartition = 96
+	p.MPL = 6
+	res, err := RunParallel(ParallelConfig{
+		Params:  p,
+		DB:      db.DefaultConfig(),
+		Mode:    reorg.ModeIRATwoLock,
+		Workers: 3,
+		Warmup:  50 * time.Millisecond,
+		Drain:   50 * time.Millisecond,
+		Verify:  true,
+	})
+	if err != nil {
+		t.Fatalf("traced parallel fleet: %v", err)
+	}
+	if res.Fleet.Migrated == 0 {
+		t.Fatal("fleet migrated nothing")
+	}
+
+	if _, err := RunTorture(TortureConfig{Seed: 7, Mode: reorg.ModeIRA, CrashRounds: 2}); err != nil {
+		t.Fatalf("traced torture run: %v", err)
+	}
+
+	// The tracer must have seen both the transaction side and the
+	// migration side of the runs above.
+	if tr.Hist(obs.TxnCommit).Count == 0 || tr.Hist(obs.LockAcquire).Count == 0 {
+		t.Fatal("tracer recorded no hot-path samples")
+	}
+	if len(tr.Steps()) == 0 {
+		t.Fatal("tracer recorded no migration steps")
+	}
+	if _, total := tr.Spans(); total == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+}

@@ -16,8 +16,10 @@ package latch
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/oid"
 )
 
@@ -60,6 +62,12 @@ func (t *Table) stripe(o oid.OID) *sync.RWMutex {
 // RLatch acquires the read latch for o.
 func (t *Table) RLatch(o oid.OID) {
 	_ = fpLatchAcquire.Maybe()
+	if obs.Enabled() {
+		start := time.Now()
+		t.stripe(o).RLock()
+		obs.Observe(obs.LatchWait, time.Since(start))
+		return
+	}
 	t.stripe(o).RLock()
 }
 
@@ -69,6 +77,12 @@ func (t *Table) RUnlatch(o oid.OID) { t.stripe(o).RUnlock() }
 // Latch acquires the write latch for o.
 func (t *Table) Latch(o oid.OID) {
 	_ = fpLatchAcquire.Maybe()
+	if obs.Enabled() {
+		start := time.Now()
+		t.stripe(o).Lock()
+		obs.Observe(obs.LatchWait, time.Since(start))
+		return
+	}
 	t.stripe(o).Lock()
 }
 

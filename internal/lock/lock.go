@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/oid"
 )
 
@@ -284,19 +285,32 @@ func injectedTimeout(o oid.OID, mode Mode, ferr error) error {
 
 // Lock acquires o in the given mode for txn (see Impl.Lock). It
 // consults the lock/acquire fault point first, so an armed registry
-// can make any acquisition spuriously time out.
+// can make any acquisition spuriously time out, and feeds the
+// lock-acquire latency histogram when tracing is on.
 func (m *Manager) Lock(txn TxnID, o oid.OID, mode Mode) error {
 	if ferr := fpLockAcquire.Maybe(); ferr != nil {
 		return injectedTimeout(o, mode, ferr)
+	}
+	if obs.Enabled() {
+		start := time.Now()
+		err := m.Impl.Lock(txn, o, mode)
+		obs.Observe(obs.LockAcquire, time.Since(start))
+		return err
 	}
 	return m.Impl.Lock(txn, o, mode)
 }
 
 // LockTimeout is Lock with an explicit timeout, with the same
-// lock/acquire fault point.
+// lock/acquire fault point and tracing.
 func (m *Manager) LockTimeout(txn TxnID, o oid.OID, mode Mode, timeout time.Duration) error {
 	if ferr := fpLockAcquire.Maybe(); ferr != nil {
 		return injectedTimeout(o, mode, ferr)
+	}
+	if obs.Enabled() {
+		start := time.Now()
+		err := m.Impl.LockTimeout(txn, o, mode, timeout)
+		obs.Observe(obs.LockAcquire, time.Since(start))
+		return err
 	}
 	return m.Impl.LockTimeout(txn, o, mode, timeout)
 }

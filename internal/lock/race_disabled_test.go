@@ -1,0 +1,7 @@
+//go:build !race
+
+package lock
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions are meaningless under its instrumentation.
+const raceEnabled = false

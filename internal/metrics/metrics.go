@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // recorderShards is the number of sample shards. Workload threads record
@@ -25,8 +27,13 @@ const recorderShards = 32
 // land in per-thread shards (see Handle) that are only merged when a
 // summary is taken, so the record hot path never crosses a global mutex.
 type Recorder struct {
-	measuring atomic.Bool
-	next      atomic.Uint64 // round-robin for handle-less Record calls
+	// epoch is odd while a window is open; StartWindow bumps it to a new
+	// odd value and Stop bumps it even. Record paths capture the epoch
+	// before touching their shard and re-check it under the shard mutex,
+	// so a writer preempted across a window close — or a close plus the
+	// next open — can never deposit a stale sample into the new window.
+	epoch atomic.Uint64
+	next  atomic.Uint64 // round-robin for handle-less Record calls
 
 	mu      sync.Mutex // guards window lifecycle (started)
 	started time.Time
@@ -40,7 +47,37 @@ type recorderShard struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	aborts  int
-	_       [24]byte
+	// hist mirrors samples into a bounded-memory histogram, lazily
+	// allocated on the shard's first sample and merged shard-wise into
+	// the window summary.
+	hist *obs.Histogram
+	_    [24]byte
+}
+
+// recordAt appends a sample if the captured epoch e is still the live
+// one. The re-check under the shard mutex is the lost-update fence: a
+// writer that passed the open-window check and was then preempted across
+// Stop (and possibly the next StartWindow) finds the epoch changed and
+// drops its stale sample instead of contaminating the new window.
+func (sh *recorderShard) recordAt(epoch *atomic.Uint64, e uint64, d time.Duration) {
+	sh.mu.Lock()
+	if epoch.Load() == e {
+		sh.samples = append(sh.samples, d)
+		if sh.hist == nil {
+			sh.hist = new(obs.Histogram)
+		}
+		sh.hist.Record(d)
+	}
+	sh.mu.Unlock()
+}
+
+// recordAbortAt is recordAt for the abort counter.
+func (sh *recorderShard) recordAbortAt(epoch *atomic.Uint64, e uint64) {
+	sh.mu.Lock()
+	if epoch.Load() == e {
+		sh.aborts++
+	}
+	sh.mu.Unlock()
 }
 
 // NewRecorder creates an idle recorder; call StartWindow to begin
@@ -65,37 +102,43 @@ type Handle struct {
 
 // Record notes a completed transaction's response time through the handle.
 func (h *Handle) Record(d time.Duration) {
-	if !h.r.measuring.Load() {
+	e := h.r.epoch.Load()
+	if e&1 == 0 {
 		return
 	}
-	h.sh.mu.Lock()
-	h.sh.samples = append(h.sh.samples, d)
-	h.sh.mu.Unlock()
+	h.sh.recordAt(&h.r.epoch, e, d)
 }
 
 // RecordAbort notes a deadlock-timeout abort through the handle.
 func (h *Handle) RecordAbort() {
-	if !h.r.measuring.Load() {
+	e := h.r.epoch.Load()
+	if e&1 == 0 {
 		return
 	}
-	h.sh.mu.Lock()
-	h.sh.aborts++
-	h.sh.mu.Unlock()
+	h.sh.recordAbortAt(&h.r.epoch, e)
 }
 
 // StartWindow discards prior samples and begins a measurement window.
 func (r *Recorder) StartWindow() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	// Close any still-open window first, so writers that captured its
+	// epoch are fenced out before the shards are cleared below.
+	if r.epoch.Load()&1 == 1 {
+		r.epoch.Add(1)
+	}
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.Lock()
 		sh.samples = sh.samples[:0]
 		sh.aborts = 0
+		if sh.hist != nil {
+			sh.hist.Reset()
+		}
 		sh.mu.Unlock()
 	}
 	r.started = time.Now()
-	r.measuring.Store(true)
+	r.epoch.Add(1) // odd: the window is open
 }
 
 // Record notes a completed transaction's response time. Response time is
@@ -104,38 +147,38 @@ func (r *Recorder) StartWindow() {
 // behind PQR's quiesce locks accumulates an enormous response time.
 // Callers without a Handle are spread over the shards round-robin.
 func (r *Recorder) Record(d time.Duration) {
-	if !r.measuring.Load() {
+	e := r.epoch.Load()
+	if e&1 == 0 {
 		return
 	}
-	sh := &r.shards[r.next.Add(1)%recorderShards]
-	sh.mu.Lock()
-	sh.samples = append(sh.samples, d)
-	sh.mu.Unlock()
+	r.shards[r.next.Add(1)%recorderShards].recordAt(&r.epoch, e, d)
 }
 
 // RecordAbort notes a deadlock-timeout abort (wasted work).
 func (r *Recorder) RecordAbort() {
-	if !r.measuring.Load() {
+	e := r.epoch.Load()
+	if e&1 == 0 {
 		return
 	}
-	sh := &r.shards[r.next.Add(1)%recorderShards]
-	sh.mu.Lock()
-	sh.aborts++
-	sh.mu.Unlock()
+	r.shards[r.next.Add(1)%recorderShards].recordAbortAt(&r.epoch, e)
 }
 
-// merge gathers every shard's samples. Caller holds r.mu.
-func (r *Recorder) merge() ([]time.Duration, int) {
+// merge gathers every shard's samples and histograms. Caller holds r.mu.
+func (r *Recorder) merge() ([]time.Duration, int, obs.HistSnapshot) {
 	var samples []time.Duration
+	var hist obs.HistSnapshot
 	aborts := 0
 	for i := range r.shards {
 		sh := &r.shards[i]
 		sh.mu.Lock()
 		samples = append(samples, sh.samples...)
 		aborts += sh.aborts
+		if sh.hist != nil {
+			hist.Merge(sh.hist.Snapshot())
+		}
 		sh.mu.Unlock()
 	}
-	return samples, aborts
+	return samples, aborts, hist
 }
 
 // Summary is the digest of one measurement window.
@@ -150,7 +193,12 @@ type Summary struct {
 	StdDev     time.Duration
 	P50        time.Duration
 	P90        time.Duration
+	P95        time.Duration
 	P99        time.Duration
+	// Hist is the shard-merged bounded-memory histogram of the window's
+	// response times — the digest long-running monitors keep when
+	// retaining exact samples would be unbounded.
+	Hist obs.HistSnapshot
 }
 
 // Stop ends the window and returns its summary, merging the shards.
@@ -158,21 +206,23 @@ func (r *Recorder) Stop() Summary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	window := time.Since(r.started)
-	r.measuring.Store(false)
-	samples, aborts := r.merge()
-	return summarize(samples, aborts, window)
+	if r.epoch.Load()&1 == 1 {
+		r.epoch.Add(1) // even: fence out in-flight writers, then merge
+	}
+	samples, aborts, hist := r.merge()
+	return summarize(samples, aborts, window, hist)
 }
 
 // Snapshot summarizes without ending the window.
 func (r *Recorder) Snapshot() Summary {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	samples, aborts := r.merge()
-	return summarize(samples, aborts, time.Since(r.started))
+	samples, aborts, hist := r.merge()
+	return summarize(samples, aborts, time.Since(r.started), hist)
 }
 
-func summarize(samples []time.Duration, aborts int, window time.Duration) Summary {
-	s := Summary{Commits: len(samples), Aborts: aborts, Window: window}
+func summarize(samples []time.Duration, aborts int, window time.Duration, hist obs.HistSnapshot) Summary {
+	s := Summary{Commits: len(samples), Aborts: aborts, Window: window, Hist: hist}
 	if window > 0 {
 		s.Throughput = float64(len(samples)) / window.Seconds()
 	}
@@ -198,6 +248,7 @@ func summarize(samples []time.Duration, aborts int, window time.Duration) Summar
 	}
 	s.P50 = percentile(sorted, 0.50)
 	s.P90 = percentile(sorted, 0.90)
+	s.P95 = percentile(sorted, 0.95)
 	s.P99 = percentile(sorted, 0.99)
 	return s
 }

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"time"
+)
+
+// stepDigest is the JSON shape of one step's aggregate on the expvar
+// endpoint.
+type stepDigest struct {
+	Count       uint64     `json:"count"`
+	Errs        uint64     `json:"errs"`
+	LockWaitMs  float64    `json:"lock_wait_ms"`
+	LatchWaitMs float64    `json:"latch_wait_ms"`
+	CPUWaitMs   float64    `json:"cpu_wait_ms"`
+	Span        HistDigest `json:"span"`
+}
+
+// ExpvarSnapshot builds the JSON-marshalable state of the installed
+// tracer: every metric histogram's digest plus per-step aggregates.
+// Returns nil when tracing is disabled.
+func ExpvarSnapshot() any {
+	t := global.Load()
+	if t == nil {
+		return nil
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	metrics := make(map[string]HistDigest, int(NumMetrics))
+	for m := Metric(0); m < NumMetrics; m++ {
+		metrics[m.String()] = t.Hist(m).Digest()
+	}
+	steps := make(map[string]stepDigest)
+	for _, ss := range t.Steps() {
+		steps[ss.Step] = stepDigest{
+			Count:       ss.Count,
+			Errs:        ss.Errs,
+			LockWaitMs:  ms(ss.LockWait),
+			LatchWaitMs: ms(ss.LatchWait),
+			CPUWaitMs:   ms(ss.CPUWait),
+			Span:        ss.Hist.Digest(),
+		}
+	}
+	_, total := t.Spans()
+	return map[string]any{
+		"metrics":     metrics,
+		"steps":       steps,
+		"spans_total": total,
+	}
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar publishes the live tracer state as the expvar "obs"
+// (visible at /debug/vars once an HTTP server is up). Safe to call more
+// than once; only the first call registers.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(ExpvarSnapshot))
+	})
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Log-linear bucket layout (the HdrHistogram idea, sized for durations):
+// values below histSubBuckets nanoseconds get an exact bucket each; above
+// that, every power-of-two octave is split into histSubBuckets linear
+// sub-buckets, so the bucket width is always at most 1/histSubBuckets of
+// the value — a ≤3.2% relative quantile error, independent of magnitude.
+// The whole histogram is a fixed array of counters (no allocation on the
+// record path, bounded memory regardless of sample count).
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits // 32 sub-buckets per octave
+	// histOctaves bounds the dynamic range: octave 0 is the exact region
+	// [0ns,32ns), octaves 1..37 cover [32ns, ~2^42ns ≈ 73min). Larger
+	// values clamp into the top bucket; Max stays exact regardless.
+	histOctaves = 38
+	histBuckets = histOctaves * histSubBuckets
+)
+
+// bucketOf maps a non-negative duration (ns) to its bucket index. The
+// mapping is monotone, so bucket order is sample order.
+func bucketOf(v int64) int {
+	if v < histSubBuckets {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1 // position of the leading 1 bit, ≥ histSubBits
+	octave := exp - histSubBits + 1
+	if octave >= histOctaves {
+		return histBuckets - 1
+	}
+	sub := int(v>>(exp-histSubBits)) & (histSubBuckets - 1)
+	return octave*histSubBuckets + sub
+}
+
+// bucketUpper returns the largest value mapping to bucket idx — the
+// representative reported by quantiles, so estimates never undershoot.
+func bucketUpper(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	shift := idx/histSubBuckets - 1
+	low := int64(histSubBuckets+idx%histSubBuckets) << shift
+	return low + int64(1)<<shift - 1
+}
+
+// Histogram is a fixed-size, allocation-free latency histogram safe for
+// concurrent recording. Roughly 10KB per instance; Record is a handful of
+// atomic adds.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Record adds one observation. Negative durations are clamped to zero.
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Record calls; callers must quiesce writers or accept a torn reset.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Snapshot copies the current state. Under concurrent writers the copy is
+// weakly consistent (counters are read one at a time), which is fine for
+// monitoring; quiesce writers for an exact digest.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.counts = make([]uint64, histBuckets)
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is an immutable point-in-time copy of a Histogram,
+// suitable for merging across shards and for quantile queries.
+type HistSnapshot struct {
+	Count uint64
+	Sum   time.Duration
+	Max   time.Duration
+
+	counts []uint64 // nil iff Count == 0
+}
+
+// Merge folds o into s. Merging is commutative and associative, so shard
+// snapshots can be combined in any order with the same result.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if o.Count == 0 {
+		return
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	if s.counts == nil {
+		s.counts = make([]uint64, histBuckets)
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+	}
+}
+
+// Quantile returns the p-quantile (0 < p ≤ 1) by nearest rank, reported
+// as the upper edge of the bucket holding that rank: the estimate q of a
+// true value v satisfies v ≤ q ≤ v + max(1, v/32). Returns 0 on an empty
+// snapshot.
+func (s HistSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 || s.counts == nil {
+		return 0
+	}
+	k := uint64(math.Ceil(p * float64(s.Count)))
+	if k < 1 {
+		k = 1
+	}
+	if k > s.Count {
+		k = s.Count
+	}
+	var cum uint64
+	for i, c := range s.counts {
+		cum += c
+		if cum >= k {
+			if i == histBuckets-1 {
+				// The clamp bucket's edge underestimates its contents;
+				// the exact max is the only honest upper bound there.
+				return s.Max
+			}
+			return time.Duration(bucketUpper(i))
+		}
+	}
+	return s.Max // torn concurrent snapshot: counters summed short
+}
+
+// Mean returns the exact mean of the recorded values.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// HistDigest is the JSON-friendly reduction of a snapshot used by bench
+// reports and the expvar endpoint.
+type HistDigest struct {
+	Count  uint64  `json:"count"`
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
+}
+
+// Digest reduces the snapshot to its headline quantiles in microseconds.
+func (s HistSnapshot) Digest() HistDigest {
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	return HistDigest{
+		Count:  s.Count,
+		MeanUs: us(s.Mean()),
+		P50Us:  us(s.Quantile(0.50)),
+		P95Us:  us(s.Quantile(0.95)),
+		P99Us:  us(s.Quantile(0.99)),
+		MaxUs:  us(s.Max),
+	}
+}

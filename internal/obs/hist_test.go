@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// histMaxExact is the largest duration below the clamp region: inside it
+// the ≤1/32 relative error bound holds exactly.
+const histMaxExact = 70 * time.Minute
+
+func clampDur(v uint64) time.Duration {
+	return time.Duration(v % uint64(histMaxExact))
+}
+
+// TestBucketBounds: for every value, the bucket's representative (upper
+// edge) is ≥ the value and within the advertised relative error.
+func TestBucketBounds(t *testing.T) {
+	check := func(raw uint64) bool {
+		v := int64(clampDur(raw))
+		idx := bucketOf(v)
+		u := bucketUpper(idx)
+		if u < v {
+			t.Logf("v=%d idx=%d upper=%d undershoots", v, idx, u)
+			return false
+		}
+		if v < histSubBuckets {
+			return u == v
+		}
+		return u-v <= v/histSubBuckets
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+	// Boundary values the generator may miss.
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 1 << 20, int64(histMaxExact) - 1} {
+		idx := bucketOf(v)
+		if u := bucketUpper(idx); u < v {
+			t.Fatalf("v=%d: upper %d < v", v, u)
+		}
+	}
+}
+
+// TestBucketMonotone: the value→bucket mapping preserves order, which is
+// what makes histogram quantiles agree with sorted-sample ranks.
+func TestBucketMonotone(t *testing.T) {
+	check := func(a, b uint64) bool {
+		x, y := int64(clampDur(a)), int64(clampDur(b))
+		if x > y {
+			x, y = y, x
+		}
+		return bucketOf(x) <= bucketOf(y)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func snapshotOf(samples []time.Duration) HistSnapshot {
+	var h Histogram
+	for _, d := range samples {
+		h.Record(d)
+	}
+	return h.Snapshot()
+}
+
+func mergeOf(a, b HistSnapshot) HistSnapshot {
+	var out HistSnapshot
+	out.Merge(a)
+	out.Merge(b)
+	return out
+}
+
+func snapEqual(a, b HistSnapshot) bool {
+	return a.Count == b.Count && a.Sum == b.Sum && a.Max == b.Max &&
+		reflect.DeepEqual(a.counts, b.counts)
+}
+
+// TestMergeAssociative: shard merge order must not matter — (a⊕b)⊕c and
+// a⊕(b⊕c) are identical, and both commute.
+func TestMergeAssociative(t *testing.T) {
+	gen := func(raw []uint64) []time.Duration {
+		out := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			out[i] = clampDur(v)
+		}
+		return out
+	}
+	check := func(ra, rb, rc []uint64) bool {
+		a, b, c := snapshotOf(gen(ra)), snapshotOf(gen(rb)), snapshotOf(gen(rc))
+		left := mergeOf(mergeOf(a, b), c)
+		right := mergeOf(a, mergeOf(b, c))
+		if !snapEqual(left, right) {
+			return false
+		}
+		return snapEqual(mergeOf(a, b), mergeOf(b, a))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuantileErrorBound: against an exact nearest-rank quantile from the
+// sorted samples, the histogram quantile never undershoots and overshoots
+// by at most max(1ns, value/32).
+func TestQuantileErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		samples := make([]time.Duration, n)
+		for i := range samples {
+			// Mix magnitudes: ns-scale up to minutes-scale.
+			exp := rng.Intn(40)
+			samples[i] = clampDur(rng.Uint64() % (1 << uint(exp+2)))
+		}
+		snap := snapshotOf(samples)
+		sorted := append([]time.Duration(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0} {
+			k := int(math.Ceil(p * float64(n)))
+			if k < 1 {
+				k = 1
+			}
+			exact := sorted[k-1]
+			got := snap.Quantile(p)
+			if got < exact {
+				t.Fatalf("n=%d p=%.2f: quantile %v undershoots exact %v", n, p, got, exact)
+			}
+			maxErr := exact / histSubBuckets
+			if maxErr < 1 {
+				maxErr = 1
+			}
+			if got-exact > maxErr {
+				t.Fatalf("n=%d p=%.2f: quantile %v vs exact %v exceeds error bound %v",
+					n, p, got, exact, maxErr)
+			}
+		}
+		if snap.Max != sorted[n-1] {
+			t.Fatalf("Max %v != exact max %v", snap.Max, sorted[n-1])
+		}
+	}
+}
+
+// TestHistogramConcurrentRecord: counters survive concurrent recording
+// with no lost updates (and no races under -race).
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Record(time.Duration(rng.Intn(1e6)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != goroutines*perG {
+		t.Fatalf("lost updates: count=%d want %d", snap.Count, goroutines*perG)
+	}
+	var sum uint64
+	for _, c := range snap.counts {
+		sum += c
+	}
+	if sum != snap.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, snap.Count)
+	}
+}
+
+// TestHistogramClampAndReset: out-of-range values clamp instead of
+// corrupting memory, and Reset returns to the empty state.
+func TestHistogramClampAndReset(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Second)
+	h.Record(time.Duration(math.MaxInt64))
+	h.Record(365 * 24 * time.Hour)
+	snap := h.Snapshot()
+	if snap.Count != 3 {
+		t.Fatalf("count=%d want 3", snap.Count)
+	}
+	if q := snap.Quantile(1.0); q != snap.Max {
+		t.Fatalf("top-clamped quantile %v != max %v", q, snap.Max)
+	}
+	h.Reset()
+	snap = h.Snapshot()
+	if snap.Count != 0 || snap.Sum != 0 || snap.Max != 0 {
+		t.Fatalf("reset left state: %+v", snap)
+	}
+	if q := snap.Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"log"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+)
+
+// ServeDebug exposes the process's observability state over HTTP on
+// addr: /debug/vars (expvar, including the "obs" snapshot of hot-path
+// histograms and migration-step spans) and /debug/pprof/. If no tracer
+// is installed yet one is installed process-wide, so the endpoint shows
+// live data. The server runs in a background goroutine; ServeDebug
+// returns immediately.
+func ServeDebug(addr string) {
+	if Active() == nil {
+		Install(NewTracer())
+	}
+	PublishExpvar()
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Printf("obs: debug http server on %s: %v", addr, err)
+		}
+	}()
+}

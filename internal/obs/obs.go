@@ -1,0 +1,267 @@
+// Package obs is the observability layer: latency histograms for the
+// hot paths (transaction ops, lock acquires, latch waits, WAL syncs)
+// and per-migration-step spans for the reorganizer, with lock-wait /
+// latch-wait / CPU-token-wait attribution.
+//
+// The discipline mirrors internal/fault: a process-wide tracer behind a
+// single atomic pointer. With no tracer installed every instrumentation
+// site costs exactly one atomic load and a predictable branch, so the
+// subsystem can stay compiled into production paths. Install a Tracer
+// (benchmarks, the -http endpoints, tests) and the same sites start
+// feeding fixed-memory log-linear histograms and a bounded span ring.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric identifies one process-wide latency histogram.
+type Metric int
+
+// The instrumented hot-path metrics.
+const (
+	// TxnOp is one workload operation (lock + read + think time).
+	TxnOp Metric = iota
+	// TxnCommit is db.Txn.Commit: commit-record append + group-commit
+	// durability wait.
+	TxnCommit
+	// LockAcquire is one lock.Manager acquisition (grant or wait).
+	LockAcquire
+	// LatchWait is one latch acquisition (shared or exclusive).
+	LatchWait
+	// WALSync is one wal.Log.FlushWait durability wait.
+	WALSync
+	// CPUWait is the wait for the simulated uniprocessor's CPU token.
+	CPUWait
+	// ReorgStep aggregates every migration-step span duration; per-step
+	// histograms are kept separately under the step's name.
+	ReorgStep
+
+	// NumMetrics is the number of metrics (not itself a metric).
+	NumMetrics
+)
+
+var metricNames = [NumMetrics]string{
+	"txn_op", "txn_commit", "lock_acquire", "latch_wait", "wal_sync", "cpu_wait", "reorg_step",
+}
+
+func (m Metric) String() string {
+	if m < 0 || m >= NumMetrics {
+		return "unknown"
+	}
+	return metricNames[m]
+}
+
+// Migration-step span names, S0–S3 of the two incremental modes.
+const (
+	StepIRALockObject  = "ira/s0-lock-object"    // S0: lock the object itself
+	StepIRALockParents = "ira/s1-lock-parents"   // S1: lock approximate parents
+	StepIRADrainTRT    = "ira/s2-drain-trt"      // S2: TRT drain loop
+	StepIRAMove        = "ira/s3-move"           // S3: copy, repoint, delete
+	StepTwoLockOld     = "twolock/s0-lock-old"   // S0: owner locks the old address
+	StepTwoLockCopy    = "twolock/s1-copy"       // S1: committed copy at the new address
+	StepTwoLockParents = "twolock/s2-repoint"    // S2: per-parent repoint transactions
+	StepTwoLockDelete  = "twolock/s3-delete-old" // S3: delete old copy, owner commit
+)
+
+// spanRingCap bounds the retained span ring (memory, not counting).
+const spanRingCap = 4096
+
+// Tracer owns the histograms and span aggregates of one tracing run.
+type Tracer struct {
+	hists [NumMetrics]Histogram
+
+	mu    sync.Mutex
+	steps map[string]*stepStats
+	ring  []Span
+	next  int    // ring write cursor
+	total uint64 // spans ever ended (ring may have dropped older ones)
+}
+
+// stepStats aggregates every span of one migration step.
+type stepStats struct {
+	count, errs                  uint64
+	lockWait, latchWait, cpuWait time.Duration
+	hist                         Histogram
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{steps: make(map[string]*stepStats)}
+}
+
+// Observe records one duration into metric m's histogram.
+func (t *Tracer) Observe(m Metric, d time.Duration) {
+	t.hists[m].Record(d)
+}
+
+// Hist snapshots metric m's histogram.
+func (t *Tracer) Hist(m Metric) HistSnapshot {
+	return t.hists[m].Snapshot()
+}
+
+// StepSummary is the aggregate of one migration step's spans.
+type StepSummary struct {
+	Step        string
+	Count, Errs uint64
+	// Total wait attributed to locks, latches, and the CPU token across
+	// all spans of the step.
+	LockWait, LatchWait, CPUWait time.Duration
+	Hist                         HistSnapshot // span durations
+}
+
+// Steps returns per-step aggregates, sorted by step name.
+func (t *Tracer) Steps() []StepSummary {
+	t.mu.Lock()
+	out := make([]StepSummary, 0, len(t.steps))
+	for name, ss := range t.steps {
+		out = append(out, StepSummary{
+			Step:      name,
+			Count:     ss.count,
+			Errs:      ss.errs,
+			LockWait:  ss.lockWait,
+			LatchWait: ss.latchWait,
+			CPUWait:   ss.cpuWait,
+			Hist:      ss.hist.Snapshot(),
+		})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// Spans returns the retained spans, oldest first, and the total number
+// of spans ever ended (older ones beyond the ring capacity are gone).
+func (t *Tracer) Spans() ([]Span, uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == spanRingCap {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out, t.total
+}
+
+func (t *Tracer) endSpan(s *Span) {
+	t.hists[ReorgStep].Record(s.Dur)
+	t.mu.Lock()
+	ss := t.steps[s.Step]
+	if ss == nil {
+		ss = &stepStats{}
+		t.steps[s.Step] = ss
+	}
+	ss.count++
+	if s.Failed {
+		ss.errs++
+	}
+	ss.lockWait += s.LockWait
+	ss.latchWait += s.LatchWait
+	ss.cpuWait += s.CPUWait
+	if len(t.ring) < spanRingCap {
+		t.ring = append(t.ring, *s)
+	} else {
+		t.ring[t.next] = *s
+		t.next = (t.next + 1) % spanRingCap
+	}
+	t.total++
+	t.mu.Unlock()
+	ss.hist.Record(s.Dur) // atomic; safe outside t.mu
+}
+
+// global is the installed tracer; nil means tracing is off and every
+// instrumentation site reduces to this one atomic load.
+var global atomic.Pointer[Tracer]
+
+// Install makes t the process-wide tracer and returns a function that
+// restores the previous one. Pass nil to disable tracing.
+func Install(t *Tracer) (restore func()) {
+	prev := global.Swap(t)
+	return func() { global.Store(prev) }
+}
+
+// Active returns the installed tracer, or nil.
+func Active() *Tracer { return global.Load() }
+
+// Enabled reports whether a tracer is installed — the one-atomic-load
+// fast path instrumentation sites branch on.
+func Enabled() bool { return global.Load() != nil }
+
+// Observe records d into metric m of the installed tracer, if any.
+func Observe(m Metric, d time.Duration) {
+	if t := global.Load(); t != nil {
+		t.hists[m].Record(d)
+	}
+}
+
+// ObserveSince records the time elapsed since start — usable as
+// `defer obs.ObserveSince(obs.WALSync, time.Now())` on a traced path.
+func ObserveSince(m Metric, start time.Time) {
+	if t := global.Load(); t != nil {
+		t.hists[m].Record(time.Since(start))
+	}
+}
+
+// Span is one timed migration step for one object. All methods are
+// nil-receiver safe: with tracing disabled StartSpan returns nil and the
+// instrumented code needs no further guards.
+type Span struct {
+	Step   string
+	Worker int    // fleet worker index (0 for a lone reorganizer)
+	Part   uint32 // partition being reorganized
+	Obj    uint64 // object in flight
+	Start  time.Time
+	Dur    time.Duration
+	// Waits attributed within the span.
+	LockWait, LatchWait, CPUWait time.Duration
+	Failed                       bool
+
+	tr *Tracer
+}
+
+// StartSpan begins a migration-step span, or returns nil when tracing is
+// disabled (one atomic load).
+func StartSpan(step string, worker int, part uint32, obj uint64) *Span {
+	t := global.Load()
+	if t == nil {
+		return nil
+	}
+	return &Span{Step: step, Worker: worker, Part: part, Obj: obj, Start: time.Now(), tr: t}
+}
+
+// AddLockWait attributes lock-acquisition time to the span.
+func (s *Span) AddLockWait(d time.Duration) {
+	if s != nil {
+		s.LockWait += d
+	}
+}
+
+// AddLatchWait attributes latch/fuzzy-read time to the span.
+func (s *Span) AddLatchWait(d time.Duration) {
+	if s != nil {
+		s.LatchWait += d
+	}
+}
+
+// AddCPUWait attributes simulated-CPU-token time to the span.
+func (s *Span) AddCPUWait(d time.Duration) {
+	if s != nil {
+		s.CPUWait += d
+	}
+}
+
+// End closes the span, marking it failed if err is non-nil, and records
+// it into the tracer it was started against.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.Dur = time.Since(s.Start)
+	s.Failed = err != nil
+	s.tr.endSpan(s)
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisabledIsInert: with no tracer installed, every entry point is a
+// no-op and spans are nil (and nil-safe).
+func TestDisabledIsInert(t *testing.T) {
+	restore := Install(nil)
+	defer restore()
+	if Enabled() {
+		t.Fatal("Enabled() with nil tracer")
+	}
+	Observe(TxnOp, time.Millisecond)  // must not panic
+	ObserveSince(WALSync, time.Now()) // must not panic
+	if sp := StartSpan(StepIRAMove, 0, 1, 2); sp != nil {
+		t.Fatal("StartSpan returned non-nil while disabled")
+	}
+	var sp *Span
+	sp.AddLockWait(time.Second)
+	sp.AddLatchWait(time.Second)
+	sp.AddCPUWait(time.Second)
+	sp.End(errors.New("x")) // nil receiver: no-op
+	if ExpvarSnapshot() != nil {
+		t.Fatal("ExpvarSnapshot non-nil while disabled")
+	}
+}
+
+// TestInstallRestore: Install swaps the tracer and the restore function
+// puts the previous one back.
+func TestInstallRestore(t *testing.T) {
+	a, b := NewTracer(), NewTracer()
+	restoreA := Install(a)
+	if Active() != a {
+		t.Fatal("Active != a")
+	}
+	restoreB := Install(b)
+	if Active() != b {
+		t.Fatal("Active != b")
+	}
+	restoreB()
+	if Active() != a {
+		t.Fatal("restore did not reinstate a")
+	}
+	restoreA()
+}
+
+// TestObserveAndSpans: enabled-path bookkeeping — metric histograms fill,
+// spans aggregate per step with wait attribution and error counts.
+func TestObserveAndSpans(t *testing.T) {
+	tr := NewTracer()
+	restore := Install(tr)
+	defer restore()
+
+	Observe(LockAcquire, 100*time.Microsecond)
+	Observe(LockAcquire, 200*time.Microsecond)
+	if got := tr.Hist(LockAcquire); got.Count != 2 {
+		t.Fatalf("lock hist count=%d want 2", got.Count)
+	}
+
+	sp := StartSpan(StepIRALockParents, 3, 7, 42)
+	if sp == nil {
+		t.Fatal("StartSpan nil while enabled")
+	}
+	sp.AddLockWait(5 * time.Millisecond)
+	sp.AddLockWait(5 * time.Millisecond)
+	sp.AddLatchWait(time.Millisecond)
+	sp.AddCPUWait(2 * time.Millisecond)
+	sp.End(nil)
+
+	sp2 := StartSpan(StepIRALockParents, 3, 7, 43)
+	sp2.End(errors.New("timeout"))
+
+	steps := tr.Steps()
+	if len(steps) != 1 {
+		t.Fatalf("got %d steps, want 1", len(steps))
+	}
+	ss := steps[0]
+	if ss.Step != StepIRALockParents || ss.Count != 2 || ss.Errs != 1 {
+		t.Fatalf("bad step summary: %+v", ss)
+	}
+	if ss.LockWait != 10*time.Millisecond || ss.LatchWait != time.Millisecond || ss.CPUWait != 2*time.Millisecond {
+		t.Fatalf("bad wait attribution: %+v", ss)
+	}
+	if ss.Hist.Count != 2 {
+		t.Fatalf("step hist count=%d want 2", ss.Hist.Count)
+	}
+	if tr.Hist(ReorgStep).Count != 2 {
+		t.Fatal("ReorgStep aggregate not fed")
+	}
+
+	spans, total := tr.Spans()
+	if total != 2 || len(spans) != 2 {
+		t.Fatalf("spans=%d total=%d want 2/2", len(spans), total)
+	}
+	if spans[0].Obj != 42 || spans[0].Worker != 3 || spans[0].Part != 7 || spans[0].Failed {
+		t.Fatalf("bad span[0]: %+v", spans[0])
+	}
+	if !spans[1].Failed {
+		t.Fatal("span[1] should be failed")
+	}
+
+	ev, ok := ExpvarSnapshot().(map[string]any)
+	if !ok || ev["metrics"] == nil || ev["steps"] == nil {
+		t.Fatalf("bad expvar snapshot: %#v", ev)
+	}
+}
+
+// TestSpanRingWraps: the ring keeps the newest spanRingCap spans; the
+// total keeps counting.
+func TestSpanRingWraps(t *testing.T) {
+	tr := NewTracer()
+	restore := Install(tr)
+	defer restore()
+	const n = spanRingCap + 100
+	for i := 0; i < n; i++ {
+		sp := StartSpan(StepIRAMove, 0, 1, uint64(i))
+		sp.End(nil)
+	}
+	spans, total := tr.Spans()
+	if total != n {
+		t.Fatalf("total=%d want %d", total, n)
+	}
+	if len(spans) != spanRingCap {
+		t.Fatalf("ring size=%d want %d", len(spans), spanRingCap)
+	}
+	if spans[0].Obj != 100 || spans[len(spans)-1].Obj != n-1 {
+		t.Fatalf("ring order wrong: first=%d last=%d", spans[0].Obj, spans[len(spans)-1].Obj)
+	}
+}
+
+// TestTracerConcurrent: spans and observes from many goroutines with a
+// concurrent reader; counts must balance (and -race must stay quiet).
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	restore := Install(tr)
+	defer restore()
+	const (
+		goroutines = 8
+		perG       = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.Steps()
+				tr.Spans()
+				ExpvarSnapshot()
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		workers.Add(1)
+		go func(g int) {
+			defer workers.Done()
+			for i := 0; i < perG; i++ {
+				Observe(TxnOp, time.Duration(i))
+				sp := StartSpan(StepTwoLockParents, g, 1, uint64(i))
+				sp.AddLockWait(time.Microsecond)
+				sp.End(nil)
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+	if got := tr.Hist(TxnOp).Count; got != goroutines*perG {
+		t.Fatalf("TxnOp count=%d want %d", got, goroutines*perG)
+	}
+	_, total := tr.Spans()
+	if total != goroutines*perG {
+		t.Fatalf("span total=%d want %d", total, goroutines*perG)
+	}
+}

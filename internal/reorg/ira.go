@@ -3,10 +3,12 @@ package reorg
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/trt"
 )
@@ -196,20 +198,25 @@ func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) 
 	// dangling reference. Holding Oold's lock serializes the two: a
 	// sibling migrating X either sees the repointed reference, or its
 	// copy's creation lands in this partition's TRT before the S2 drain.
-	if err := r.lockParent(txn.ID(), oldO); err != nil {
+	sp := r.startStep(obs.StepIRALockObject, oldO)
+	if err := r.lockParentSpanned(sp, txn.ID(), oldO); err != nil {
+		sp.End(err)
 		return none, err
 	}
+	sp.End(nil)
 
 	// S1: lock the approximate parents; drop those that no longer hold a
 	// reference. (With batched migrations, a lock may also protect an
 	// earlier migration in the same transaction, so early unlock is only
 	// safe with a batch size of one.)
+	sp = r.startStep(obs.StepIRALockParents, oldO)
 	for _, R := range sortedParents(pset) {
 		if R == oldO {
 			delete(pset, R) // self-reference: handled when copying
 			continue
 		}
-		if err := r.lockParent(txn.ID(), R); err != nil {
+		if err := r.lockParentSpanned(sp, txn.ID(), R); err != nil {
+			sp.End(err)
 			return none, err
 		}
 		if !r.isParent(R, oldO) {
@@ -219,11 +226,13 @@ func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) 
 			}
 		}
 	}
+	sp.End(nil)
 
 	// S2: drain the TRT of tuples referencing oldO, locking each tuple's
 	// parent and keeping it if the reference is (still) present. The
 	// loop's termination is Lemma 3.2's heart: when no tuple remains, no
 	// active transaction can reintroduce a reference to oldO.
+	sp = r.startStep(obs.StepIRADrainTRT, oldO)
 	for {
 		tp, ok := r.trt.Take(oldO)
 		if !ok {
@@ -237,7 +246,8 @@ func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) 
 		if _, already := pset[R]; already {
 			continue
 		}
-		if err := r.lockParent(txn.ID(), R); err != nil {
+		if err := r.lockParentSpanned(sp, txn.ID(), R); err != nil {
+			sp.End(err)
 			return none, err
 		}
 		if r.isParent(R, oldO) {
@@ -246,20 +256,32 @@ func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) 
 			r.d.Locks().Unlock(txn.ID(), R)
 		}
 	}
+	sp.End(nil)
 	r.noteLocks(len(pset) + 1) // parents + the object itself
 	if err := r.fail("parents-locked"); err != nil {
 		return none, err
 	}
 
-	// All parents are locked, and S0 holds oldO's own lock: no user
-	// transaction can reach oldO, and no sibling reorganizer can copy a
-	// parent of oldO out from under the repoints below.
+	// S3: move the object. All parents are locked, and S0 holds oldO's
+	// own lock: no user transaction can reach oldO, and no sibling
+	// reorganizer can copy a parent of oldO out from under the repoints
+	// below.
+	sp = r.startStep(obs.StepIRAMove, oldO)
+	var latchStart time.Time
+	if sp != nil {
+		latchStart = time.Now()
+	}
 	img, err := r.d.FuzzyRead(oldO)
+	if sp != nil {
+		sp.AddLatchWait(time.Since(latchStart))
+	}
 	if err != nil {
+		sp.End(nil) // vanished object: skipped, not a failure
 		return none, errObjectGone
 	}
-	r.chargeWork()
+	r.chargeWorkSpanned(sp)
 	newO, updated, err := r.moveObject(txn, oldO, img, pset)
+	sp.End(err)
 	if err != nil {
 		return none, err
 	}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/fault"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/trt"
 	"repro/internal/wal"
@@ -163,6 +164,10 @@ type Options struct {
 	// delivered to OnCheckpoint.
 	CheckpointEvery int
 	OnCheckpoint    func(*State)
+	// Worker tags this reorganizer's observability spans with the fleet
+	// worker index driving it (internal/obs). Informational only; a lone
+	// reorganizer leaves it 0.
+	Worker int
 }
 
 // Stats describes a completed (or interrupted) reorganization.
@@ -316,6 +321,37 @@ func (r *Reorganizer) lockParent(txn lock.TxnID, R oid.OID) error {
 		}
 	}
 	return nil
+}
+
+// startStep begins an observability span for one migration step of the
+// object in flight. Returns nil (one atomic load, no allocation) when
+// tracing is off; every Span method is nil-safe.
+func (r *Reorganizer) startStep(step string, o oid.OID) *obs.Span {
+	return obs.StartSpan(step, r.opts.Worker, uint32(r.part), uint64(o))
+}
+
+// lockParentSpanned is lockParent with the acquisition (and any §4.1
+// ever-locker wait) attributed to sp as lock-wait time.
+func (r *Reorganizer) lockParentSpanned(sp *obs.Span, txn lock.TxnID, R oid.OID) error {
+	if sp == nil {
+		return r.lockParent(txn, R)
+	}
+	start := time.Now()
+	err := r.lockParent(txn, R)
+	sp.AddLockWait(time.Since(start))
+	return err
+}
+
+// chargeWorkSpanned is chargeWork with the simulated-CPU time attributed
+// to sp as CPU-token-wait.
+func (r *Reorganizer) chargeWorkSpanned(sp *obs.Span) {
+	if sp == nil {
+		r.chargeWork()
+		return
+	}
+	start := time.Now()
+	r.chargeWork()
+	sp.AddCPUWait(time.Since(start))
 }
 
 // isParent reports whether R currently references child. R must be locked

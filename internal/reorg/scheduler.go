@@ -316,6 +316,7 @@ func (s *Scheduler) runPartition(worker int, p oid.PartitionID) (Stats, error) {
 	if s.opts.Configure != nil {
 		s.opts.Configure(p, &o)
 	}
+	o.Worker = worker // tag observability spans with the driving worker
 
 	userGate := o.Gate
 	o.Gate = func() error {

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/oid"
 )
 
@@ -80,10 +82,21 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 		}
 	}()
 
+	// S0: the owner locks the object at its old address.
+	sp := r.startStep(obs.StepTwoLockOld, oldO)
 	if err := r.lockObjectRetry(owner.ID(), oldO); err != nil {
+		sp.End(err)
 		return err
 	}
+	var latchStart time.Time
+	if sp != nil {
+		latchStart = time.Now()
+	}
 	img, err := r.d.FuzzyRead(oldO)
+	if sp != nil {
+		sp.AddLatchWait(time.Since(latchStart))
+	}
+	sp.End(nil)
 	if err != nil {
 		// The old copy is gone. Either a concurrent transaction deleted
 		// it, or a restart resumes past a completed delete: if the new
@@ -95,9 +108,10 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 		return nil
 	}
 
-	// Create (or re-adopt) the new copy in its own committed transaction
-	// so that a crash during parent updates cannot roll it away from
-	// under the already-repointed parents.
+	// S1: create (or re-adopt) the new copy in its own committed
+	// transaction so that a crash during parent updates cannot roll it
+	// away from under the already-repointed parents.
+	sp = r.startStep(obs.StepTwoLockCopy, oldO)
 	newO := existingNew
 	adopted := !newO.IsNil() && r.d.Exists(newO)
 	var copied []byte
@@ -105,6 +119,7 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 	if !adopted {
 		ctxn, err := r.d.Begin()
 		if err != nil {
+			sp.End(err)
 			return err
 		}
 		payload := r.transformPayload(oldO, img.Payload)
@@ -115,21 +130,25 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 		}
 		if err != nil {
 			ctxn.Abort()
+			sp.End(err)
 			return err
 		}
 		if img.HasRef(oldO) {
 			if err := ctxn.RetargetRef(newO, oldO, newO); err != nil {
 				ctxn.Abort()
+				sp.End(err)
 				return err
 			}
 		}
 		if err := ctxn.Commit(); err != nil {
+			sp.End(err)
 			return err
 		}
 		copied = payload
 		copiedRefs = retargetSelf(img.Refs, oldO, newO)
 	}
 	if err := r.lockObjectRetry(owner.ID(), newO); err != nil {
+		sp.End(err)
 		return err
 	}
 	if adopted {
@@ -138,23 +157,27 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 		// reconcile under the owner's locks before repointing more
 		// parents.
 		if copied, copiedRefs, err = r.refreshCopy(owner, oldO, newO, img, prior); err != nil {
+			sp.End(err)
 			return err
 		}
 	}
 	r.noteLocks(2 + 1) // old + new + at most one parent below
 
-	r.chargeWork()
+	r.chargeWorkSpanned(sp)
+	sp.End(nil)
 	r.inFlight = &InFlight{Old: oldO, New: newO, Copied: copied, CopiedRefs: copiedRefs}
 	r.checkpoint()
 	if err := r.fail("twolock-inflight"); err != nil {
 		return err
 	}
 
-	// Repoint parents one at a time, each in its own transaction (§4.3's
-	// per-parent-update transactions). First the approximate list, then
-	// the TRT drain loop.
+	// S2: repoint parents one at a time, each in its own transaction
+	// (§4.3's per-parent-update transactions). First the approximate
+	// list, then the TRT drain loop.
+	sp = r.startStep(obs.StepTwoLockParents, oldO)
 	for _, R := range sortedParents(r.parents[oldO]) {
-		if err := r.updateOneParent(R, oldO, newO); err != nil {
+		if err := r.updateOneParent(sp, R, oldO, newO); err != nil {
+			sp.End(err)
 			return err
 		}
 	}
@@ -163,21 +186,28 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 		if !ok {
 			break
 		}
-		if err := r.updateOneParent(tp.Parent, oldO, newO); err != nil {
+		if err := r.updateOneParent(sp, tp.Parent, oldO, newO); err != nil {
+			sp.End(err)
 			return err
 		}
 	}
+	sp.End(nil)
 	if err := r.fail("twolock-parents-done"); err != nil {
 		return err
 	}
 
-	// Delete the old copy under the owner's lock and release everything.
+	// S3: delete the old copy under the owner's lock and release
+	// everything.
+	sp = r.startStep(obs.StepTwoLockDelete, oldO)
 	if err := owner.Delete(oldO); err != nil {
+		sp.End(err)
 		return err
 	}
 	if err := owner.Commit(); err != nil {
+		sp.End(err)
 		return err
 	}
+	sp.End(nil)
 	finished = true
 	r.migrated[oldO] = newO
 	r.stats.Migrated++
@@ -270,14 +300,15 @@ func refsEqual(a, b []oid.OID) bool {
 // updateOneParent locks R in a short transaction, repoints its references
 // to oldO (if any remain) at newO, and commits, retrying on deadlock
 // timeouts. References already pointing at newO — including R == newO
-// itself, from self-references — need no work.
-func (r *Reorganizer) updateOneParent(R, oldO, newO oid.OID) error {
+// itself, from self-references — need no work. Per-parent lock time is
+// attributed to sp (which may be nil).
+func (r *Reorganizer) updateOneParent(sp *obs.Span, R, oldO, newO oid.OID) error {
 	if R == oldO || R == newO {
 		return nil
 	}
 	retries := 0
 	for {
-		err := r.tryUpdateParent(R, oldO, newO)
+		err := r.tryUpdateParent(sp, R, oldO, newO)
 		if err == nil {
 			return nil
 		}
@@ -295,12 +326,12 @@ func (r *Reorganizer) updateOneParent(R, oldO, newO oid.OID) error {
 	}
 }
 
-func (r *Reorganizer) tryUpdateParent(R, oldO, newO oid.OID) error {
+func (r *Reorganizer) tryUpdateParent(sp *obs.Span, R, oldO, newO oid.OID) error {
 	ptxn, err := r.d.Begin()
 	if err != nil {
 		return err
 	}
-	if err := r.lockParent(ptxn.ID(), R); err != nil {
+	if err := r.lockParentSpanned(sp, ptxn.ID(), R); err != nil {
 		ptxn.Abort()
 		return err
 	}

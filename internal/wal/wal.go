@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/oid"
 )
 
@@ -229,6 +230,9 @@ func (l *Log) Append(r *Record) (LSN, error) {
 // Concurrent callers are group-committed: one simulated device write
 // covers every record appended before it starts.
 func (l *Log) FlushWait(lsn LSN) error {
+	if obs.Enabled() {
+		defer obs.ObserveSince(obs.WALSync, time.Now())
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for l.flushed < lsn {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/lock"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/oid"
 )
 
@@ -275,7 +276,13 @@ func (w *Workload) burnCPU(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	w.cpu <- struct{}{}
+	if obs.Enabled() {
+		start := time.Now()
+		w.cpu <- struct{}{}
+		obs.Observe(obs.CPUWait, time.Since(start))
+	} else {
+		w.cpu <- struct{}{}
+	}
 	if d < time.Millisecond {
 		for start := time.Now(); time.Since(start) < d; {
 		}
@@ -380,7 +387,12 @@ func (d *Driver) runWalk(rng *rand.Rand, roots []oid.OID) (bool, error) {
 	// root. Reference churn may only install references from here — the
 	// system model forbids conjuring an address from outside (§2).
 	var visited []oid.OID
+	traced := obs.Enabled()
 	for step := 0; step < p.OpsPerTrans; step++ {
+		var opStart time.Time
+		if traced {
+			opStart = time.Now()
+		}
 		mode := lock.Shared
 		if rng.Float64() < p.UpdateProb {
 			mode = lock.Exclusive
@@ -421,6 +433,9 @@ func (d *Driver) runWalk(rng *rand.Rand, roots []oid.OID) (bool, error) {
 				tx.Abort()
 				return false, nil
 			}
+		}
+		if traced {
+			obs.Observe(obs.TxnOp, time.Since(opStart))
 		}
 		if len(obj.Refs) == 0 {
 			break
