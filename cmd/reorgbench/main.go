@@ -9,6 +9,7 @@
 //	reorgbench -bench lockscale         # lock-manager scaling sweep → BENCH_lock.json
 //	reorgbench -bench torture           # crash-recovery torture sweep → BENCH_torture.json
 //	reorgbench -bench interference      # 100ms-window reorg-on/off series → BENCH_interference.json
+//	reorgbench -bench autopilot         # closed-loop churn→detect→repair run → BENCH_autopilot.json
 //	reorgbench -http :6060 -exp fig6    # expose expvar + pprof while running
 //
 // Quick scale preserves the paper's shapes (who wins, by what factor,
@@ -22,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/harness"
 	"repro/internal/obs"
 )
@@ -34,7 +36,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
-		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference")
+		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot")
 		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
 		httpAddr = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
 	)
@@ -43,6 +45,7 @@ func main() {
 		*scale = "quick"
 	}
 	if *httpAddr != "" {
+		autopilot.PublishExpvar()
 		obs.ServeDebug(*httpAddr)
 	}
 
@@ -107,8 +110,22 @@ func main() {
 			if *verbose {
 				fmt.Printf("-- interference completed in %s\n", time.Since(start).Round(time.Millisecond))
 			}
+		case "autopilot":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_autopilot.json"
+			}
+			fmt.Printf("== autopilot — closed-loop churn→detect→repair run (scale: %s) ==\n", sc.Name)
+			start := time.Now()
+			if err := harness.RunAutopilot(os.Stdout, sc, out); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark autopilot failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- autopilot completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference)\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot)\n", *bench)
 			os.Exit(2)
 		}
 		return

@@ -21,7 +21,9 @@ package analyzer
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	apstats "repro/internal/autopilot/stats"
 	"repro/internal/ert"
 	"repro/internal/object"
 	"repro/internal/oid"
@@ -34,6 +36,13 @@ type Analyzer struct {
 	mu   sync.RWMutex
 	erts map[oid.PartitionID]*ert.Table
 	trts map[oid.PartitionID]*trt.Table
+
+	// stats is the autopilot's statistics collector, or nil. The
+	// analyzer is the natural churn-rate probe: it already observes
+	// every log record synchronously in LSN order, so counting
+	// creations, deletions, payload updates and reference changes here
+	// costs one atomic load per record when disabled.
+	stats atomic.Pointer[apstats.Collector]
 }
 
 // New creates an analyzer with no tables.
@@ -108,9 +117,35 @@ func (a *Analyzer) TRT(part oid.PartitionID) (*trt.Table, bool) {
 	return t, ok
 }
 
+// SetStats installs (nil removes) the autopilot's statistics collector;
+// the analyzer feeds it the per-partition churn counters.
+func (a *Analyzer) SetStats(c *apstats.Collector) { a.stats.Store(c) }
+
+// noteChurn counts one record's churn. Compensation records are skipped:
+// an undo reverts churn rather than adding to it, and counting both
+// directions would make an aborted transaction look like twice the
+// activity it was.
+func (a *Analyzer) noteChurn(r *wal.Record) {
+	c := a.stats.Load()
+	if c == nil || r.CLR {
+		return
+	}
+	switch r.Type {
+	case wal.RecCreate:
+		c.NoteCreate(r.OID.Partition())
+	case wal.RecDelete:
+		c.NoteDelete(r.OID.Partition())
+	case wal.RecUpdate:
+		c.NoteUpdate(r.OID.Partition())
+	case wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
+		c.NoteRefChurn(r.OID.Partition(), 1)
+	}
+}
+
 // Observe processes one log record. It is registered as the WAL observer
 // and therefore runs synchronously with Append, in LSN order.
 func (a *Analyzer) Observe(r *wal.Record) {
+	a.noteChurn(r)
 	switch r.Type {
 	case wal.RecCreate:
 		// A new object's initial references are insertions from the new

@@ -1,0 +1,370 @@
+// Package autopilot closes the reorganization loop the paper leaves to
+// the operator: it measures clustering decay, decides which partition to
+// reorganize when, and how fast to run it.
+//
+// Three cooperating parts:
+//
+//   - the statistics collector (internal/autopilot/stats) keeps cheap
+//     always-on per-partition counters — live/dead slots, fragmentation
+//     from the page layer's compaction signal, churn rates from the log
+//     analyzer — plus a reference-locality probe sampled from the ERT;
+//
+//   - the policy engine scores partitions by expected clustering benefit
+//     (declustering score × churn-cooldown) and feeds the selected
+//     partitions to the existing reorg.Scheduler, with reorg's
+//     MigrationOrder placement hook filled by ClusterOrder so migrated
+//     objects are re-clustered by reference locality instead of copied
+//     in arrival order;
+//
+//   - the adaptive pacer (Pacer) is an AIMD controller sampling the
+//     foreground workload's p99 windows against a configurable
+//     interference budget, throttling fleet admission through the
+//     scheduler's Pace hook — multiplicative backoff when the budget is
+//     blown, additive probing when slack exists, a fixed pace when no
+//     baseline is available.
+package autopilot
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/autopilot/stats"
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+	"repro/internal/storage"
+)
+
+// Config configures an Autopilot.
+type Config struct {
+	// Partitions is the managed set; empty means every partition the
+	// database has at New time.
+	Partitions []oid.PartitionID
+	// Policy selects the partition-selection policy.
+	Policy PolicyKind
+	// MaxPerPass bounds how many partitions one pass reorganizes
+	// (default 1).
+	MaxPerPass int
+	// MinScore is the threshold policy's trigger (default 0.05).
+	MinScore float64
+	// SampleSize is the locality probe's ERT root sample per partition
+	// (default 64).
+	SampleSize int
+	// Seed drives the deterministic probe sampling.
+	Seed uint64
+	// CooldownChurn is how many churn operations rewarm a partition to
+	// full benefit after a pass (default 500).
+	CooldownChurn int64
+	// CooldownTime rewarms a partition by elapsed time as a fallback
+	// when churn counters are idle (default 30s).
+	CooldownTime time.Duration
+	// Weights weight the declustering score (default DefaultScoreWeights).
+	Weights ScoreWeights
+	// Pacer configures the AIMD admission controller.
+	Pacer PacerConfig
+	// Workers sizes the scheduler's worker pool per pass (default 1).
+	Workers int
+	// Reorg is the reorganizer template for passes; the autopilot fills
+	// Plan (dense compaction) and MigrationOrder (ClusterOrder) for each
+	// selected partition unless the template already sets them.
+	Reorg reorg.Options
+}
+
+// Autopilot ties the collector, policy and pacer to one database.
+type Autopilot struct {
+	d     *db.Database
+	cfg   Config
+	col   *stats.Collector
+	pacer *Pacer
+
+	mu          sync.Mutex
+	lastPass    map[oid.PartitionID]time.Time
+	churnAtPass map[oid.PartitionID]int64
+	lastScores  []PartitionScore
+	rrNext      int
+	passes      int64
+	probeSeed   uint64
+}
+
+// New creates an autopilot for d, enabling (or reusing) the database's
+// statistics collector. Like db.EnableStats it should be called on a
+// quiescent database so the collector's priming scan is consistent.
+func New(d *db.Database, cfg Config) (*Autopilot, error) {
+	if len(cfg.Partitions) == 0 {
+		cfg.Partitions = d.Partitions()
+	}
+	if cfg.MaxPerPass <= 0 {
+		cfg.MaxPerPass = 1
+	}
+	if cfg.MinScore <= 0 {
+		cfg.MinScore = 0.05
+	}
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = 64
+	}
+	if cfg.CooldownChurn <= 0 {
+		cfg.CooldownChurn = 500
+	}
+	if cfg.CooldownTime <= 0 {
+		cfg.CooldownTime = 30 * time.Second
+	}
+	if cfg.Weights == (ScoreWeights{}) {
+		cfg.Weights = DefaultScoreWeights()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	col, err := d.EnableStats()
+	if err != nil {
+		return nil, fmt.Errorf("autopilot: enable stats: %w", err)
+	}
+	return &Autopilot{
+		d:           d,
+		cfg:         cfg,
+		col:         col,
+		pacer:       NewPacer(cfg.Pacer),
+		lastPass:    make(map[oid.PartitionID]time.Time),
+		churnAtPass: make(map[oid.PartitionID]int64),
+		probeSeed:   cfg.Seed,
+	}, nil
+}
+
+// Pacer returns the admission controller, for wiring into monitors.
+func (a *Autopilot) Pacer() *Pacer { return a.pacer }
+
+// Collector returns the database's statistics collector.
+func (a *Autopilot) Collector() *stats.Collector { return a.col }
+
+// Policy returns the configured policy kind.
+func (a *Autopilot) Policy() PolicyKind { return a.cfg.Policy }
+
+// declusterScore combines the decay components under the configured
+// weights: low locality, high fragmentation, and a tombstone-heavy slot
+// directory all argue for reorganizing.
+func (a *Autopilot) declusterScore(locality, frag, deadSlotRatio float64) float64 {
+	w := a.cfg.Weights
+	return w.Locality*(1-locality) + w.Fragmentation*frag + w.DeadSlots*deadSlotRatio
+}
+
+// scoreOne computes one partition's score from the incremental counters
+// plus a sampled locality probe. Caller holds a.mu.
+func (a *Autopilot) scoreOne(part oid.PartitionID) PartitionScore {
+	s := PartitionScore{Partition: part, Locality: 1, Cooldown: 1}
+	ps, ok := a.col.Partition(part)
+	if ok {
+		total := ps.Pages * int64(a.d.Store().PageSize())
+		if total > 0 {
+			s.Fragmentation = float64(ps.DeadBytes) / float64(total)
+		}
+		s.DeadSlotRatio = ps.DeadSlotRatio()
+	}
+	a.probeSeed = a.probeSeed*6364136223846793005 + 1442695040888963407
+	s.Locality, s.SampledEdges = SampleLocality(a.d, part, a.cfg.SampleSize, a.probeSeed)
+	s.ChurnSincePass = ps.Churn() - a.churnAtPass[part]
+	s.Decluster = a.declusterScore(s.Locality, s.Fragmentation, s.DeadSlotRatio)
+	if t, passed := a.lastPass[part]; passed {
+		churnWarm := float64(s.ChurnSincePass) / float64(a.cfg.CooldownChurn)
+		timeWarm := time.Since(t).Seconds() / a.cfg.CooldownTime.Seconds()
+		s.Cooldown = churnWarm
+		if timeWarm > s.Cooldown {
+			s.Cooldown = timeWarm
+		}
+		if s.Cooldown > 1 {
+			s.Cooldown = 1
+		}
+	}
+	s.Benefit = s.Decluster * s.Cooldown
+	return s
+}
+
+// Scores computes fresh scores for every managed partition, in
+// partition order, and retains them for ExpvarSnapshot.
+func (a *Autopilot) Scores() []PartitionScore {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.scoresLocked()
+}
+
+func (a *Autopilot) scoresLocked() []PartitionScore {
+	scores := make([]PartitionScore, 0, len(a.cfg.Partitions))
+	for _, part := range a.cfg.Partitions {
+		scores = append(scores, a.scoreOne(part))
+	}
+	a.lastScores = scores
+	return scores
+}
+
+// SelectPartitions scores the managed set and applies the policy,
+// returning the partitions the next pass would reorganize.
+func (a *Autopilot) SelectPartitions() ([]oid.PartitionID, []PartitionScore) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	scores := a.scoresLocked()
+	return selectPartitions(a.cfg.Policy, scores, a.cfg.MaxPerPass, a.cfg.MinScore, &a.rrNext), scores
+}
+
+// PassReport describes one autopilot pass.
+type PassReport struct {
+	Selected []oid.PartitionID `json:"selected"`
+	Scores   []PartitionScore  `json:"scores"`
+	Migrated int               `json:"migrated"`
+	Retries  int               `json:"retries"`
+	Duration time.Duration     `json:"-"`
+}
+
+// RunPass scores the managed partitions, applies the policy, and
+// reorganizes the selected ones with a paced scheduler whose placement
+// hook re-clusters by reference locality. An empty selection returns a
+// report with no work done.
+func (a *Autopilot) RunPass() (*PassReport, error) {
+	selected, scores := a.SelectPartitions()
+	rep := &PassReport{Selected: selected, Scores: scores}
+	if len(selected) == 0 {
+		return rep, nil
+	}
+	start := time.Now()
+	s, err := reorg.NewScheduler(a.d, selected, reorg.FleetOptions{
+		Workers: a.cfg.Workers,
+		Reorg:   a.cfg.Reorg,
+		Pace:    a.pacer.Acquire,
+		Configure: func(part oid.PartitionID, o *reorg.Options) {
+			if o.Plan == nil {
+				plan := reorg.CompactPlan(part)
+				o.Plan = &plan
+			}
+			if o.MigrationOrder == nil {
+				o.MigrationOrder = ClusterOrder(a.d, part)
+			}
+		},
+	})
+	if err != nil {
+		return rep, err
+	}
+	runErr := s.Run()
+	st := s.Stats()
+	rep.Migrated = st.Migrated
+	rep.Retries = st.Retries
+	rep.Duration = time.Since(start)
+	if runErr != nil {
+		return rep, runErr
+	}
+	// A dense compaction leaves the evacuated pages fully dead; trimming
+	// them is what actually returns the fragmented space (and is half of
+	// what the declustering score measures).
+	for _, part := range selected {
+		if _, err := a.d.Store().TrimPages(part); err != nil {
+			return rep, err
+		}
+	}
+	a.mu.Lock()
+	now := time.Now()
+	for _, part := range selected {
+		a.lastPass[part] = now
+		if ps, ok := a.col.Partition(part); ok {
+			a.churnAtPass[part] = ps.Churn()
+		}
+	}
+	a.passes++
+	a.mu.Unlock()
+	return rep, nil
+}
+
+// ObserveWindow feeds one foreground measurement window into the pacer
+// and returns the AIMD decision.
+func (a *Autopilot) ObserveWindow(s metrics.Summary) PaceEvent {
+	return a.pacer.Observe(s.P99)
+}
+
+// SetBaseline installs the no-reorganization foreground p99.
+func (a *Autopilot) SetBaseline(p99 time.Duration) { a.pacer.SetBaseline(p99) }
+
+// ExactStats is the on-demand exact scan: the space statistics recomputed
+// from a full partition walk, plus exact reference locality over every
+// intra-partition edge. The collector's incremental space counters must
+// agree with the scan exactly — the stats oracle test enforces it.
+type ExactStats struct {
+	storage.Stats
+	Locality float64
+	Edges    int
+}
+
+// ExactScan walks partition part and recomputes everything the collector
+// tracks incrementally. It takes the partition read lock for the OID
+// sweep and reads references through the fuzzy path afterwards, so it is
+// safe (if not cheap) on a live database.
+func ExactScan(d *db.Database, part oid.PartitionID) (ExactStats, error) {
+	st, err := d.Store().PartitionStats(part)
+	if err != nil {
+		return ExactStats{}, err
+	}
+	var oids []oid.OID
+	if err := d.Store().ForEach(part, func(o oid.OID, _ []byte) bool {
+		oids = append(oids, o)
+		return true
+	}); err != nil {
+		return ExactStats{}, err
+	}
+	ex := ExactStats{Stats: st, Locality: 1}
+	var near int
+	for _, o := range oids {
+		refs, err := d.FuzzyReadRefs(o)
+		if err != nil {
+			continue
+		}
+		for _, c := range refs {
+			if c.Partition() != part {
+				continue
+			}
+			ex.Edges++
+			if localityNear(o, c) {
+				near++
+			}
+		}
+	}
+	if ex.Edges > 0 {
+		ex.Locality = float64(near) / float64(ex.Edges)
+	}
+	return ex, nil
+}
+
+// ExactScore computes the declustering score of part from an exact scan
+// instead of the sampled probe — the oracle the benchmark's recovery
+// criterion is measured with.
+func (a *Autopilot) ExactScore(part oid.PartitionID) (float64, ExactStats, error) {
+	ex, err := ExactScan(a.d, part)
+	if err != nil {
+		return 0, ex, err
+	}
+	frag := ex.Fragmentation()
+	deadSlotRatio := 0.0
+	if total := ex.Objects + ex.DeadSlots; total > 0 {
+		deadSlotRatio = float64(ex.DeadSlots) / float64(total)
+	}
+	return a.declusterScore(ex.Locality, frag, deadSlotRatio), ex, nil
+}
+
+// VerifyCounters compares the collector's incremental space counters
+// against an exact scan for every managed partition, returning a
+// describing error on the first mismatch. Call it on a quiescent
+// database; it is the harness-level form of the stats oracle.
+func (a *Autopilot) VerifyCounters() error {
+	for _, part := range a.cfg.Partitions {
+		ps, ok := a.col.Partition(part)
+		if !ok {
+			continue
+		}
+		st, err := a.d.Store().PartitionStats(part)
+		if err != nil {
+			return err
+		}
+		if ps.Live != int64(st.Objects) || ps.Pages != int64(st.Pages) ||
+			ps.DeadBytes != int64(st.DeadBytes) || ps.DeadSlots != int64(st.DeadSlots) {
+			return fmt.Errorf("autopilot: partition %d counters drifted: incremental {live %d, pages %d, dead %dB/%d slots} vs exact {live %d, pages %d, dead %dB/%d slots}",
+				part, ps.Live, ps.Pages, ps.DeadBytes, ps.DeadSlots,
+				st.Objects, st.Pages, st.DeadBytes, st.DeadSlots)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,299 @@
+package autopilot
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+	"repro/internal/workload"
+)
+
+func testConfig() db.Config {
+	cfg := db.DefaultConfig()
+	cfg.FlushLatency = 0
+	cfg.LockTimeout = 100 * time.Millisecond
+	return cfg
+}
+
+func testParams(parts, objects, mpl int) workload.Params {
+	p := workload.DefaultParams()
+	p.NumPartitions = parts
+	p.ObjectsPerPartition = objects
+	p.MPL = mpl
+	p.CPUPerOp = 0
+	p.ReorgCPUPerObject = 0
+	return p
+}
+
+// shuffleChurn destroys one partition's clustering by migrating every
+// object to a random position within the same partition (offline, on a
+// quiescent database) — the same decay model the harness benchmark uses.
+func shuffleChurn(t *testing.T, d *db.Database, part oid.PartitionID, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	plan := reorg.Plan{Target: func(oid.OID) oid.PartitionID { return part }}
+	r := reorg.New(d, part, reorg.Options{
+		Mode: reorg.ModeOffline,
+		Plan: &plan,
+		MigrationOrder: func(objs []oid.OID) []oid.OID {
+			rng.Shuffle(len(objs), func(i, j int) { objs[i], objs[j] = objs[j], objs[i] })
+			return objs
+		},
+	})
+	if err := r.Run(); err != nil {
+		t.Fatalf("shuffle-churn partition %d: %v", part, err)
+	}
+	if _, err := d.Store().TrimPages(part); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func scoresFixture(benefits map[oid.PartitionID]float64) []PartitionScore {
+	var out []PartitionScore
+	for part, b := range benefits {
+		out = append(out, PartitionScore{Partition: part, Benefit: b})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Partition < out[j].Partition })
+	return out
+}
+
+// TestSelectPartitionsGreedy: worst-first, capped at MaxPerPass, never
+// selecting zero-benefit partitions.
+func TestSelectPartitionsGreedy(t *testing.T) {
+	scores := scoresFixture(map[oid.PartitionID]float64{1: 0.2, 2: 0.7, 3: 0, 4: 0.5})
+	rr := 0
+	got := selectPartitions(PolicyGreedy, scores, 2, 0.05, &rr)
+	if want := []oid.PartitionID{2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("greedy selected %v, want %v", got, want)
+	}
+	got = selectPartitions(PolicyGreedy, scores, 10, 0.05, &rr)
+	if want := []oid.PartitionID{2, 4, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("greedy (uncapped) selected %v, want %v (benefit 0 excluded)", got, want)
+	}
+}
+
+// TestSelectPartitionsRoundRobin: cycles the managed set in id order,
+// ignoring scores, with the cursor persisting across calls.
+func TestSelectPartitionsRoundRobin(t *testing.T) {
+	scores := scoresFixture(map[oid.PartitionID]float64{1: 0, 2: 0.9, 3: 0})
+	rr := 0
+	var seen []oid.PartitionID
+	for i := 0; i < 6; i++ {
+		sel := selectPartitions(PolicyRoundRobin, scores, 1, 0.05, &rr)
+		if len(sel) != 1 {
+			t.Fatalf("round-robin pass %d selected %v, want exactly 1", i, sel)
+		}
+		seen = append(seen, sel[0])
+	}
+	if want := []oid.PartitionID{1, 2, 3, 1, 2, 3}; !reflect.DeepEqual(seen, want) {
+		t.Fatalf("round-robin cycle %v, want %v", seen, want)
+	}
+}
+
+// TestSelectPartitionsThreshold: only partitions at or above MinScore,
+// worst first; none over the threshold means an empty (no-op) pass.
+func TestSelectPartitionsThreshold(t *testing.T) {
+	scores := scoresFixture(map[oid.PartitionID]float64{1: 0.04, 2: 0.3, 3: 0.06})
+	rr := 0
+	got := selectPartitions(PolicyThreshold, scores, 10, 0.05, &rr)
+	if want := []oid.PartitionID{2, 3}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("threshold selected %v, want %v", got, want)
+	}
+	if got := selectPartitions(PolicyThreshold, scores, 10, 0.5, &rr); len(got) != 0 {
+		t.Fatalf("threshold over-max selected %v, want none", got)
+	}
+}
+
+// TestScoringRanksChurnedPartition builds a small clustered database,
+// destroys partition 2's clustering, and checks the greedy autopilot
+// both ranks it worst and selects it — the closed loop's sensing half.
+func TestScoringRanksChurnedPartition(t *testing.T) {
+	w, err := workload.Build(testConfig(), testParams(4, 170, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.DB.Close()
+	shuffleChurn(t, w.DB, 2, 42)
+
+	ap, err := New(w.DB, Config{
+		Partitions: []oid.PartitionID{1, 2, 3, 4},
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	selected, scores := ap.SelectPartitions()
+	if len(selected) != 1 || selected[0] != 2 {
+		t.Fatalf("greedy selected %v, want [2]; scores %+v", selected, scores)
+	}
+	for _, s := range scores {
+		if s.Partition == 2 {
+			continue
+		}
+		var churned PartitionScore
+		for _, c := range scores {
+			if c.Partition == 2 {
+				churned = c
+			}
+		}
+		if s.Benefit >= churned.Benefit {
+			t.Fatalf("partition %d benefit %.3f not below churned partition 2's %.3f",
+				s.Partition, s.Benefit, churned.Benefit)
+		}
+	}
+}
+
+// TestRunPassRepairsAndCoolsDown runs one greedy pass on the churned
+// fixture and checks (a) the pass migrates the partition and improves
+// its sampled score, (b) the exact counters survive the pass, and
+// (c) the cooldown suppresses immediately re-selecting the partition
+// it just cleaned.
+func TestRunPassRepairsAndCoolsDown(t *testing.T) {
+	w, err := workload.Build(testConfig(), testParams(4, 170, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.DB.Close()
+	shuffleChurn(t, w.DB, 2, 42)
+
+	ap, err := New(w.DB, Config{Partitions: []oid.PartitionID{1, 2, 3, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := ap.ExactScore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ap.RunPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.Selected, []oid.PartitionID{2}) {
+		t.Fatalf("pass selected %v, want [2]", rep.Selected)
+	}
+	if rep.Migrated == 0 {
+		t.Fatal("pass migrated nothing")
+	}
+	after, _, err := ap.ExactScore(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("declustering score did not improve: %.3f -> %.3f", before, after)
+	}
+	if err := ap.VerifyCounters(); err != nil {
+		t.Fatalf("counter drift after pass: %v", err)
+	}
+	if _, err := check.Verify(w.DB, w.Roots()); err != nil {
+		t.Fatalf("invariants violated after pass: %v", err)
+	}
+	// Cooldown: with no new churn, partition 2 must not win again.
+	if sel, scores := ap.SelectPartitions(); len(sel) > 0 && sel[0] == 2 {
+		t.Fatalf("cooldown failed: partition 2 reselected immediately; scores %+v", scores)
+	}
+}
+
+// TestClusterOrderPermutation: the placement hook must return a
+// permutation of its input — reordering placement, never dropping or
+// inventing objects.
+func TestClusterOrderPermutation(t *testing.T) {
+	w, err := workload.Build(testConfig(), testParams(2, 170, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.DB.Close()
+
+	var objs []oid.OID
+	if err := w.DB.Store().ForEach(1, func(o oid.OID, _ []byte) bool {
+		objs = append(objs, o)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in := append([]oid.OID(nil), objs...)
+	out := ClusterOrder(w.DB, 1)(append([]oid.OID(nil), objs...))
+	if len(out) != len(in) {
+		t.Fatalf("ClusterOrder returned %d objects, want %d", len(out), len(in))
+	}
+	seen := make(map[oid.OID]bool, len(out))
+	for _, o := range out {
+		if seen[o] {
+			t.Fatalf("ClusterOrder duplicated %v", o)
+		}
+		seen[o] = true
+	}
+	for _, o := range in {
+		if !seen[o] {
+			t.Fatalf("ClusterOrder dropped %v", o)
+		}
+	}
+}
+
+// TestAutopilotRaceStress is the -race cell: the collector counts page
+// mutations and log records from MPL concurrent transaction threads
+// while a pass migrates under them and a monitor thread polls scores
+// and pacer state. Run with -race this proves the always-on counters
+// and the controller share no unsynchronized state with the workload.
+func TestAutopilotRaceStress(t *testing.T) {
+	w, err := workload.Build(testConfig(), testParams(4, 170, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.DB.Close()
+	shuffleChurn(t, w.DB, 2, 7)
+
+	ap, err := New(w.DB, Config{
+		Partitions: []oid.PartitionID{1, 2, 3, 4},
+		Seed:       1,
+		Pacer:      PacerConfig{InitialRate: 2000, MinRate: 2000, MaxRate: 2000},
+		Reorg:      reorg.Options{MaxRetries: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := Install(ap)
+	defer restore()
+
+	rec := metrics.NewRecorder()
+	driver := workload.NewDriver(w, rec)
+	driver.Start()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // monitor thread: scores, pacer feedback, expvar
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+				ap.Scores()
+				ap.Pacer().Observe(10 * time.Millisecond)
+				ExpvarSnapshot()
+			}
+		}
+	}()
+
+	if _, err := ap.RunPass(); err != nil {
+		t.Errorf("pass under load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	driver.Stop()
+
+	if err := ap.VerifyCounters(); err != nil {
+		t.Fatalf("counter drift under concurrency: %v", err)
+	}
+	if _, err := check.Verify(w.DB, w.Roots()); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}

@@ -1,0 +1,126 @@
+package autopilot
+
+import (
+	"repro/internal/db"
+	"repro/internal/oid"
+)
+
+// ClusterOrder returns a MigrationOrder hook that re-clusters a
+// partition's objects by reference locality: a depth-first traversal of
+// the intra-partition reference graph, seeded from the ERT's referenced
+// objects (the externally anchored entry points), emits each parent
+// immediately followed by the subtree it reaches. Dense plans place
+// objects in migration order, so the emitted order is the on-page
+// layout — the clustering policies of [TN91]/[WMK94] the paper's §1
+// names as the reason to reorganize, plugged into the reorg.Options
+// placement hook.
+//
+// The hook runs at an object boundary with no reorganizer locks held;
+// reads go through the fuzzy (latch-only) path. Objects whose references
+// cannot be read — deleted mid-traversal — keep their traversal-order
+// position via reorg's own fallback for dropped objects.
+func ClusterOrder(d *db.Database, part oid.PartitionID) func([]oid.OID) []oid.OID {
+	return func(objects []oid.OID) []oid.OID {
+		in := make(map[oid.OID]bool, len(objects))
+		for _, o := range objects {
+			in[o] = true
+		}
+		visited := make(map[oid.OID]bool, len(objects))
+		out := make([]oid.OID, 0, len(objects))
+		// Iterative DFS; the explicit stack keeps deep reference chains
+		// (glue edges can link cluster trees into long paths) off the
+		// goroutine stack.
+		var stack []oid.OID
+		push := func(o oid.OID) {
+			if in[o] && !visited[o] {
+				stack = append(stack, o)
+			}
+		}
+		visit := func(root oid.OID) {
+			push(root)
+			for len(stack) > 0 {
+				o := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if visited[o] || !in[o] {
+					continue
+				}
+				visited[o] = true
+				out = append(out, o)
+				refs, err := d.FuzzyReadRefs(o)
+				if err != nil {
+					continue
+				}
+				// Push in reverse so the first reference is laid out
+				// right after its parent.
+				for i := len(refs) - 1; i >= 0; i-- {
+					if refs[i].Partition() == part {
+						push(refs[i])
+					}
+				}
+			}
+		}
+		for _, root := range d.ERT(part).ReferencedObjects() {
+			visit(root)
+		}
+		// Anything unreached from the ERT (root-table partitions, cycles
+		// with no external anchor) keeps traversal order.
+		for _, o := range objects {
+			visit(o)
+		}
+		return out
+	}
+}
+
+// localityNear reports whether a reference parent→child counts as
+// clustered: both endpoints in the partition, on the same or an adjacent
+// page. Adjacency (|Δpage| ≤ 1) rather than equality keeps the metric
+// smooth for objects that straddle a page boundary in creation order.
+func localityNear(parent, child oid.OID) bool {
+	dp := int64(parent.Page()) - int64(child.Page())
+	return dp >= -1 && dp <= 1
+}
+
+// SampleLocality probes partition part's reference locality: up to
+// sample roots are drawn from the ERT, the intra-partition reference
+// graph is walked breadth-first from them (bounded), and the clustered
+// fraction of the edges seen is returned along with the edge count. An
+// edgeless probe (empty or reference-free partition) reports locality 1:
+// nothing to decluster.
+func SampleLocality(d *db.Database, part oid.PartitionID, sample int, seed uint64) (float64, int) {
+	if sample <= 0 {
+		sample = 64
+	}
+	roots := d.ERT(part).SampleReferenced(sample, seed)
+	var near, total int
+	visited := make(map[oid.OID]bool, 4*sample)
+	queue := append([]oid.OID(nil), roots...)
+	maxVisit := 4 * sample
+	for len(queue) > 0 && len(visited) < maxVisit {
+		o := queue[0]
+		queue = queue[1:]
+		if visited[o] || o.Partition() != part {
+			continue
+		}
+		visited[o] = true
+		refs, err := d.FuzzyReadRefs(o)
+		if err != nil {
+			continue
+		}
+		for _, c := range refs {
+			if c.Partition() != part {
+				continue
+			}
+			total++
+			if localityNear(o, c) {
+				near++
+			}
+			if !visited[c] {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if total == 0 {
+		return 1, 0
+	}
+	return float64(near) / float64(total), total
+}

@@ -1,0 +1,63 @@
+package autopilot
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+// active is the process-wide autopilot instance the debug endpoint
+// reports. Like obs's tracer registry it is a single slot: the commands
+// run one autopilot per process, and the expvar surface needs a stable
+// place to read from.
+var active atomic.Pointer[Autopilot]
+
+// Install makes a the instance ExpvarSnapshot reports and returns a
+// restore function reinstating the previous one.
+func Install(a *Autopilot) (restore func()) {
+	prev := active.Swap(a)
+	return func() { active.Store(prev) }
+}
+
+// Active returns the installed autopilot, or nil.
+func Active() *Autopilot { return active.Load() }
+
+// expvarState is the JSON shape published under the "autopilot" key.
+type expvarState struct {
+	Policy string           `json:"policy"`
+	Passes int64            `json:"passes"`
+	Scores []PartitionScore `json:"scores"`
+	Pacer  PacerSnapshot    `json:"pacer"`
+}
+
+// ExpvarSnapshot returns the autopilot state for the debug endpoint:
+// the per-partition scores from the most recent scoring round, the
+// current pace in tokens/s, and the AIMD backoff/probe counters. Returns
+// nil when no autopilot is installed, so the expvar renders as null
+// rather than an empty shell.
+func ExpvarSnapshot() any {
+	a := active.Load()
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	st := expvarState{
+		Policy: a.cfg.Policy.String(),
+		Passes: a.passes,
+		Scores: append([]PartitionScore(nil), a.lastScores...),
+	}
+	a.mu.Unlock()
+	st.Pacer = a.pacer.Snapshot()
+	return st
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar registers the "autopilot" expvar. Safe to call more than
+// once; reorgbench -http and reorgck -http both call it alongside
+// obs.PublishExpvar.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("autopilot", expvar.Func(ExpvarSnapshot))
+	})
+}

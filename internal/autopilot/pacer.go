@@ -1,0 +1,255 @@
+package autopilot
+
+import (
+	"sync"
+	"time"
+)
+
+// PacerConfig configures the AIMD admission pacer.
+type PacerConfig struct {
+	// InitialRate is the starting admission rate in tokens (object or
+	// batch migrations) per second.
+	InitialRate float64
+	// MinRate floors the rate so Acquire always makes progress: a blown
+	// budget slows the reorganization, it never wedges it.
+	MinRate float64
+	// MaxRate caps additive probing.
+	MaxRate float64
+	// Burst is the token-bucket capacity: how many migrations may be
+	// admitted back-to-back after an idle stretch.
+	Burst float64
+	// Increase is the additive probe: tokens/s added per measurement
+	// window that lands under the probe threshold.
+	Increase float64
+	// Decrease is the multiplicative backoff factor in (0,1) applied
+	// when a window blows the interference budget.
+	Decrease float64
+	// Budget is the tolerated foreground p99 inflation over the
+	// baseline, e.g. 0.10 for "≤10% p99 inflation".
+	Budget float64
+	// Headroom sets the control set-point below the budget edge: the
+	// pacer probes only when p99 ≤ baseline×(1+Headroom×Budget), and
+	// holds in the band between set-point and budget. Controlling at
+	// half the budget keeps the AIMD sawtooth's mean inside the budget
+	// rather than oscillating around its edge.
+	Headroom float64
+}
+
+// DefaultPacerConfig returns the pacing constants the harness uses: a
+// conservative start, halving backoff, a probe step that recovers the
+// pre-backoff rate within a few windows, and a floor low enough that
+// backing off genuinely quiets the reorganization (a floor near the
+// uncontended migration rate would make backoff a no-op).
+func DefaultPacerConfig() PacerConfig {
+	return PacerConfig{
+		InitialRate: 50,
+		MinRate:     10,
+		MaxRate:     2000,
+		Burst:       4,
+		Increase:    25,
+		Decrease:    0.5,
+		Budget:      0.10,
+		Headroom:    0.5,
+	}
+}
+
+// sanitize fills zero fields with defaults and clamps nonsense.
+func (c PacerConfig) sanitize() PacerConfig {
+	def := DefaultPacerConfig()
+	if c.InitialRate <= 0 {
+		c.InitialRate = def.InitialRate
+	}
+	if c.MinRate <= 0 {
+		c.MinRate = def.MinRate
+	}
+	if c.MaxRate <= 0 {
+		c.MaxRate = def.MaxRate
+	}
+	if c.Burst <= 0 {
+		c.Burst = def.Burst
+	}
+	if c.Increase <= 0 {
+		c.Increase = def.Increase
+	}
+	if c.Decrease <= 0 || c.Decrease >= 1 {
+		c.Decrease = def.Decrease
+	}
+	if c.Budget <= 0 {
+		c.Budget = def.Budget
+	}
+	if c.Headroom <= 0 || c.Headroom > 1 {
+		c.Headroom = def.Headroom
+	}
+	if c.MinRate > c.MaxRate {
+		c.MinRate = c.MaxRate
+	}
+	if c.InitialRate < c.MinRate {
+		c.InitialRate = c.MinRate
+	}
+	if c.InitialRate > c.MaxRate {
+		c.InitialRate = c.MaxRate
+	}
+	return c
+}
+
+// PaceEvent classifies one Observe decision.
+type PaceEvent int
+
+// Observe outcomes.
+const (
+	// PaceHold: p99 sits between the set-point and the budget edge;
+	// the rate is left alone.
+	PaceHold PaceEvent = iota
+	// PaceProbe: slack exists; the rate was increased additively.
+	PaceProbe
+	// PaceBackoff: the budget was blown; the rate was cut
+	// multiplicatively.
+	PaceBackoff
+	// PaceFixed: no baseline (tracing disabled or no samples); the
+	// pacer degrades gracefully to its current fixed rate.
+	PaceFixed
+)
+
+func (e PaceEvent) String() string {
+	switch e {
+	case PaceHold:
+		return "hold"
+	case PaceProbe:
+		return "probe"
+	case PaceBackoff:
+		return "backoff"
+	case PaceFixed:
+		return "fixed"
+	}
+	return "?"
+}
+
+// Pacer is the AIMD feedback controller throttling fleet-wide migration
+// admission. Workers call Acquire (via the scheduler's Pace hook) once
+// per object boundary; the monitor loop calls Observe once per
+// measurement window with the foreground p99. Without a baseline —
+// tracing off, or no committed transactions to measure — Observe leaves
+// the rate alone, so the pacer degrades to a fixed-pace token bucket.
+type Pacer struct {
+	cfg PacerConfig
+
+	mu       sync.Mutex
+	rate     float64 // tokens per second
+	tokens   float64
+	last     time.Time
+	baseline time.Duration // foreground p99 with no reorganization; 0 = unset
+
+	acquired int64
+	backoffs int64
+	probes   int64
+	observed int64
+}
+
+// NewPacer creates a pacer at cfg's initial rate.
+func NewPacer(cfg PacerConfig) *Pacer {
+	cfg = cfg.sanitize()
+	return &Pacer{cfg: cfg, rate: cfg.InitialRate, last: time.Now()}
+}
+
+// SetBaseline installs the no-reorganization foreground p99 the budget
+// is measured against. A zero baseline disables feedback (fixed pace).
+func (p *Pacer) SetBaseline(p99 time.Duration) {
+	p.mu.Lock()
+	p.baseline = p99
+	p.mu.Unlock()
+}
+
+// Acquire blocks until one admission token is available and consumes
+// it. It never returns a non-nil error: the MinRate floor guarantees
+// progress, so a stopping scheduler drains through its own gate rather
+// than through the pacer. Sleeps are bounded (≤50 ms per wait) so pause
+// and stop stay responsive.
+func (p *Pacer) Acquire() error {
+	for {
+		p.mu.Lock()
+		now := time.Now()
+		p.tokens += now.Sub(p.last).Seconds() * p.rate
+		p.last = now
+		if p.tokens > p.cfg.Burst {
+			p.tokens = p.cfg.Burst
+		}
+		if p.tokens >= 1 {
+			p.tokens--
+			p.acquired++
+			p.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((1 - p.tokens) / p.rate * float64(time.Second))
+		p.mu.Unlock()
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Observe feeds one measurement window's foreground p99 into the AIMD
+// loop and returns the decision taken. Windows with no samples (p99 = 0)
+// are skipped: an idle workload says nothing about interference.
+func (p *Pacer) Observe(p99 time.Duration) PaceEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observed++
+	if p.baseline <= 0 || p99 <= 0 {
+		return PaceFixed
+	}
+	base := float64(p.baseline)
+	blown := base * (1 + p.cfg.Budget)
+	setpoint := base * (1 + p.cfg.Headroom*p.cfg.Budget)
+	switch {
+	case float64(p99) > blown:
+		p.rate *= p.cfg.Decrease
+		if p.rate < p.cfg.MinRate {
+			p.rate = p.cfg.MinRate
+		}
+		p.backoffs++
+		return PaceBackoff
+	case float64(p99) <= setpoint:
+		p.rate += p.cfg.Increase
+		if p.rate > p.cfg.MaxRate {
+			p.rate = p.cfg.MaxRate
+		}
+		p.probes++
+		return PaceProbe
+	default:
+		return PaceHold
+	}
+}
+
+// Rate returns the current admission rate in tokens/s.
+func (p *Pacer) Rate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// PacerSnapshot is a point-in-time view of the controller state.
+type PacerSnapshot struct {
+	RateTokensPerSec float64 `json:"rate_tokens_per_sec"`
+	BaselineP99Ms    float64 `json:"baseline_p99_ms"`
+	BudgetPct        float64 `json:"budget_pct"`
+	Acquired         int64   `json:"acquired"`
+	Backoffs         int64   `json:"backoffs"`
+	Probes           int64   `json:"probes"`
+	Observed         int64   `json:"observed_windows"`
+}
+
+// Snapshot returns the controller state for reports and expvar.
+func (p *Pacer) Snapshot() PacerSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PacerSnapshot{
+		RateTokensPerSec: p.rate,
+		BaselineP99Ms:    float64(p.baseline) / float64(time.Millisecond),
+		BudgetPct:        100 * p.cfg.Budget,
+		Acquired:         p.acquired,
+		Backoffs:         p.backoffs,
+		Probes:           p.probes,
+		Observed:         p.observed,
+	}
+}

@@ -1,0 +1,127 @@
+package autopilot
+
+import (
+	"testing"
+	"time"
+)
+
+func testPacerConfig() PacerConfig {
+	return PacerConfig{
+		InitialRate: 100,
+		MinRate:     25,
+		MaxRate:     400,
+		Burst:       4,
+		Increase:    50,
+		Decrease:    0.5,
+		Budget:      0.10,
+		Headroom:    0.5,
+	}
+}
+
+// TestPacerAIMDTransitions walks the controller through all three
+// feedback regimes with a 100ms baseline and a 10% budget: the blown
+// edge is 110ms, the probe set-point 105ms.
+func TestPacerAIMDTransitions(t *testing.T) {
+	p := NewPacer(testPacerConfig())
+	p.SetBaseline(100 * time.Millisecond)
+
+	if ev := p.Observe(104 * time.Millisecond); ev != PaceProbe {
+		t.Fatalf("under set-point: got %v, want probe", ev)
+	}
+	if got := p.Rate(); got != 150 {
+		t.Fatalf("after probe: rate %v, want 150", got)
+	}
+	if ev := p.Observe(107 * time.Millisecond); ev != PaceHold {
+		t.Fatalf("between set-point and budget: got %v, want hold", ev)
+	}
+	if got := p.Rate(); got != 150 {
+		t.Fatalf("after hold: rate %v, want 150", got)
+	}
+	if ev := p.Observe(120 * time.Millisecond); ev != PaceBackoff {
+		t.Fatalf("over budget: got %v, want backoff", ev)
+	}
+	if got := p.Rate(); got != 75 {
+		t.Fatalf("after backoff: rate %v, want 75", got)
+	}
+
+	snap := p.Snapshot()
+	if snap.Probes != 1 || snap.Backoffs != 1 || snap.Observed != 3 {
+		t.Fatalf("snapshot counters %+v, want 1 probe, 1 backoff, 3 observed", snap)
+	}
+}
+
+// TestPacerRateBounds checks the MinRate floor under repeated backoff
+// and the MaxRate cap under repeated probing.
+func TestPacerRateBounds(t *testing.T) {
+	p := NewPacer(testPacerConfig())
+	p.SetBaseline(100 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		p.Observe(time.Second)
+	}
+	if got := p.Rate(); got != 25 {
+		t.Fatalf("after sustained backoff: rate %v, want MinRate 25", got)
+	}
+	for i := 0; i < 50; i++ {
+		p.Observe(50 * time.Millisecond)
+	}
+	if got := p.Rate(); got != 400 {
+		t.Fatalf("after sustained probing: rate %v, want MaxRate 400", got)
+	}
+}
+
+// TestPacerFixedWithoutBaseline checks graceful degradation: with no
+// baseline installed (tracing off) or with an idle window (p99 = 0) the
+// controller reports PaceFixed and never moves the rate.
+func TestPacerFixedWithoutBaseline(t *testing.T) {
+	p := NewPacer(testPacerConfig())
+	if ev := p.Observe(time.Second); ev != PaceFixed {
+		t.Fatalf("no baseline: got %v, want fixed", ev)
+	}
+	p.SetBaseline(100 * time.Millisecond)
+	if ev := p.Observe(0); ev != PaceFixed {
+		t.Fatalf("idle window: got %v, want fixed", ev)
+	}
+	if got := p.Rate(); got != 100 {
+		t.Fatalf("fixed pace moved the rate to %v", got)
+	}
+}
+
+// TestPacerAcquireProgress checks that Acquire always completes — the
+// MinRate floor guarantees progress even at the slowest setting — and
+// that admission is genuinely paced: 5 tokens past the burst capacity
+// at 100 tokens/s must take at least ~10ms of refill time.
+func TestPacerAcquireProgress(t *testing.T) {
+	p := NewPacer(testPacerConfig())
+	start := time.Now()
+	const n = 7 // Burst 4 served immediately + 3 refilled at 100/s
+	for i := 0; i < n; i++ {
+		if err := p.Acquire(); err != nil {
+			t.Fatalf("Acquire returned %v", err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("7 acquires at 100 tokens/s burst 4 took %v, want ≥ 20ms of pacing", elapsed)
+	}
+	if snap := p.Snapshot(); snap.Acquired != n {
+		t.Fatalf("acquired counter %d, want %d", snap.Acquired, n)
+	}
+}
+
+// TestPacerSanitize checks zero-value and inconsistent configs are
+// repaired instead of producing a wedged or divide-by-zero pacer.
+func TestPacerSanitize(t *testing.T) {
+	def := DefaultPacerConfig()
+	if got := (PacerConfig{}).sanitize(); got != def {
+		t.Fatalf("zero config sanitized to %+v, want defaults %+v", got, def)
+	}
+	c := (PacerConfig{MinRate: 500, MaxRate: 100, InitialRate: 9999}).sanitize()
+	if c.MinRate > c.MaxRate {
+		t.Fatalf("MinRate %v > MaxRate %v after sanitize", c.MinRate, c.MaxRate)
+	}
+	if c.InitialRate < c.MinRate || c.InitialRate > c.MaxRate {
+		t.Fatalf("InitialRate %v outside [%v, %v]", c.InitialRate, c.MinRate, c.MaxRate)
+	}
+	if c.Decrease <= 0 || c.Decrease >= 1 {
+		t.Fatalf("Decrease %v not in (0,1)", c.Decrease)
+	}
+}

@@ -1,0 +1,140 @@
+package autopilot
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/oid"
+)
+
+// PolicyKind selects a partition-selection policy.
+type PolicyKind int
+
+// Policies.
+const (
+	// PolicyGreedy picks the MaxPerPass partitions with the highest
+	// benefit, worst first. The default: repair where it pays most.
+	PolicyGreedy PolicyKind = iota
+	// PolicyRoundRobin cycles through the managed partitions in id
+	// order regardless of score — the fairness baseline, and the closest
+	// to the static partition lists earlier harnesses fed the scheduler.
+	PolicyRoundRobin
+	// PolicyThreshold selects every partition whose benefit reaches
+	// MinScore (capped at MaxPerPass, worst first); with none over the
+	// threshold the pass is a no-op. The "only when needed" policy for
+	// a periodically woken autopilot.
+	PolicyThreshold
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyGreedy:
+		return "greedy"
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyThreshold:
+		return "threshold"
+	}
+	return fmt.Sprintf("Policy(%d)", int(k))
+}
+
+// ParsePolicy maps a flag string to a PolicyKind.
+func ParsePolicy(s string) (PolicyKind, error) {
+	switch s {
+	case "greedy", "":
+		return PolicyGreedy, nil
+	case "round-robin", "roundrobin", "rr":
+		return PolicyRoundRobin, nil
+	case "threshold":
+		return PolicyThreshold, nil
+	}
+	return 0, fmt.Errorf("autopilot: unknown policy %q (greedy, round-robin, threshold)", s)
+}
+
+// ScoreWeights weight the declustering score's components. They need not
+// sum to one; the score is only compared against other partitions and
+// the threshold.
+type ScoreWeights struct {
+	Locality      float64 `json:"locality"`
+	Fragmentation float64 `json:"fragmentation"`
+	DeadSlots     float64 `json:"dead_slots"`
+}
+
+// DefaultScoreWeights emphasize clustering decay — the paper's headline
+// reason to reorganize — over space reclamation.
+func DefaultScoreWeights() ScoreWeights {
+	return ScoreWeights{Locality: 0.6, Fragmentation: 0.3, DeadSlots: 0.1}
+}
+
+// PartitionScore is one partition's ranking inputs and result.
+type PartitionScore struct {
+	Partition oid.PartitionID `json:"partition"`
+	// Locality is the sampled fraction of intra-partition references
+	// whose endpoints sit on the same or adjacent pages (1 = perfectly
+	// clustered). SampledEdges is the probe size behind it.
+	Locality     float64 `json:"locality"`
+	SampledEdges int     `json:"sampled_edges"`
+	// Fragmentation is dead bytes over total bytes; DeadSlotRatio is
+	// tombstoned slot entries over all slot entries.
+	Fragmentation float64 `json:"fragmentation"`
+	DeadSlotRatio float64 `json:"dead_slot_ratio"`
+	// ChurnSincePass is the update churn accumulated since this
+	// partition's last autopilot pass (or ever, if never passed).
+	ChurnSincePass int64 `json:"churn_since_pass"`
+	// Decluster is the weighted decay score; Cooldown is the churn-
+	// cooldown factor in [0,1]; Benefit = Decluster × Cooldown is what
+	// the policies rank.
+	Decluster float64 `json:"decluster"`
+	Cooldown  float64 `json:"cooldown"`
+	Benefit   float64 `json:"benefit"`
+}
+
+// selectPartitions applies the policy to the scored partitions. scores
+// must cover the managed set; rrNext is the round-robin cursor, advanced
+// on return.
+func selectPartitions(kind PolicyKind, scores []PartitionScore, maxPerPass int, minScore float64, rrNext *int) []oid.PartitionID {
+	if maxPerPass <= 0 {
+		maxPerPass = 1
+	}
+	switch kind {
+	case PolicyRoundRobin:
+		if len(scores) == 0 {
+			return nil
+		}
+		byID := append([]PartitionScore(nil), scores...)
+		sort.Slice(byID, func(i, j int) bool { return byID[i].Partition < byID[j].Partition })
+		n := maxPerPass
+		if n > len(byID) {
+			n = len(byID)
+		}
+		out := make([]oid.PartitionID, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, byID[(*rrNext+i)%len(byID)].Partition)
+		}
+		*rrNext = (*rrNext + n) % len(byID)
+		return out
+	case PolicyThreshold, PolicyGreedy:
+		ranked := append([]PartitionScore(nil), scores...)
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].Benefit != ranked[j].Benefit {
+				return ranked[i].Benefit > ranked[j].Benefit
+			}
+			return ranked[i].Partition < ranked[j].Partition
+		})
+		var out []oid.PartitionID
+		for _, s := range ranked {
+			if len(out) >= maxPerPass {
+				break
+			}
+			if kind == PolicyThreshold && s.Benefit < minScore {
+				break
+			}
+			if kind == PolicyGreedy && s.Benefit <= 0 {
+				break
+			}
+			out = append(out, s.Partition)
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+// Package stats implements the reorganization autopilot's per-partition
+// statistics collector.
+//
+// The paper motivates reorganization with clustering decay (§1): updates
+// and deletes degrade object placement until the partition needs
+// "clustering related objects, compacting space, garbage collection".
+// Deciding *which* partition has decayed requires measurements, and
+// measuring must not itself disturb the workload. The collector therefore
+// keeps only cheap incremental counters:
+//
+//   - space: live objects, allocated pages, dead (tombstone) bytes and
+//     dead slots — maintained by the storage layer as before/after deltas
+//     around each page mutation, so they remain exact even though the
+//     page layer compacts cells opportunistically;
+//   - churn: creations, deletions, payload updates and reference changes
+//     per partition — maintained by the log analyzer, which already sees
+//     every record synchronously in LSN order;
+//   - migrations in/out — noted by the reorganizer as objects commit at
+//     their new addresses.
+//
+// The storage layer and log analyzer each hold an atomic pointer to the
+// collector; with no collector installed the entire instrumentation path
+// costs one atomic load per mutation, the same always-on discipline as
+// internal/fault and internal/obs. Unlike those process-wide registries
+// the collector is instance-scoped (one per database), so harnesses that
+// build several databases in one process never mix their counters.
+//
+// The space counters are exact, not approximate: internal/autopilot's
+// ExactScan recomputes them from a full partition scan and the stats
+// oracle property test drives random insert/update/delete/migrate
+// sequences against both.
+package stats
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/oid"
+)
+
+// PartStats is a point-in-time snapshot of one partition's counters.
+type PartStats struct {
+	// Space counters (exact, delta-maintained by storage).
+	Live      int64 `json:"live"`
+	Pages     int64 `json:"pages"`
+	DeadBytes int64 `json:"dead_bytes"`
+	DeadSlots int64 `json:"dead_slots"`
+
+	// Churn counters (monotone, maintained by the log analyzer).
+	Creates  int64 `json:"creates"`
+	Deletes  int64 `json:"deletes"`
+	Updates  int64 `json:"updates"`
+	RefChurn int64 `json:"ref_churn"`
+
+	// Migration counters (monotone, maintained by the reorganizer).
+	MigratedIn  int64 `json:"migrated_in"`
+	MigratedOut int64 `json:"migrated_out"`
+}
+
+// Churn returns the total update-churn operations: the quantity the
+// policy's churn-cooldown tracks. Migrations are excluded — the
+// reorganizer's own work must not rewarm the partition it just cleaned.
+func (p PartStats) Churn() int64 {
+	return p.Creates + p.Deletes + p.Updates + p.RefChurn
+}
+
+// DeadSlotRatio returns dead slots as a fraction of all slots.
+func (p PartStats) DeadSlotRatio() float64 {
+	total := p.Live + p.DeadSlots
+	if total == 0 {
+		return 0
+	}
+	return float64(p.DeadSlots) / float64(total)
+}
+
+// counters is the live (atomic) form of PartStats.
+type counters struct {
+	live, pages, deadBytes, deadSlots atomic.Int64
+	creates, deletes, updates         atomic.Int64
+	refChurn                          atomic.Int64
+	migratedIn, migratedOut           atomic.Int64
+}
+
+func (c *counters) snapshot() PartStats {
+	return PartStats{
+		Live:        c.live.Load(),
+		Pages:       c.pages.Load(),
+		DeadBytes:   c.deadBytes.Load(),
+		DeadSlots:   c.deadSlots.Load(),
+		Creates:     c.creates.Load(),
+		Deletes:     c.deletes.Load(),
+		Updates:     c.updates.Load(),
+		RefChurn:    c.refChurn.Load(),
+		MigratedIn:  c.migratedIn.Load(),
+		MigratedOut: c.migratedOut.Load(),
+	}
+}
+
+// Collector accumulates per-partition statistics. All methods are safe
+// for concurrent use; the per-partition counters are plain atomics, so
+// the hot paths (one note per page mutation or log record) never share a
+// lock beyond the read-lock protecting the partition map.
+type Collector struct {
+	mu    sync.RWMutex
+	parts map[oid.PartitionID]*counters
+}
+
+// New creates an empty collector.
+func New() *Collector {
+	return &Collector{parts: make(map[oid.PartitionID]*counters)}
+}
+
+// get returns the counters for part, creating them on first touch.
+func (c *Collector) get(part oid.PartitionID) *counters {
+	c.mu.RLock()
+	ct := c.parts[part]
+	c.mu.RUnlock()
+	if ct != nil {
+		return ct
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ct = c.parts[part]; ct == nil {
+		ct = &counters{}
+		c.parts[part] = ct
+	}
+	return ct
+}
+
+// NoteSpace applies a delta to the space counters of part. The storage
+// layer calls it with the before/after difference of one page mutation.
+func (c *Collector) NoteSpace(part oid.PartitionID, live, pages, deadBytes, deadSlots int) {
+	if live == 0 && pages == 0 && deadBytes == 0 && deadSlots == 0 {
+		return
+	}
+	ct := c.get(part)
+	if live != 0 {
+		ct.live.Add(int64(live))
+	}
+	if pages != 0 {
+		ct.pages.Add(int64(pages))
+	}
+	if deadBytes != 0 {
+		ct.deadBytes.Add(int64(deadBytes))
+	}
+	if deadSlots != 0 {
+		ct.deadSlots.Add(int64(deadSlots))
+	}
+}
+
+// NoteCreate counts one object creation in part.
+func (c *Collector) NoteCreate(part oid.PartitionID) { c.get(part).creates.Add(1) }
+
+// NoteDelete counts one object deletion in part.
+func (c *Collector) NoteDelete(part oid.PartitionID) { c.get(part).deletes.Add(1) }
+
+// NoteUpdate counts one payload update in part.
+func (c *Collector) NoteUpdate(part oid.PartitionID) { c.get(part).updates.Add(1) }
+
+// NoteRefChurn counts n reference-list changes on objects of part.
+func (c *Collector) NoteRefChurn(part oid.PartitionID, n int) {
+	c.get(part).refChurn.Add(int64(n))
+}
+
+// NoteMigrate counts one committed object migration from partition from
+// to partition to.
+func (c *Collector) NoteMigrate(from, to oid.PartitionID) {
+	c.get(from).migratedOut.Add(1)
+	c.get(to).migratedIn.Add(1)
+}
+
+// Prime sets the absolute space counters of part, typically from an
+// exact scan taken when the collector is installed on a database that
+// already holds data. Churn counters are left untouched.
+func (c *Collector) Prime(part oid.PartitionID, live, pages, deadBytes, deadSlots int64) {
+	ct := c.get(part)
+	ct.live.Store(live)
+	ct.pages.Store(pages)
+	ct.deadBytes.Store(deadBytes)
+	ct.deadSlots.Store(deadSlots)
+}
+
+// DropPartition discards the counters of a dropped partition.
+func (c *Collector) DropPartition(part oid.PartitionID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.parts, part)
+}
+
+// Partition returns a snapshot of part's counters and whether the
+// partition has ever been noted.
+func (c *Collector) Partition(part oid.PartitionID) (PartStats, bool) {
+	c.mu.RLock()
+	ct := c.parts[part]
+	c.mu.RUnlock()
+	if ct == nil {
+		return PartStats{}, false
+	}
+	return ct.snapshot(), true
+}
+
+// Partitions returns the noted partition ids in ascending order.
+func (c *Collector) Partitions() []oid.PartitionID {
+	c.mu.RLock()
+	ids := make([]oid.PartitionID, 0, len(c.parts))
+	for id := range c.parts {
+		ids = append(ids, id)
+	}
+	c.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Snapshot returns all partitions' counters keyed by partition.
+func (c *Collector) Snapshot() map[oid.PartitionID]PartStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[oid.PartitionID]PartStats, len(c.parts))
+	for id, ct := range c.parts {
+		out[id] = ct.snapshot()
+	}
+	return out
+}

@@ -161,7 +161,13 @@ func (t *Txn) create(part oid.PartitionID, payload []byte, refs []oid.OID, dense
 	}
 	// The allocation is made durable/undoable by the Create record; the
 	// (allocate, log) pair stays inside one gate hold so a checkpoint
-	// cannot capture the allocation without the record.
+	// cannot capture the allocation without the record. The lock comes
+	// last because the OID is unknown before allocation and the record
+	// must follow the allocation atomically; the resulting window — the
+	// object is fuzzily visible before its creator holds the lock — is
+	// tolerated by readers that follow the fuzzy-read discipline (a
+	// reorganizer re-validates adopted parents and skips ones that
+	// vanish, see reorg.moveObject).
 	rec := &wal.Record{Type: wal.RecCreate, Txn: wal.TxnID(t.id), Prev: t.lastLSN, OID: o, After: img}
 	lsn, aerr := t.db.log.Append(rec)
 	if aerr != nil {

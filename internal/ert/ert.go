@@ -45,13 +45,20 @@ func (t *Table) Partition() oid.PartitionID { return t.part }
 
 // AddRef records one external reference parent→child. The caller is
 // responsible for ensuring child is in this partition and parent is not.
+//
+// Both mutators copy the inner map instead of updating it in place:
+// Parents hands the map obtained from Get to its caller's iteration
+// outside the hash table's lock, so every published map must stay
+// immutable. Inner maps are small (the external parents of one child),
+// so the copy is cheap.
 func (t *Table) AddRef(child, parent oid.OID) {
 	t.m.Update(uint64(child), func(cur map[oid.OID]int, ok bool) (map[oid.OID]int, bool) {
-		if !ok {
-			cur = make(map[oid.OID]int, 1)
+		next := make(map[oid.OID]int, len(cur)+1)
+		for p, c := range cur {
+			next[p] = c
 		}
-		cur[parent]++
-		return cur, true
+		next[parent]++
+		return next, true
 	})
 	t.nRefs.Add(1)
 }
@@ -65,15 +72,20 @@ func (t *Table) RemoveRef(child, parent oid.OID) {
 		if !ok {
 			return nil, false
 		}
-		if n, has := cur[parent]; has {
-			removed = true
-			if n <= 1 {
-				delete(cur, parent)
-			} else {
-				cur[parent] = n - 1
-			}
+		if _, has := cur[parent]; !has {
+			return cur, len(cur) > 0
 		}
-		return cur, len(cur) > 0
+		removed = true
+		next := make(map[oid.OID]int, len(cur))
+		for p, c := range cur {
+			next[p] = c
+		}
+		if next[parent] <= 1 {
+			delete(next, parent)
+		} else {
+			next[parent]--
+		}
+		return next, len(next) > 0
 	})
 	if removed {
 		t.nRefs.Add(-1)
@@ -110,6 +122,34 @@ func (t *Table) ReferencedObjects() []oid.OID {
 		out[i] = oid.OID(k)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SampleReferenced returns up to n referenced objects chosen
+// deterministically from seed. The autopilot seeds its reference-
+// locality probes from the ERT this way: the referenced objects are the
+// partition's externally anchored entry points (the same roots the fuzzy
+// traversal starts from), and a bounded sample keeps the probe cheap on
+// large tables.
+func (t *Table) SampleReferenced(n int, seed uint64) []oid.OID {
+	keys := t.m.Keys()
+	// Keys() order is hash-table order; sort first so the sample depends
+	// only on the seed and table contents.
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if n > len(keys) {
+		n = len(keys)
+	}
+	// Partial Fisher-Yates driven by an LCG: the first n positions are a
+	// uniform sample without replacement.
+	for i := 0; i < n; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		j := i + int(seed%uint64(len(keys)-i))
+		keys[i], keys[j] = keys[j], keys[i]
+	}
+	out := make([]oid.OID, n)
+	for i := 0; i < n; i++ {
+		out[i] = oid.OID(keys[i])
+	}
 	return out
 }
 

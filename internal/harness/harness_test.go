@@ -107,7 +107,7 @@ func TestRunWithFixedWindow(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 16 {
+	if len(all) != 17 {
 		t.Fatalf("registry has %d experiments", len(all))
 	}
 	ids := map[string]bool{}

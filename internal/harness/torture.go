@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/autopilot"
 	"repro/internal/check"
 	"repro/internal/db"
 	"repro/internal/fault"
@@ -85,6 +86,12 @@ type TortureConfig struct {
 	// Chaos arms background noise on top of the crash schedule:
 	// spurious lock timeouts (p=0.02) and latch delays (p=0.01).
 	Chaos bool
+	// AdaptivePace throttles the fleet through an autopilot token-bucket
+	// pacer (fixed pace — no workload baseline exists here, which is the
+	// pacer's graceful-degradation path). Crashes then land between
+	// paced admissions, exercising the §4.4 resume protocol with the
+	// pacer in the worker loop.
+	AdaptivePace bool
 
 	// FileWAL runs the WAL on a real file device under Dir, so
 	// crashes exercise torn-tail scanning and fsync ordering. Dir is
@@ -596,15 +603,31 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 		}(i)
 	}
 
+	var pace func() error
+	maxRetries := 50
+	if cfg.AdaptivePace {
+		// Fast enough not to stretch the round past its timeout, slow
+		// enough that admissions are genuinely spaced out.
+		pace = autopilot.NewPacer(autopilot.PacerConfig{
+			InitialRate: 500, MinRate: 500, MaxRate: 500, Burst: 4,
+		}).Acquire
+		// A paced round lasts several times longer, so a fixed retry
+		// budget covers proportionally less of the contention the
+		// concurrent counter transactions generate; scale it up so a
+		// loaded machine exhausting 500ms lock waits stays a liveness
+		// hiccup, not a round failure.
+		maxRetries = 250
+	}
 	s, err := reorg.NewScheduler(w.d, w.remaining, reorg.FleetOptions{
 		Workers: cfg.Workers,
 		Reorg: reorg.Options{
 			Mode:            cfg.Mode,
 			BatchSize:       cfg.BatchSize,
-			MaxRetries:      50,
+			MaxRetries:      maxRetries,
 			WaitTimeout:     500 * time.Millisecond,
 			CheckpointEvery: 1,
 		},
+		Pace:         pace,
 		ResumeStates: w.resume,
 		Records:      w.records,
 	})
@@ -621,6 +644,14 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 	var fleetErr error
 	select {
 	case fleetErr = <-fleetDone:
+		// The crash and the fleet's unwinding can be ready together, and
+		// select picks among ready cases at random — re-check so a fired
+		// crash is never misread as a spontaneous fleet failure.
+		select {
+		case <-reg.CrashC():
+			rep.Crashed = true
+		default:
+		}
 	case <-reg.CrashC():
 		rep.Crashed = true
 		// The process is "dead": the log is frozen, so the fleet and
@@ -773,8 +804,18 @@ func RunTorture(cfg TortureConfig) (*TortureResult, error) {
 	// hold the world to the full invariant set one last time.
 	if len(w.remaining) > 0 {
 		s, err := reorg.NewScheduler(w.d, w.remaining, reorg.FleetOptions{
-			Workers:      cfg.Workers,
-			Reorg:        reorg.Options{Mode: cfg.Mode, BatchSize: cfg.BatchSize, CheckpointEvery: 1},
+			Workers: cfg.Workers,
+			// Same retry budget as the crash rounds: two workers can
+			// deadlock on cross-partition parent locks, and timeout plus
+			// retry is the designed resolution — a default (zero) budget
+			// turns the first such victim into a run failure.
+			Reorg: reorg.Options{
+				Mode:            cfg.Mode,
+				BatchSize:       cfg.BatchSize,
+				MaxRetries:      50,
+				WaitTimeout:     500 * time.Millisecond,
+				CheckpointEvery: 1,
+			},
 			ResumeStates: w.resume,
 			Records:      w.records,
 		})
@@ -880,6 +921,7 @@ func RunTortureSweep(w io.Writer, spec TortureSpec) ([]SweepFailure, error) {
 			Dir:                 runDir,
 			CrashDuringRecovery: n%3 == 0,
 			Chaos:               n%2 == 1,
+			AdaptivePace:        n%3 == 1,
 		}
 		res, err := RunTorture(cfg)
 		if err != nil {

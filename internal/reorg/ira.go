@@ -10,6 +10,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/obs"
 	"repro/internal/oid"
+	"repro/internal/storage"
 	"repro/internal/trt"
 )
 
@@ -107,6 +108,9 @@ func (r *Reorganizer) migrateAllBasic() error {
 				return fmt.Errorf("reorg: giving up on batch at %s after %d retries: %w",
 					batch[0], retries, err)
 			}
+			if serr := r.stopCheck(); serr != nil {
+				return serr
+			}
 		}
 		i = end
 		r.maybeCheckpoint(i)
@@ -166,6 +170,7 @@ func (r *Reorganizer) migrateBatch(batch []oid.OID) (err error) {
 	for _, st := range staged {
 		r.migrated[st.old] = st.new
 		r.stats.Migrated++
+		r.noteMigrated(st.old, st.new)
 		r.stats.ParentsUpdated += st.parentsUpdated
 		r.fixupChildren(st.refs, st.old, st.new)
 	}
@@ -310,18 +315,34 @@ func (r *Reorganizer) moveObject(txn *db.Txn, oldO oid.OID, img object.Object, p
 	// Self-references must follow the object.
 	if img.HasRef(oldO) {
 		if err := txn.RetargetRef(newO, oldO, newO); err != nil {
-			return oid.Nil, 0, err
+			return oid.Nil, 0, fmt.Errorf("reorg: self-ref of %s -> %s: %w", oldO, newO, err)
 		}
 	}
 	updated := 0
 	for _, R := range sortedParents(pset) {
 		if err := txn.RetargetRef(R, oldO, newO); err != nil {
-			return oid.Nil, 0, err
+			// A parent can vanish between its isParent check and this
+			// repoint even though we hold its exclusive lock: another
+			// transaction's in-flight creation is fuzzily visible from
+			// allocation time, before its creator holds the new OID's
+			// lock (see db.Txn.create), so we may lock and adopt it —
+			// and its creator's rollback then frees it regardless of our
+			// lock. Such an object is necessarily an uncommitted
+			// allocation: committed objects cannot be deleted while we
+			// hold their lock. Its references died with it, and the
+			// original parent carrying the committed reference is locked
+			// in pset in its own right, so skipping the repoint is sound
+			// — the same "a vanished R is not a parent" rule isParent
+			// applies, just re-checked at repoint time.
+			if errors.Is(err, storage.ErrNoObject) && !r.isParent(R, oldO) {
+				continue
+			}
+			return oid.Nil, 0, fmt.Errorf("reorg: repoint parent %s of %s: %w", R, oldO, err)
 		}
 		updated++
 	}
 	if err := txn.Delete(oldO); err != nil {
-		return oid.Nil, 0, err
+		return oid.Nil, 0, fmt.Errorf("reorg: delete old copy %s: %w", oldO, err)
 	}
 	return newO, updated, nil
 }
@@ -363,6 +384,9 @@ func (r *Reorganizer) migrateLateCreations() error {
 			r.stats.Retries++
 			if retries > r.opts.MaxRetries {
 				return fmt.Errorf("reorg: giving up on late creation %s: %w", o, err)
+			}
+			if serr := r.stopCheck(); serr != nil {
+				return serr
 			}
 		}
 	}

@@ -105,6 +105,9 @@ func (r *Reorganizer) quiescePartition(txn *db.Txn) error {
 			if retries > r.opts.MaxRetries {
 				return fmt.Errorf("reorg: PQR giving up locking %s: %w", R, err)
 			}
+			if serr := r.stopCheck(); serr != nil {
+				return serr
+			}
 		}
 	}
 	for {
@@ -182,6 +185,7 @@ func (r *Reorganizer) reorganizeQuiescent(txn *db.Txn) error {
 		}
 		r.migrated[oldO] = newO
 		r.stats.Migrated++
+		r.noteMigrated(oldO, newO)
 		r.stats.ParentsUpdated += updated
 		r.fixupChildren(img.Refs, oldO, newO)
 	}

@@ -143,6 +143,14 @@ type Options struct {
 	// back, TRT detached). The parallel scheduler uses it for
 	// pause/resume and cancellation.
 	Gate func() error
+	// Stopped, if set, is polled between lock-timeout retries. Unlike
+	// Gate it must never block (retry loops may hold reorganizer locks
+	// when they poll it); a non-nil return abandons the retry loop with
+	// that error. Without it, a worker whose lock conflicts with an
+	// orphaned transaction (e.g. one killed by a simulated crash) burns
+	// its whole MaxRetries × WaitTimeout budget before noticing the
+	// fleet was stopped.
+	Stopped func() error
 	// Transform, if set, rewrites an object's payload as it migrates —
 	// the schema-evolution case (§1): the object is re-written in its
 	// new representation at its new location, atomically with the
@@ -282,6 +290,16 @@ func (r *Reorganizer) gate() error {
 	return r.opts.Gate()
 }
 
+// stopCheck polls the non-blocking Stopped hook; retry loops call it
+// between attempts so a stopped fleet unwinds promptly instead of
+// exhausting the retry budget against orphaned locks.
+func (r *Reorganizer) stopCheck() error {
+	if r.opts.Stopped == nil {
+		return nil
+	}
+	return r.opts.Stopped()
+}
+
 // Run executes the reorganization. On ErrCrash it returns immediately
 // with no cleanup (simulating a failure); any other error aborts cleanly.
 func (r *Reorganizer) Run() error {
@@ -398,6 +416,15 @@ func (r *Reorganizer) fixupChildren(refs []oid.OID, oldO, newO oid.OID) {
 				ps[newO] = struct{}{}
 			}
 		}
+	}
+}
+
+// noteMigrated reports one committed object migration to the autopilot
+// statistics collector, if the database has one installed (one atomic
+// load otherwise).
+func (r *Reorganizer) noteMigrated(oldO, newO oid.OID) {
+	if c := r.d.StatsCollector(); c != nil {
+		c.NoteMigrate(oldO.Partition(), newO.Partition())
 	}
 }
 

@@ -104,6 +104,7 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 		if !existingNew.IsNil() && r.d.Exists(existingNew) {
 			r.migrated[oldO] = existingNew
 			r.stats.Migrated++
+			r.noteMigrated(oldO, existingNew)
 		}
 		return nil
 	}
@@ -140,12 +141,25 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 				return err
 			}
 		}
+		copied = payload
+		copiedRefs = retargetSelf(img.Refs, oldO, newO)
+		// Checkpoint the pair BEFORE the copy can become durable. Once
+		// the commit below succeeds, the copy exists with no parent
+		// pointing at it, and only a checkpoint naming it lets a resume
+		// collapse the pair — but a checkpoint can no longer be emitted
+		// once the log dies (snapshotState), so recording it after the
+		// commit leaves a window in which a crash (or a stop observed
+		// while re-locking the copy) orphans a committed, unrecorded
+		// object forever. Intent-before-commit closes the window from
+		// both sides: if the commit never becomes durable the recorded
+		// New address simply doesn't exist at resume and a fresh copy is
+		// made; if it does, the resume adopts it.
+		r.inFlight = &InFlight{Old: oldO, New: newO, Copied: copied, CopiedRefs: copiedRefs}
+		r.checkpoint()
 		if err := ctxn.Commit(); err != nil {
 			sp.End(err)
 			return err
 		}
-		copied = payload
-		copiedRefs = retargetSelf(img.Refs, oldO, newO)
 	}
 	if err := r.lockObjectRetry(owner.ID(), newO); err != nil {
 		sp.End(err)
@@ -156,10 +170,19 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 		// current version. Decide which side is authoritative and
 		// reconcile under the owner's locks before repointing more
 		// parents.
-		if copied, copiedRefs, err = r.refreshCopy(owner, oldO, newO, img, prior); err != nil {
+		if err := r.refreshCopy(owner, oldO, newO, img, prior); err != nil {
 			sp.End(err)
 			return err
 		}
+		// The continued InFlight keeps the creation-time snapshot, not
+		// the reconciled bytes: any fold refreshCopy applied rides the
+		// owner transaction and is uncommitted until S3, so the durable
+		// content of the new copy is still exactly what its creation
+		// committed. Checkpointing the folded bytes instead would make
+		// a resume after an owner rollback mistake the rollback for
+		// writer traffic on the new copy — and discard the old side's
+		// committed updates by declaring the stale copy authoritative.
+		copied, copiedRefs = prior.Copied, prior.CopiedRefs
 	}
 	r.noteLocks(2 + 1) // old + new + at most one parent below
 
@@ -211,6 +234,7 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 	finished = true
 	r.migrated[oldO] = newO
 	r.stats.Migrated++
+	r.noteMigrated(oldO, newO)
 	r.fixupChildren(img.Refs, oldO, newO)
 	r.inFlight = nil
 	return nil
@@ -227,20 +251,23 @@ func (r *Reorganizer) migrateTwoLock(oldO oid.OID, prior *InFlight) error {
 // remaining repoints publish current data. (If both sides changed —
 // possible only for a multi-parent object left reachable through both
 // addresses — the new side wins: its parents were repointed first.)
-// Returns the snapshot the continued migration records in its InFlight.
-func (r *Reorganizer) refreshCopy(owner *db.Txn, oldO, newO oid.OID, img object.Object, prior *InFlight) ([]byte, []oid.OID, error) {
+// The fold rides the owner transaction, so it only becomes durable
+// with the owner's S3 commit; the caller must keep checkpointing the
+// creation-time snapshot, which stays the new copy's durable content
+// until then.
+func (r *Reorganizer) refreshCopy(owner *db.Txn, oldO, newO oid.OID, img object.Object, prior *InFlight) error {
 	cur, err := owner.Read(newO)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
 	if prior != nil && prior.Copied != nil &&
 		(!bytes.Equal(cur.Payload, prior.Copied) || !refsEqual(cur.Refs, prior.CopiedRefs)) {
-		return prior.Copied, prior.CopiedRefs, nil
+		return nil
 	}
 	want := r.transformPayload(oldO, img.Payload)
 	if !bytes.Equal(cur.Payload, want) {
 		if err := owner.UpdatePayload(newO, want); err != nil {
-			return nil, nil, err
+			return err
 		}
 	}
 	wantRefs := retargetSelf(img.Refs, oldO, newO)
@@ -254,16 +281,16 @@ func (r *Reorganizer) refreshCopy(owner *db.Txn, oldO, newO oid.OID, img object.
 	for c, n := range diff {
 		for ; n > 0; n-- {
 			if err := owner.InsertRef(newO, c); err != nil {
-				return nil, nil, err
+				return err
 			}
 		}
 		for ; n < 0; n++ {
 			if err := owner.DeleteRef(newO, c); err != nil {
-				return nil, nil, err
+				return err
 			}
 		}
 	}
-	return want, wantRefs, nil
+	return nil
 }
 
 // retargetSelf returns refs with every occurrence of oldO replaced by
@@ -323,6 +350,9 @@ func (r *Reorganizer) updateOneParent(sp *obs.Span, R, oldO, newO oid.OID) error
 		if retries > r.opts.MaxRetries {
 			return fmt.Errorf("reorg: giving up on parent %s after %d retries: %w", R, retries, err)
 		}
+		if serr := r.stopCheck(); serr != nil {
+			return serr
+		}
 	}
 }
 
@@ -369,6 +399,9 @@ func (r *Reorganizer) lockObjectRetry(txn lock.TxnID, o oid.OID) error {
 		r.stats.Retries++
 		if retries > r.opts.MaxRetries {
 			return fmt.Errorf("reorg: giving up locking %s after %d retries", o, retries)
+		}
+		if serr := r.stopCheck(); serr != nil {
+			return serr
 		}
 	}
 }

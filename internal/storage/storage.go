@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	apstats "repro/internal/autopilot/stats"
 	"repro/internal/oid"
 	"repro/internal/page"
 )
@@ -52,6 +54,11 @@ const DefaultFillFactor = 0.85
 type Store struct {
 	pageSize   int
 	fillFactor float64
+
+	// stats is the autopilot's statistics collector, or nil. Every
+	// mutator loads it exactly once; with no collector installed that
+	// single atomic load is the entire instrumentation cost.
+	stats atomic.Pointer[apstats.Collector]
 
 	mu    sync.RWMutex
 	parts map[oid.PartitionID]*partition
@@ -104,6 +111,41 @@ func New(opts ...Option) *Store {
 // PageSize returns the configured page size.
 func (s *Store) PageSize() int { return s.pageSize }
 
+// SetStatsCollector installs (nil removes) the autopilot's statistics
+// collector. The collector's space counters must already reflect the
+// store's current contents (see db.EnableStats, which primes them from
+// an exact scan); from then on every mutator keeps them current with
+// before/after deltas.
+func (s *Store) SetStatsCollector(c *apstats.Collector) { s.stats.Store(c) }
+
+// StatsCollector returns the installed collector, or nil.
+func (s *Store) StatsCollector() *apstats.Collector { return s.stats.Load() }
+
+// pageFootprint captures a page's fragmentation footprint — dead bytes
+// and dead (free) slot-directory entries — so a mutator can report the
+// delta a mutation produced. The delta form is what keeps the counters
+// exact: an Insert may internally compact the page (reclaiming dead
+// bytes) and reuse a free slot in the same call, and the footprint
+// difference accounts for both without the page layer knowing about the
+// collector at all.
+func pageFootprint(pg *page.Page) (deadBytes, deadSlots int) {
+	if pg == nil {
+		return 0, 0
+	}
+	return pg.DeadBytes(), pg.NumSlots() - pg.LiveSlots()
+}
+
+// noteMutation reports one page mutation's footprint delta, plus any
+// live-object and page-count change, to the collector. No-op when c is
+// nil; db0/ds0 are the pageFootprint captured before the mutation.
+func (s *Store) noteMutation(c *apstats.Collector, part oid.PartitionID, pg *page.Page, db0, ds0, liveDelta, pagesDelta int) {
+	if c == nil {
+		return
+	}
+	db1, ds1 := pageFootprint(pg)
+	c.NoteSpace(part, liveDelta, pagesDelta, db1-db0, ds1-ds0)
+}
+
 // CreatePartition adds an empty partition with the given id.
 func (s *Store) CreatePartition(id oid.PartitionID) error {
 	s.mu.Lock()
@@ -124,6 +166,9 @@ func (s *Store) DropPartition(id oid.PartitionID) error {
 		return fmt.Errorf("%w: %d", ErrNoPartition, id)
 	}
 	delete(s.parts, id)
+	if c := s.stats.Load(); c != nil {
+		c.DropPartition(id)
+	}
 	return nil
 }
 
@@ -186,15 +231,25 @@ func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	c := s.stats.Load()
 
 	if dense {
 		// Try only the last page (and only past the dense floor), then
 		// open a new one.
 		if last := len(p.pages) - 1; last >= 1 && last >= p.denseFloor && p.pages[last] != nil {
-			if slot, err := p.pages[last].Insert(data); err == nil {
+			pg := p.pages[last]
+			var db0, ds0 int
+			if c != nil {
+				db0, ds0 = pageFootprint(pg)
+			}
+			if slot, err := pg.Insert(data); err == nil {
 				p.nLive++
+				s.noteMutation(c, part, pg, db0, ds0, 1, 0)
 				return oid.New(part, oid.PageNum(last), oid.SlotNum(slot)), nil
 			}
+			// A failed insert may still have compacted the page; the
+			// footprint delta captures that too.
+			s.noteMutation(c, part, pg, db0, ds0, 0, 0)
 		}
 	} else {
 		// First-fit from a rotating cursor, honoring the fill factor so
@@ -207,11 +262,17 @@ func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID
 			if pg == nil || pg.FreeSpace() < len(data)+reserve {
 				continue
 			}
+			var db0, ds0 int
+			if c != nil {
+				db0, ds0 = pageFootprint(pg)
+			}
 			if slot, err := pg.Insert(data); err == nil {
 				p.cursor = pn
 				p.nLive++
+				s.noteMutation(c, part, pg, db0, ds0, 1, 0)
 				return oid.New(part, oid.PageNum(pn), oid.SlotNum(slot)), nil
 			}
+			s.noteMutation(c, part, pg, db0, ds0, 0, 0)
 		}
 	}
 	// Open a new page.
@@ -225,6 +286,9 @@ func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID
 	}
 	p.pages = append(p.pages, pg)
 	p.nLive++
+	if c != nil {
+		c.NoteSpace(part, 1, 1, 0, 0)
+	}
 	return oid.New(part, oid.PageNum(len(p.pages)-1), oid.SlotNum(slot)), nil
 }
 
@@ -265,20 +329,32 @@ func (s *Store) AllocateAt(o oid.OID, data []byte) error {
 	s.mu.Unlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	c := s.stats.Load()
+	pagesAdded := 0
 	for uint64(len(p.pages)) <= uint64(o.Page()) {
 		p.pages = append(p.pages, page.New(s.pageSize))
+		pagesAdded++
 	}
 	if p.pages[o.Page()] == nil {
 		p.pages[o.Page()] = page.New(s.pageSize)
+		pagesAdded++
 	}
 	pg := p.pages[o.Page()]
+	var db0, ds0 int
+	if c != nil {
+		db0, ds0 = pageFootprint(pg)
+	}
 	if pg.Has(uint16(o.Slot())) {
-		return pg.Update(uint16(o.Slot()), data)
+		err := pg.Update(uint16(o.Slot()), data)
+		s.noteMutation(c, o.Partition(), pg, db0, ds0, 0, pagesAdded)
+		return err
 	}
 	if err := pg.InsertAt(uint16(o.Slot()), data); err != nil {
+		s.noteMutation(c, o.Partition(), pg, db0, ds0, 0, pagesAdded)
 		return err
 	}
 	p.nLive++
+	s.noteMutation(c, o.Partition(), pg, db0, ds0, 1, pagesAdded)
 	return nil
 }
 
@@ -302,12 +378,22 @@ func (s *Store) TrimPages(part oid.PartitionID) (int, error) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	c := s.stats.Load()
 	trimmed := 0
+	var deadFreed, slotsFreed int
 	for pn := 1; pn < len(p.pages); pn++ {
 		if p.pages[pn] != nil && p.pages[pn].LiveSlots() == 0 {
+			if c != nil {
+				db, ds := pageFootprint(p.pages[pn])
+				deadFreed += db
+				slotsFreed += ds
+			}
 			p.pages[pn] = nil
 			trimmed++
 		}
+	}
+	if c != nil && trimmed > 0 {
+		c.NoteSpace(part, 0, -trimmed, -deadFreed, -slotsFreed)
 	}
 	if p.cursor >= len(p.pages) || p.cursor < 1 {
 		p.cursor = 1
@@ -385,7 +471,14 @@ func (s *Store) Update(o oid.OID, data []byte) error {
 	if err != nil {
 		return err
 	}
-	switch err := pg.Update(uint16(o.Slot()), data); err {
+	c := s.stats.Load()
+	var db0, ds0 int
+	if c != nil {
+		db0, ds0 = pageFootprint(pg)
+	}
+	uerr := pg.Update(uint16(o.Slot()), data)
+	s.noteMutation(c, o.Partition(), pg, db0, ds0, 0, 0)
+	switch uerr {
 	case nil:
 		return nil
 	case page.ErrBadSlot:
@@ -393,7 +486,7 @@ func (s *Store) Update(o oid.OID, data []byte) error {
 	case page.ErrPageFull:
 		return ErrWontFit
 	default:
-		return err
+		return uerr
 	}
 }
 
@@ -410,10 +503,16 @@ func (s *Store) Free(o oid.OID) error {
 	if err != nil {
 		return err
 	}
+	c := s.stats.Load()
+	var db0, ds0 int
+	if c != nil {
+		db0, ds0 = pageFootprint(pg)
+	}
 	if err := pg.Delete(uint16(o.Slot())); err != nil {
 		return fmt.Errorf("%w: %s", ErrNoObject, o)
 	}
 	p.nLive--
+	s.noteMutation(c, o.Partition(), pg, db0, ds0, -1, 0)
 	return nil
 }
 
@@ -452,6 +551,7 @@ type Stats struct {
 	Pages      int // allocated pages
 	LiveBytes  int // bytes in live cells
 	DeadBytes  int // bytes in deleted cells (fragmentation)
+	DeadSlots  int // free slot-directory entries (tombstones)
 	FreeBytes  int // unused bytes (contiguous + dead)
 	Objects    int // live objects
 	TotalBytes int // pages × page size
@@ -482,6 +582,7 @@ func (s *Store) PartitionStats(part oid.PartitionID) (Stats, error) {
 		st.Pages++
 		st.TotalBytes += pg.Size()
 		st.DeadBytes += pg.DeadBytes()
+		st.DeadSlots += pg.NumSlots() - pg.LiveSlots()
 		st.FreeBytes += pg.FreeSpace()
 		pg.Slots(func(_ uint16, data []byte) bool {
 			st.LiveBytes += len(data)
