@@ -10,6 +10,7 @@
 //	reorgbench -bench torture           # crash-recovery torture sweep → BENCH_torture.json
 //	reorgbench -bench interference      # 100ms-window reorg-on/off series → BENCH_interference.json
 //	reorgbench -bench autopilot         # closed-loop churn→detect→repair run → BENCH_autopilot.json
+//	reorgbench -bench bufferpool        # scan fault rate before/after clustering → BENCH_bufferpool.json
 //	reorgbench -http :6060 -exp fig6    # expose expvar + pprof while running
 //
 // Quick scale preserves the paper's shapes (who wins, by what factor,
@@ -36,7 +37,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
-		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot")
+		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool")
 		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
 		httpAddr = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
 	)
@@ -124,8 +125,22 @@ func main() {
 			if *verbose {
 				fmt.Printf("-- autopilot completed in %s\n", time.Since(start).Round(time.Millisecond))
 			}
+		case "bufferpool":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_bufferpool.json"
+			}
+			fmt.Printf("== bufferpool — scan fault rate before/after clustering (scale: %s) ==\n", sc.Name)
+			start := time.Now()
+			if err := harness.RunBufferpool(os.Stdout, sc, out); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark bufferpool failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- bufferpool completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot)\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot, bufferpool)\n", *bench)
 			os.Exit(2)
 		}
 		return

@@ -11,6 +11,8 @@ package db
 import (
 	"errors"
 	"fmt"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/latch"
 	"repro/internal/lock"
 	"repro/internal/object"
+	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/storage"
 	"repro/internal/trt"
@@ -50,6 +53,18 @@ type Config struct {
 	LogDir string
 	// LogSegmentBytes is the segment rotation threshold for LogDir.
 	LogSegmentBytes int
+	// DiskBacked puts the object store on disk: pages live in
+	// per-partition segment files under DataDir and the page table acts
+	// as a buffer pool of PoolFrames frames. Setting REORG_DISK_BACKED=1
+	// in the environment forces this mode on (tests run the whole suite
+	// in both modes that way).
+	DiskBacked bool
+	// DataDir is the segment directory for DiskBacked mode. Empty means
+	// a temporary directory that is removed on Close.
+	DataDir string
+	// PoolFrames is the buffer-pool frame budget for DiskBacked mode
+	// (default storage.DefaultPoolFrames).
+	PoolFrames int
 }
 
 // DefaultConfig returns the configuration used by the experiments unless
@@ -76,6 +91,10 @@ type Database struct {
 	an      *analyzer.Analyzer
 	logDev  *wal.FileDevice // non-nil when the WAL is file-backed
 
+	// ownsDataDir marks a temporary segment directory created by Open
+	// (DiskBacked with empty DataDir); Close removes it.
+	ownsDataDir bool
+
 	// stats is the autopilot statistics collector, installed by
 	// EnableStats on the store and analyzer; nil until then.
 	stats atomic.Pointer[apstats.Collector]
@@ -93,7 +112,22 @@ type Database struct {
 }
 
 // Open creates an empty database.
-func Open(cfg Config) *Database {
+func Open(cfg Config) *Database { return openDB(cfg, nil) }
+
+// OpenWithStore builds a Database around an existing store. Restart
+// recovery uses it after rebuilding the store image from a checkpoint
+// snapshot plus the log; callers should normally follow with RebuildERTs.
+func OpenWithStore(cfg Config, st *storage.Store) *Database {
+	return openDB(cfg, st)
+}
+
+// envDiskBacked reports whether REORG_DISK_BACKED requests disk mode.
+func envDiskBacked() bool {
+	v := os.Getenv("REORG_DISK_BACKED")
+	return v != "" && v != "0" && !strings.EqualFold(v, "false")
+}
+
+func openDB(cfg Config, st *storage.Store) *Database {
 	def := DefaultConfig()
 	if cfg.PageSize == 0 {
 		cfg.PageSize = def.PageSize
@@ -107,13 +141,41 @@ func Open(cfg Config) *Database {
 	if cfg.LatchStripes == 0 {
 		cfg.LatchStripes = def.LatchStripes
 	}
+	ownsDataDir := false
+	if st == nil {
+		if !cfg.DiskBacked && envDiskBacked() {
+			cfg.DiskBacked = true
+		}
+		if cfg.DiskBacked {
+			if cfg.DataDir == "" {
+				dir, err := os.MkdirTemp("", "reorg-segments-")
+				if err != nil {
+					panic(fmt.Sprintf("db: temp segment directory: %v", err))
+				}
+				cfg.DataDir = dir
+				ownsDataDir = true
+			}
+			var err error
+			st, err = storage.NewDiskBacked(cfg.DataDir, cfg.PoolFrames,
+				storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor))
+			if err != nil {
+				panic(fmt.Sprintf("db: open segment directory: %v", err))
+			}
+		} else {
+			st = storage.New(storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor))
+		}
+	} else {
+		// Keep cfg truthful for recovery and stats consumers.
+		cfg.DiskBacked = st.DiskBacked()
+	}
 	d := &Database{
-		cfg:     cfg,
-		store:   storage.New(storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor)),
-		locks:   lock.NewManager(lock.WithTimeout(cfg.LockTimeout), lock.WithHistory(!cfg.Strict2PL)),
-		latches: latch.New(cfg.LatchStripes),
-		an:      analyzer.New(),
-		active:  make(map[lock.TxnID]*Txn),
+		cfg:         cfg,
+		store:       st,
+		ownsDataDir: ownsDataDir,
+		locks:       lock.NewManager(lock.WithTimeout(cfg.LockTimeout), lock.WithHistory(!cfg.Strict2PL)),
+		latches:     latch.New(cfg.LatchStripes),
+		an:          analyzer.New(),
+		active:      make(map[lock.TxnID]*Txn),
 	}
 	opts := []wal.LogOption{wal.WithFlushLatency(cfg.FlushLatency), wal.WithObserver(d.an.Observe)}
 	if cfg.LogDir != "" {
@@ -125,15 +187,12 @@ func Open(cfg Config) *Database {
 		opts = append(opts, wal.WithFileDevice(dev))
 	}
 	d.log = wal.NewLog(opts...)
-	return d
-}
-
-// OpenWithStore builds a Database around an existing store. Restart
-// recovery uses it after rebuilding the store image from a checkpoint
-// snapshot plus the log; callers should normally follow with RebuildERTs.
-func OpenWithStore(cfg Config, st *storage.Store) *Database {
-	d := Open(cfg)
-	d.store = st
+	// Wire the WAL into the buffer pool so dirty-page flushes can honor
+	// the WAL-ahead rule, and surface the pool counters on expvar.
+	st.AttachWAL(d.log)
+	if st.DiskBacked() {
+		obs.RegisterPoolStats(func() any { return st.PoolStats() })
+	}
 	return d
 }
 
@@ -365,7 +424,16 @@ type Checkpoint struct {
 func (d *Database) Checkpoint() (*Checkpoint, error) {
 	d.ckptGate.Lock()
 	defer d.ckptGate.Unlock()
-	snap := d.store.Snapshot()
+	// In disk-backed mode, flush every dirty page first (still under the
+	// gate): afterwards the segment image equals the snapshot, which is
+	// the invariant recovery's page-LSN overlay gating relies on.
+	if err := d.store.FlushAll(); err != nil {
+		return nil, err
+	}
+	snap, err := d.store.Snapshot()
+	if err != nil {
+		return nil, err
+	}
 	active := d.ActiveTxnIDs()
 	rec := &wal.Record{Type: wal.RecCheckpoint}
 	for _, id := range active {
@@ -394,6 +462,10 @@ func (d *Database) Close() {
 	d.log.Close()
 	if d.logDev != nil {
 		d.logDev.Close()
+	}
+	d.store.Close()
+	if d.ownsDataDir {
+		os.RemoveAll(d.cfg.DataDir)
 	}
 }
 

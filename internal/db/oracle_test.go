@@ -1,0 +1,386 @@
+package db_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/db"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+)
+
+// The equivalence oracle: the in-memory and disk-backed stores must be
+// observationally identical. Both modes share every layout decision
+// (first-fit cursor, dense floor, page extension), and the buffer pool
+// only decides residency, never placement — so replaying one schedule of
+// operations, aborts, and a mid-stream reorganization against both modes
+// must produce identical OIDs, identical read results, and identical
+// reachability signatures, even with a frame budget tiny enough that the
+// disk store evicts on nearly every access.
+
+// oracleOp is one step of an abstract schedule. Object identity is the
+// abstract node index, so the schedule can be interpreted against either
+// database regardless of the OIDs it happens to produce (they must then
+// agree anyway).
+type oracleOp struct {
+	kind    int // 0 create, 1 update, 2 insertRef, 3 deleteRef, 4 delete, 5 update+abort
+	node    int // target node index (interpreted modulo the live set)
+	other   int // second node for ref ops
+	payload byte
+}
+
+// oracleWorld tracks the abstract graph the schedule builds: which nodes
+// are alive, their OIDs in one database, and the edge set (so deletes
+// only target unreferenced nodes and check.Verify stays clean).
+type oracleWorld struct {
+	d     *db.Database
+	root  oid.OID
+	nodes map[int]oid.OID
+	edges map[[2]int]bool
+}
+
+const oraclePart = oid.PartitionID(1)
+
+func newOracleWorld(t *testing.T, d *db.Database) *oracleWorld {
+	t.Helper()
+	for _, p := range []oid.PartitionID{0, oraclePart} {
+		if err := d.CreatePartition(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx, err := d.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := tx.Create(0, []byte("oracle-root"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return &oracleWorld{d: d, root: root, nodes: map[int]oid.OID{}, edges: map[[2]int]bool{}}
+}
+
+// liveAt picks the i'th live node in index order (deterministic for both
+// databases because the live sets evolve identically).
+func (w *oracleWorld) liveAt(i int) (int, bool) {
+	if len(w.nodes) == 0 {
+		return 0, false
+	}
+	keys := make([]int, 0, len(w.nodes))
+	for k := range w.nodes {
+		keys = append(keys, k)
+	}
+	// Insertion order is map order; sort for determinism.
+	for a := 1; a < len(keys); a++ {
+		for b := a; b > 0 && keys[b] < keys[b-1]; b-- {
+			keys[b], keys[b-1] = keys[b-1], keys[b]
+		}
+	}
+	return keys[i%len(keys)], true
+}
+
+func (w *oracleWorld) referenced(n int) bool {
+	for e := range w.edges {
+		if e[1] == n {
+			return true
+		}
+	}
+	return false
+}
+
+// apply interprets one op, returning a result string ("OID" or "err:...")
+// that the caller compares across databases. nextID numbers creates.
+func (w *oracleWorld) apply(op oracleOp, nextID int) (string, error) {
+	tx, err := w.d.Begin()
+	if err != nil {
+		return "", err
+	}
+	done := func(res string, err error) (string, error) {
+		if err != nil {
+			tx.Abort()
+			return "err:" + err.Error(), nil
+		}
+		if cerr := tx.Commit(); cerr != nil {
+			return "", cerr
+		}
+		return res, nil
+	}
+	switch op.kind {
+	case 0: // create, hooked under the root so it stays reachable
+		o, err := tx.Create(oraclePart, []byte{op.payload, byte(nextID), byte(nextID >> 8)}, nil)
+		if err != nil {
+			return done("", err)
+		}
+		if err := tx.InsertRef(w.root, o); err != nil {
+			return done("", err)
+		}
+		res, err := done(o.String(), nil)
+		if err == nil {
+			w.nodes[nextID] = o
+		}
+		return res, err
+	case 1, 5: // update (5: then abort — no visible effect)
+		n, ok := w.liveAt(op.node)
+		if !ok {
+			tx.Abort()
+			return "noop", nil
+		}
+		if err := tx.UpdatePayload(w.nodes[n], []byte{op.payload, 0xFF, byte(n)}); err != nil {
+			return done("", err)
+		}
+		if op.kind == 5 {
+			if err := tx.Abort(); err != nil {
+				return "", err
+			}
+			return "aborted", nil
+		}
+		return done("updated", nil)
+	case 2: // insertRef
+		a, ok1 := w.liveAt(op.node)
+		b, ok2 := w.liveAt(op.other)
+		if !ok1 || !ok2 || a == b || w.edges[[2]int{a, b}] {
+			tx.Abort()
+			return "noop", nil
+		}
+		if err := tx.InsertRef(w.nodes[a], w.nodes[b]); err != nil {
+			return done("", err)
+		}
+		res, err := done("ref+", nil)
+		if err == nil {
+			w.edges[[2]int{a, b}] = true
+		}
+		return res, err
+	case 3: // deleteRef
+		var edge [2]int
+		found := false
+		for e := range w.edges {
+			if !found || e[0] < edge[0] || (e[0] == edge[0] && e[1] < edge[1]) {
+				edge, found = e, true
+			}
+		}
+		if !found {
+			tx.Abort()
+			return "noop", nil
+		}
+		if err := tx.DeleteRef(w.nodes[edge[0]], w.nodes[edge[1]]); err != nil {
+			return done("", err)
+		}
+		res, err := done("ref-", nil)
+		if err == nil {
+			delete(w.edges, edge)
+		}
+		return res, err
+	case 4: // delete an unreferenced node (unhook from the root first)
+		n, ok := w.liveAt(op.node)
+		if !ok || w.referenced(n) {
+			tx.Abort()
+			return "noop", nil
+		}
+		if err := tx.DeleteRef(w.root, w.nodes[n]); err != nil {
+			return done("", err)
+		}
+		if err := tx.Delete(w.nodes[n]); err != nil {
+			return done("", err)
+		}
+		res, err := done("deleted", nil)
+		if err == nil {
+			delete(w.nodes, n)
+			for e := range w.edges {
+				if e[0] == n {
+					delete(w.edges, e)
+				}
+			}
+		}
+		return res, err
+	}
+	tx.Abort()
+	return "noop", nil
+}
+
+// reorgPass densely compacts the bench partition with IRA and refreshes
+// the OID map from the root's reference list (child order is preserved
+// by migration, and creates appended children in ascending node id).
+func (w *oracleWorld) reorgPass(t *testing.T) error {
+	t.Helper()
+	plan := reorg.CompactPlan(oraclePart)
+	r := reorg.New(w.d, oraclePart, reorg.Options{
+		Mode:        reorg.ModeIRA,
+		Plan:        &plan,
+		BatchSize:   4,
+		WaitTimeout: time.Second,
+	})
+	if err := r.Run(); err != nil {
+		return err
+	}
+	refs, err := w.d.FuzzyReadRefs(w.root)
+	if err != nil {
+		return err
+	}
+	ids := make([]int, 0, len(w.nodes))
+	for id := range w.nodes {
+		ids = append(ids, id)
+	}
+	for a := 1; a < len(ids); a++ {
+		for b := a; b > 0 && ids[b] < ids[b-1]; b-- {
+			ids[b], ids[b-1] = ids[b-1], ids[b]
+		}
+	}
+	if len(refs) != len(ids) {
+		return fmt.Errorf("root holds %d refs, want %d", len(refs), len(ids))
+	}
+	for i, id := range ids {
+		w.nodes[id] = refs[i]
+	}
+	return nil
+}
+
+// snapshot reads back every live node (payload and refs) plus the
+// reachability signature from the root.
+func (w *oracleWorld) snapshot(t *testing.T) (map[int]string, map[string][]string) {
+	t.Helper()
+	out := make(map[int]string, len(w.nodes))
+	for id, o := range w.nodes {
+		obj, err := w.d.FuzzyRead(o)
+		if err != nil {
+			t.Fatalf("read node %d (%s): %v", id, o, err)
+		}
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "%s payload=%x refs=%v", o, obj.Payload, obj.Refs)
+		out[id] = b.String()
+	}
+	sig, err := check.Signature(w.d, []oid.OID{w.root})
+	if err != nil {
+		t.Fatalf("signature: %v", err)
+	}
+	return out, sig
+}
+
+func oracleSchedule(seed int64, n int) []oracleOp {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]oracleOp, n)
+	for i := range ops {
+		k := rng.Intn(10)
+		switch { // weight creates so the graph grows
+		case k < 4:
+			k = 0
+		case k < 6:
+			k = 1
+		case k < 7:
+			k = 2
+		case k < 8:
+			k = 3
+		case k < 9:
+			k = 4
+		default:
+			k = 5
+		}
+		ops[i] = oracleOp{kind: k, node: rng.Intn(1 << 16), other: rng.Intn(1 << 16), payload: byte(rng.Intn(256))}
+	}
+	return ops
+}
+
+// runOracle replays one schedule against a database and returns the
+// per-op results plus the final snapshot (taken after a mid-stream and a
+// final reorganization pass).
+func runOracle(t *testing.T, d *db.Database, ops []oracleOp) ([]string, map[int]string, map[string][]string) {
+	t.Helper()
+	w := newOracleWorld(t, d)
+	results := make([]string, 0, len(ops))
+	nextID := 0
+	for i, op := range ops {
+		res, err := w.apply(op, nextID)
+		if err != nil {
+			t.Fatalf("op %d (%+v): %v", i, op, err)
+		}
+		if op.kind == 0 && res != "noop" && res[:4] != "err:" {
+			nextID++
+		}
+		results = append(results, res)
+		if i == len(ops)/2 {
+			if err := w.reorgPass(t); err != nil {
+				t.Fatalf("mid-stream reorg: %v", err)
+			}
+		}
+	}
+	if err := w.reorgPass(t); err != nil {
+		t.Fatalf("final reorg: %v", err)
+	}
+	rep, err := check.Verify(w.d, []oid.OID{w.root})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("consistency: %v", err)
+	}
+	reads, sig := w.snapshot(t)
+	return results, reads, sig
+}
+
+func oracleConfig(diskDir string) db.Config {
+	cfg := db.DefaultConfig()
+	cfg.PageSize = 1024 // small pages: more eviction traffic per op
+	cfg.FlushLatency = 0
+	cfg.LockTimeout = 2 * time.Second
+	if diskDir != "" {
+		cfg.DiskBacked = true
+		cfg.DataDir = diskDir
+		cfg.PoolFrames = 4 // far below the working set: evict constantly
+	}
+	return cfg
+}
+
+// TestDiskMemoryEquivalence is the oracle proper, driven by
+// testing/quick over schedule seeds.
+func TestDiskMemoryEquivalence(t *testing.T) {
+	nOps := 120
+	maxCount := 6
+	if testing.Short() {
+		nOps, maxCount = 60, 3
+	}
+	f := func(seed int64) bool {
+		mem := db.Open(oracleConfig(""))
+		defer mem.Close()
+		dsk := db.Open(oracleConfig(t.TempDir()))
+		defer dsk.Close()
+
+		ops := oracleSchedule(seed, nOps)
+		memRes, memReads, memSig := runOracle(t, mem, ops)
+		dskRes, dskReads, dskSig := runOracle(t, dsk, ops)
+
+		if dsk.Store().PoolStats().Pinned != 0 {
+			t.Errorf("seed %d: %d frames left pinned", seed, dsk.Store().PoolStats().Pinned)
+			return false
+		}
+		if !reflect.DeepEqual(memRes, dskRes) {
+			t.Errorf("seed %d: op results diverge", seed)
+			for i := range memRes {
+				if memRes[i] != dskRes[i] {
+					t.Errorf("  op %d: mem=%q disk=%q", i, memRes[i], dskRes[i])
+					break
+				}
+			}
+			return false
+		}
+		if !reflect.DeepEqual(memReads, dskReads) {
+			t.Errorf("seed %d: read-back diverges (mem %d nodes, disk %d nodes)", seed, len(memReads), len(dskReads))
+			return false
+		}
+		if !reflect.DeepEqual(memSig, dskSig) {
+			t.Errorf("seed %d: reachability signatures diverge", seed)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(20260808))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

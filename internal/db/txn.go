@@ -111,22 +111,31 @@ func (t *Txn) ReadRefs(o oid.OID) ([]oid.OID, error) {
 	return obj.Refs, nil
 }
 
-// logApply appends a record and applies the corresponding store mutation
-// under the checkpoint gate, so a checkpoint can never separate the two.
-// apply runs with the object's write latch held.
-func (t *Txn) logApply(rec *wal.Record, o oid.OID, apply func() error) error {
+// logApply runs one logged store mutation under the checkpoint gate
+// and the object's write latch. apply receives a logFn that appends
+// the record and returns its LSN; the store's *Logged mutators invoke
+// it inside the partition critical section, immediately before the
+// page mutation, so that per page the apply order always matches the
+// LSN order. Appending outside that section would let two
+// transactions' applies to one page invert, and a buffer-pool flush
+// in the inversion window would stamp the page past a record whose
+// effect it does not contain — recovery's redo gate would then skip
+// that record forever.
+func (t *Txn) logApply(rec *wal.Record, o oid.OID, apply func(logFn func() (wal.LSN, error)) error) error {
 	t.db.ckptGate.RLock()
 	defer t.db.ckptGate.RUnlock()
-	rec.Txn = wal.TxnID(t.id)
-	rec.Prev = t.lastLSN
-	lsn, err := t.db.log.Append(rec)
-	if err != nil {
-		return err
-	}
-	t.lastLSN = lsn
 	t.db.latches.Latch(o)
 	defer t.db.latches.Unlatch(o)
-	return apply()
+	return apply(func() (wal.LSN, error) {
+		rec.Txn = wal.TxnID(t.id)
+		rec.Prev = t.lastLSN
+		lsn, err := t.db.log.Append(rec)
+		if err != nil {
+			return 0, err
+		}
+		t.lastLSN = lsn
+		return lsn, nil
+	})
 }
 
 // Create allocates a new object with the given payload and initial
@@ -149,32 +158,32 @@ func (t *Txn) create(part oid.PartitionID, payload []byte, refs []oid.OID, dense
 	img := object.Encode(object.Object{Refs: refs, Payload: payload})
 	t.db.ckptGate.RLock()
 	defer t.db.ckptGate.RUnlock()
-	var o oid.OID
-	var err error
-	if dense {
-		o, err = t.db.store.AllocateDense(part, img)
-	} else {
-		o, err = t.db.store.Allocate(part, img)
-	}
+	// The Create record can only be written once the address is known,
+	// so the store invokes the append while the target page is still
+	// pinned and write-locked: the (allocate, log, stamp) triple is
+	// atomic with respect to both checkpoints (the gate) and buffer-
+	// pool flushes (the pin). Logging after the allocation returned
+	// would open a window where an eviction flushes a page holding an
+	// object no log record describes — a crash there resurrects an
+	// orphan invisible to redo, undo, and the reference analyzer, and
+	// the orphan's stale references can dangle after a later
+	// reorganization.
+	o, err := t.db.store.AllocateLogged(part, img, dense, func(o oid.OID) (wal.LSN, error) {
+		rec := &wal.Record{Type: wal.RecCreate, Txn: wal.TxnID(t.id), Prev: t.lastLSN, OID: o, After: img}
+		lsn, aerr := t.db.log.Append(rec)
+		if aerr == nil {
+			t.lastLSN = lsn
+		}
+		return lsn, aerr
+	})
 	if err != nil {
 		return oid.Nil, err
 	}
-	// The allocation is made durable/undoable by the Create record; the
-	// (allocate, log) pair stays inside one gate hold so a checkpoint
-	// cannot capture the allocation without the record. The lock comes
-	// last because the OID is unknown before allocation and the record
-	// must follow the allocation atomically; the resulting window — the
-	// object is fuzzily visible before its creator holds the lock — is
-	// tolerated by readers that follow the fuzzy-read discipline (a
-	// reorganizer re-validates adopted parents and skips ones that
-	// vanish, see reorg.moveObject).
-	rec := &wal.Record{Type: wal.RecCreate, Txn: wal.TxnID(t.id), Prev: t.lastLSN, OID: o, After: img}
-	lsn, aerr := t.db.log.Append(rec)
-	if aerr != nil {
-		t.db.store.Free(o)
-		return oid.Nil, aerr
-	}
-	t.lastLSN = lsn
+	// The lock comes last because the OID is unknown before allocation;
+	// the resulting window — the object is fuzzily visible before its
+	// creator holds the lock — is tolerated by readers that follow the
+	// fuzzy-read discipline (a reorganizer re-validates adopted parents
+	// and skips ones that vanish, see reorg.moveObject).
 	if err := t.db.locks.Lock(t.id, o, lock.Exclusive); err != nil {
 		return oid.Nil, err
 	}
@@ -197,7 +206,7 @@ func (t *Txn) UpdatePayload(o oid.OID, payload []byte) error {
 	obj.Payload = payload
 	after := object.Encode(obj)
 	return t.logApply(&wal.Record{Type: wal.RecUpdate, OID: o, Before: before, After: after},
-		o, func() error { return t.db.store.Update(o, after) })
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
 }
 
 // InsertRef stores a reference to child into o (the transaction must have
@@ -220,7 +229,7 @@ func (t *Txn) InsertRef(o, child oid.OID) error {
 	obj.Refs = append(obj.Refs, child)
 	after := object.Encode(obj)
 	return t.logApply(&wal.Record{Type: wal.RecRefInsert, OID: o, Child: child, Before: before, After: after},
-		o, func() error { return t.db.store.Update(o, after) })
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
 }
 
 // DeleteRef removes one occurrence of the reference to child from o. Note
@@ -242,7 +251,7 @@ func (t *Txn) DeleteRef(o, child oid.OID) error {
 	}
 	after := object.Encode(obj)
 	return t.logApply(&wal.Record{Type: wal.RecRefDelete, OID: o, Child: child, Before: before, After: after},
-		o, func() error { return t.db.store.Update(o, after) })
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
 }
 
 // RetargetRef replaces every occurrence of from with to in o's reference
@@ -264,7 +273,7 @@ func (t *Txn) RetargetRef(o, from, to oid.OID) error {
 	}
 	after := object.Encode(obj)
 	return t.logApply(&wal.Record{Type: wal.RecRefUpdate, OID: o, Child: from, Child2: to, Before: before, After: after},
-		o, func() error { return t.db.store.Update(o, after) })
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
 }
 
 // Delete removes the object at o under an exclusive lock.
@@ -280,7 +289,7 @@ func (t *Txn) Delete(o oid.OID) error {
 		return err
 	}
 	return t.logApply(&wal.Record{Type: wal.RecDelete, OID: o, Before: before},
-		o, func() error { return t.db.store.Free(o) })
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.FreeLogged(o, logFn) })
 }
 
 // Savepoint marks the transaction's current position in its undo chain.
@@ -395,25 +404,27 @@ func (t *Txn) rollbackTo(limit wal.LSN) error {
 // compensate writes the typed CLR for rec and applies the undo.
 func (t *Txn) compensate(rec *wal.Record) error {
 	clr := &wal.Record{CLR: true, OID: rec.OID, UndoNxt: rec.Prev, Before: nil}
-	var apply func() error
+	var apply func(logFn func() (wal.LSN, error)) error
 	switch rec.Type {
 	case wal.RecUpdate:
 		clr.Type = wal.RecUpdate
 		clr.After = rec.Before
-		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+		apply = func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(rec.OID, rec.Before, logFn) }
 	case wal.RecCreate:
 		clr.Type = wal.RecDelete
 		clr.Before = rec.After
-		apply = func() error { return t.db.store.Free(rec.OID) }
+		apply = func(logFn func() (wal.LSN, error)) error { return t.db.store.FreeLogged(rec.OID, logFn) }
 	case wal.RecDelete:
 		clr.Type = wal.RecCreate
 		clr.After = rec.Before
-		apply = func() error { return t.db.store.AllocateAt(rec.OID, rec.Before) }
+		apply = func(logFn func() (wal.LSN, error)) error {
+			return t.db.store.AllocateAtLogged(rec.OID, rec.Before, logFn)
+		}
 	case wal.RecRefInsert:
 		clr.Type = wal.RecRefDelete
 		clr.Child = rec.Child
 		clr.Before, clr.After = rec.After, rec.Before
-		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+		apply = func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(rec.OID, rec.Before, logFn) }
 	case wal.RecRefDelete:
 		// Undoing a pointer delete reintroduces the reference; the CLR
 		// is a RefInsert, which the analyzer records in the TRT — the
@@ -422,19 +433,21 @@ func (t *Txn) compensate(rec *wal.Record) error {
 		clr.Type = wal.RecRefInsert
 		clr.Child = rec.Child
 		clr.Before, clr.After = rec.After, rec.Before
-		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+		apply = func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(rec.OID, rec.Before, logFn) }
 	case wal.RecRefUpdate:
 		clr.Type = wal.RecRefUpdate
 		clr.Child, clr.Child2 = rec.Child2, rec.Child
 		clr.Before, clr.After = rec.After, rec.Before
-		apply = func() error { return t.db.store.Update(rec.OID, rec.Before) }
+		apply = func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(rec.OID, rec.Before, logFn) }
 	default:
 		return fmt.Errorf("db: cannot compensate %v record", rec.Type)
 	}
-	return t.logApply(clr, rec.OID, func() error {
-		err := apply()
-		// Undoing a Delete whose page vanished (dropped partition) is
-		// the only legitimate failure; surface everything else.
+	return t.logApply(clr, rec.OID, func(logFn func() (wal.LSN, error)) error {
+		err := apply(logFn)
+		// Undoing an update whose partition vanished (dropped) is the
+		// only legitimate failure; surface everything else. The store
+		// validates before appending, so a tolerated failure writes no
+		// CLR — recovery will re-undo the record, harmlessly.
 		if err != nil && errors.Is(err, storage.ErrNoPartition) {
 			return nil
 		}

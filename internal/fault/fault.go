@@ -45,6 +45,10 @@ const (
 	RecoveryAnalysis = "recovery/analysis" // crash after restart analysis pass
 	RecoveryRedo     = "recovery/redo"     // crash after redo pass
 	RecoveryUndo     = "recovery/undo"     // crash after undo pass
+	SegmentRead      = "segment/read"      // segment page read I/O error (retryable)
+	SegmentWrite     = "segment/write"     // segment page write; a crash tears the page
+	SegmentSync      = "segment/sync"      // segment fsync error or crash
+	PoolEvict        = "pool/evict"        // buffer pool mid-eviction, before the flush
 )
 
 // Kind classifies what happens when a trigger fires.

@@ -14,15 +14,18 @@ import (
 
 // TestTortureSweep runs the seeded crash matrix: every crash point in
 // the taxonomy (WAL append, commit flush, each IRA migration step in
-// both modes, traversal/wait phases), with crash-during-recovery
-// every third seed and chaos noise every second. Full mode covers
-// 204 seeds (17 per point); -short covers 36 (3 per point).
+// both modes, traversal/wait phases, and the disk-backed segment
+// write/fsync/eviction paths), with crash-during-recovery every third
+// seed and chaos noise every second. The disk-backed cells crash the
+// buffer pool mid-flush — torn pages included — and require restart
+// recovery to rebuild the store from the segment+WAL image. Full mode
+// covers 17 seeds per point; -short covers 3.
 //
 // Any failure message carries the seed and crash point; rerun with
 // exactly those values to replay the failing schedule.
 func TestTortureSweep(t *testing.T) {
 	points := harness.DefaultTorturePoints()
-	seeds := 17 * len(points) // 204
+	seeds := 17 * len(points)
 	if testing.Short() {
 		seeds = 3 * len(points)
 	}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/oid"
 	"repro/internal/recovery"
 	"repro/internal/reorg"
+	"repro/internal/segment"
 	"repro/internal/wal"
 )
 
@@ -98,6 +99,15 @@ type TortureConfig struct {
 	// required when FileWAL is set.
 	FileWAL bool
 	Dir     string
+
+	// DiskBacked puts the object store on segment files under Dir with
+	// a deliberately tiny buffer pool and small pages, so evictions
+	// (and their WAL-ahead flushes) run constantly and crashes land on
+	// segment writes, fsyncs, and mid-eviction windows. The segment
+	// directory is shared across lives: recovery must overlay whatever
+	// the pool flushed before the crash — torn pages included — onto
+	// the checkpoint snapshot. Dir is required when DiskBacked is set.
+	DiskBacked bool
 
 	// RoundTimeout bounds one crash round end to end; exceeding it
 	// means a wedge and fails the run.
@@ -197,6 +207,15 @@ func (w *tortureWorld) dbConfig() db.Config {
 	if w.cfg.FileWAL {
 		cfg.LogDir = filepath.Join(w.cfg.Dir, fmt.Sprintf("life-%d", w.life))
 		cfg.LogSegmentBytes = 4096 // small segments: crashes land near rotation too
+	}
+	if w.cfg.DiskBacked {
+		cfg.DiskBacked = true
+		cfg.DataDir = filepath.Join(w.cfg.Dir, "segments")
+		// Small pages spread the fixture over many pages and a 4-frame
+		// pool keeps the CLOCK hand moving, so the workload faults and
+		// flushes continuously rather than settling into residency.
+		cfg.PageSize = 1024
+		cfg.PoolFrames = 4
 	}
 	return cfg
 }
@@ -589,6 +608,13 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 		if dev := d.LogDevice(); dev != nil && !strings.HasPrefix(cfg.Point, "wal/") {
 			dev.Freeze()
 		}
+		// Freeze the segment directory too: a dead process writes no
+		// more pages, so flush-behind must not advance the durable
+		// store image past the crash instant. (At a segment/ point the
+		// injection site itself tears the in-flight write first.)
+		if seg := d.Store().Segments(); seg != nil {
+			seg.Freeze()
+		}
 	})
 	restore := fault.Install(reg)
 	defer restore()
@@ -688,13 +714,14 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 	}
 
 	// Crashed: every recorded failure must be a typed, expected error —
-	// the crash itself, device failure, fleet quiesce, or a lock/txn
-	// wait that died with the world. Panics or mystery errors fail the
-	// run.
+	// the crash itself, device failure, a frozen segment store, fleet
+	// quiesce, or a lock/txn wait that died with the world. Panics or
+	// mystery errors fail the run.
 	for p, ferr := range failures {
 		switch {
 		case errors.Is(ferr, reorg.ErrCrash),
 			errors.Is(ferr, wal.ErrDeviceFailed),
+			errors.Is(ferr, segment.ErrFrozen),
 			errors.Is(ferr, reorg.ErrQuiesced),
 			errors.Is(ferr, reorg.ErrStopped),
 			errors.Is(ferr, lock.ErrTimeout),
@@ -766,8 +793,8 @@ func (w *tortureWorld) nextRemaining(failures map[oid.PartitionID]error, states 
 // message carries the seed and crash point needed to replay it.
 func RunTorture(cfg TortureConfig) (*TortureResult, error) {
 	cfg.defaults()
-	if cfg.FileWAL && cfg.Dir == "" {
-		return nil, fmt.Errorf("torture: FileWAL requires Dir")
+	if (cfg.FileWAL || cfg.DiskBacked) && cfg.Dir == "" {
+		return nil, fmt.Errorf("torture: FileWAL and DiskBacked require Dir")
 	}
 	tortureMu.Lock()
 	defer tortureMu.Unlock()
@@ -842,20 +869,27 @@ func RunTorture(cfg TortureConfig) (*TortureResult, error) {
 // hit budget matched to its firing frequency, and whether the WAL
 // must be file-backed for the point to exist at all.
 type TorturePoint struct {
-	Point   string
-	Mode    reorg.Mode
-	FileWAL bool
-	MaxHit  int
+	Point      string
+	Mode       reorg.Mode
+	FileWAL    bool
+	DiskBacked bool
+	MaxHit     int
 }
 
 // DefaultTorturePoints is the crash-point taxonomy: the WAL append
 // path, the commit-flush window, every IRA migration step (basic and
-// two-lock), and the traversal/wait phases.
+// two-lock), the traversal/wait phases, and — disk-backed — the
+// segment write/fsync paths and the mid-eviction flush window.
 func DefaultTorturePoints() []TorturePoint {
 	return []TorturePoint{
 		{Point: fault.WALCrash, Mode: reorg.ModeIRA, FileWAL: true, MaxHit: 60},
 		{Point: fault.DBCommit, Mode: reorg.ModeIRA, MaxHit: 40},
 		{Point: fault.DBCommit, Mode: reorg.ModeIRA, FileWAL: true, MaxHit: 40},
+		{Point: fault.DBCommit, Mode: reorg.ModeIRA, DiskBacked: true, MaxHit: 40},
+		{Point: fault.SegmentWrite, Mode: reorg.ModeIRA, DiskBacked: true, MaxHit: 12},
+		{Point: fault.SegmentSync, Mode: reorg.ModeIRA, DiskBacked: true, MaxHit: 2},
+		{Point: fault.PoolEvict, Mode: reorg.ModeIRA, DiskBacked: true, MaxHit: 4},
+		{Point: fault.SegmentWrite, Mode: reorg.ModeIRATwoLock, DiskBacked: true, FileWAL: true, MaxHit: 12},
 		{Point: "reorg/after-wait", Mode: reorg.ModeIRA, MaxHit: 4},
 		{Point: "reorg/after-traversal", Mode: reorg.ModeIRA, MaxHit: 4},
 		{Point: "reorg/parents-locked", Mode: reorg.ModeIRA, MaxHit: 60},
@@ -918,6 +952,7 @@ func RunTortureSweep(w io.Writer, spec TortureSpec) ([]SweepFailure, error) {
 			Mode:                pt.Mode,
 			MaxHit:              pt.MaxHit,
 			FileWAL:             pt.FileWAL,
+			DiskBacked:          pt.DiskBacked,
 			Dir:                 runDir,
 			CrashDuringRecovery: n%3 == 0,
 			Chaos:               n%2 == 1,

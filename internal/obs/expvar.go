@@ -3,6 +3,7 @@ package obs
 import (
 	"expvar"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -49,13 +50,37 @@ func ExpvarSnapshot() any {
 	}
 }
 
+// poolStatsFn is the registered buffer-pool stats provider. obs cannot
+// import the storage package (storage → wal → obs), so a disk-backed
+// database registers a closure over its store instead; the latest
+// registration wins.
+var poolStatsFn atomic.Pointer[func() any]
+
+// RegisterPoolStats installs the buffer-pool counter provider published
+// under the "bufferpool" expvar.
+func RegisterPoolStats(fn func() any) {
+	poolStatsFn.Store(&fn)
+}
+
+// PoolStatsSnapshot returns the registered provider's current counters,
+// or nil when no disk-backed store has registered.
+func PoolStatsSnapshot() any {
+	fn := poolStatsFn.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)()
+}
+
 var publishOnce sync.Once
 
-// PublishExpvar publishes the live tracer state as the expvar "obs"
-// (visible at /debug/vars once an HTTP server is up). Safe to call more
-// than once; only the first call registers.
+// PublishExpvar publishes the live tracer state as the expvar "obs" and
+// the buffer-pool counters as "bufferpool" (visible at /debug/vars once
+// an HTTP server is up). Safe to call more than once; only the first
+// call registers.
 func PublishExpvar() {
 	publishOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(ExpvarSnapshot))
+		expvar.Publish("bufferpool", expvar.Func(PoolStatsSnapshot))
 	})
 }

@@ -24,6 +24,7 @@ package recovery
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -31,6 +32,8 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/fault"
+	"repro/internal/oid"
+	"repro/internal/segment"
 	"repro/internal/storage"
 	"repro/internal/wal"
 )
@@ -70,14 +73,43 @@ func CaptureImage(d *db.Database, ckpt *db.Checkpoint) *Image {
 	return &Image{Ckpt: ckpt, Records: kept}
 }
 
+// pageKey identifies one slotted page for redo gating.
+type pageKey struct {
+	part oid.PartitionID
+	pn   int
+}
+
 // Recover rebuilds a database from a crash image. The returned database
 // contains exactly the effects of committed transactions (and completed
 // rollbacks); its ERTs are rebuilt by scan.
+//
+// For a disk-backed database (cfg.DiskBacked with cfg.DataDir set) the
+// durable state additionally includes the segment files: the buffer
+// pool's flush-behind may have written pages past the checkpoint, so
+// those pages are overlaid onto the snapshot and redo is gated by page
+// LSN, exactly as in ARIES. A torn segment page (CRC mismatch from a
+// crash mid-write) is discarded — the snapshot copy plus the log
+// repairs it. The recovered image is then rematerialized into the
+// segment directory before the database reopens.
 func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 	if img.Ckpt == nil || img.Ckpt.Snap == nil {
 		return nil, fmt.Errorf("recovery: image has no checkpoint snapshot")
 	}
 	st := storage.RestoreSnapshot(img.Ckpt.Snap)
+
+	// Overlay the durable segment pages. pageLSNs records, per page, the
+	// highest LSN whose effect the page already carries; redo skips
+	// records at or below it (their effects reached disk before the
+	// crash and redoing them would double-apply non-idempotent ops).
+	// Pages the pool never flushed after the checkpoint stay at the
+	// snapshot image and take the full redo stream.
+	diskBacked := cfg.DiskBacked && cfg.DataDir != ""
+	pageLSNs := make(map[pageKey]wal.LSN)
+	if diskBacked {
+		if err := overlaySegments(st, cfg.DataDir, img.Ckpt.LSN, pageLSNs); err != nil {
+			return nil, fmt.Errorf("recovery: segment overlay: %w", err)
+		}
+	}
 
 	// Analysis.
 	byLSN := make(map[wal.LSN]*wal.Record, len(img.Records))
@@ -116,7 +148,7 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 		if r.LSN <= img.Ckpt.LSN {
 			continue
 		}
-		if err := redo(st, r); err != nil {
+		if err := redo(st, r, pageLSNs); err != nil {
 			return nil, fmt.Errorf("recovery: redo LSN %d (%v): %w", r.LSN, r.Type, err)
 		}
 	}
@@ -134,6 +166,22 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 		return nil, fmt.Errorf("recovery: interrupted after undo: %w", ferr)
 	}
 
+	// Rematerialize a disk-backed store: the segment directory is reset
+	// and rewritten from the recovered image, every page stamped LSN
+	// zero. Stamp zero is deliberate: the new database epoch opens a
+	// fresh log, and its first checkpoint re-establishes the overlay
+	// baseline — until then a re-crash re-recovers from the same image,
+	// and the zero stamps make the overlay ignore the materialized pages
+	// (lsn <= ckpt.LSN), so re-running recovery stays deterministic even
+	// if materialization itself was interrupted halfway.
+	if diskBacked {
+		dst, err := storage.MaterializeDiskBacked(st, cfg.DataDir, cfg.PoolFrames)
+		if err != nil {
+			return nil, fmt.Errorf("recovery: materialize segments: %w", err)
+		}
+		st = dst
+	}
+
 	d := db.OpenWithStore(cfg, st)
 	if err := d.RebuildERTs(); err != nil {
 		d.Close()
@@ -142,18 +190,81 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 	return d, nil
 }
 
-// redo reinstalls the after-image of r.
-func redo(st *storage.Store, r *wal.Record) error {
+// overlaySegments installs every durable segment page newer than the
+// checkpoint onto the snapshot-restored store and records its LSN in
+// pageLSNs for redo gating. Older pages are ignored — the checkpoint
+// flushed everything before snapshotting, so their content already
+// equals the snapshot. Torn pages are ignored too (kept at the snapshot
+// image; gated redo repairs them from the log), as are pages of segment
+// files recovery cannot read at all.
+func overlaySegments(st *storage.Store, dataDir string, ckptLSN wal.LSN, pageLSNs map[pageKey]wal.LSN) error {
+	seg, err := segment.Open(dataDir, st.PageSize())
+	if err != nil {
+		return err
+	}
+	defer seg.Close()
+	ids, err := seg.Partitions()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		n, err := seg.NumPages(id)
+		if err != nil {
+			return err
+		}
+		for pn := 1; pn <= n; pn++ {
+			data, lsn, rerr := seg.ReadPage(id, pn)
+			switch {
+			case rerr == nil:
+				if wal.LSN(lsn) > ckptLSN {
+					st.InstallPageImage(id, pn, data)
+					pageLSNs[pageKey{id, pn}] = wal.LSN(lsn)
+				}
+			case errors.Is(rerr, segment.ErrAbsent):
+				// A durable absence marker newer than the checkpoint:
+				// the page was trimmed after the snapshot was taken.
+				if wal.LSN(lsn) > ckptLSN {
+					st.RemovePageImage(id, pn)
+					pageLSNs[pageKey{id, pn}] = wal.LSN(lsn)
+				}
+			case errors.Is(rerr, segment.ErrTorn):
+				// CRC rejected a page the crash tore mid-write. The
+				// snapshot copy stays in place; redo repairs it.
+			default:
+				return fmt.Errorf("partition %d page %d: %w", id, pn, rerr)
+			}
+		}
+	}
+	// Overlaying changes liveness behind the per-partition counters.
+	st.RecountLive()
+	return nil
+}
+
+// redo reinstalls the after-image of r unless the overlaid page already
+// carries it (pageLSN at or past r.LSN).
+func redo(st *storage.Store, r *wal.Record, pageLSNs map[pageKey]wal.LSN) error {
 	switch r.Type {
-	case wal.RecCreate:
-		return st.AllocateAt(r.OID, r.After)
-	case wal.RecDelete:
-		return st.Free(r.OID)
-	case wal.RecUpdate, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
-		return st.Update(r.OID, r.After)
+	case wal.RecCreate, wal.RecDelete, wal.RecUpdate, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
 	default:
 		return nil // Begin/Commit/Abort/Checkpoint need no redo
 	}
+	key := pageKey{r.OID.Partition(), int(r.OID.Page())}
+	if pageLSNs[key] >= r.LSN {
+		return nil // effect already durable in the overlaid page
+	}
+	var err error
+	switch r.Type {
+	case wal.RecCreate:
+		err = st.AllocateAt(r.OID, r.After)
+	case wal.RecDelete:
+		err = st.Free(r.OID)
+	default:
+		err = st.Update(r.OID, r.After)
+	}
+	if err == nil {
+		pageLSNs[key] = r.LSN
+	}
+	return err
 }
 
 // undoTxn walks a loser's chain backwards from last, installing before-

@@ -1,0 +1,411 @@
+// Package segment implements per-partition page files: the durable
+// medium under the storage layer's buffer pool. Each partition owns one
+// file of fixed-size page slots addressed by page number, so a page
+// write is a single pwrite and a page read a single pread.
+//
+// Every slot carries a 32-byte header whose CRC covers the flags, the
+// pageLSN, and the full payload. A write torn by a crash therefore
+// cannot be mistaken for a valid page — in particular a tear inside the
+// header (new LSN over old payload) fails the checksum instead of
+// producing a page that claims to be newer than its contents. Recovery
+// treats a torn slot as "use the checkpoint image and let redo repair
+// it from the log".
+//
+// A slot can also be explicitly absent (flags bit cleared): the storage
+// layer records trimmed pages this way so a disk-backed partition
+// reports the same page counts as a memory-resident one.
+//
+// The package hosts three fault points — segment/read, segment/write,
+// segment/sync — used by the torture harness. A crash-kind firing at
+// segment/write emulates the torn write itself: a seeded prefix of the
+// slot reaches the file, then the directory freezes (all further writes
+// fail), modeling the process dying mid-pwrite.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/oid"
+)
+
+// Errors returned by segment I/O.
+var (
+	// ErrTorn reports a slot whose checksum does not match: a write was
+	// interrupted mid-flight. The page content is unusable; recovery
+	// must rebuild it from a checkpoint plus the log.
+	ErrTorn = errors.New("segment: torn page (checksum mismatch)")
+	// ErrAbsent reports a slot that holds no page: never written, or
+	// explicitly marked absent by a trim.
+	ErrAbsent = errors.New("segment: page absent")
+	// ErrFrozen reports a write against a frozen (crashed) directory.
+	ErrFrozen = errors.New("segment: directory frozen after crash")
+)
+
+const (
+	slotMagic  = 0x47534547 // "GESG"
+	hdrSize    = 32
+	flagLive   = 1 // slot holds a live page (cleared by WriteAbsent)
+	crcFrom    = 8 // CRC covers the header past the crc field + payload
+	maxPageLen = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	fpRead  = fault.Point(fault.SegmentRead)
+	fpWrite = fault.Point(fault.SegmentWrite)
+	fpSync  = fault.Point(fault.SegmentSync)
+)
+
+// Dir is a directory of per-partition segment files.
+type Dir struct {
+	path     string
+	pageSize int
+	slotSize int
+
+	// frozen is atomic, not mu-guarded: Freeze is called from crash
+	// hooks that may fire on a goroutine already holding mu (a fault
+	// point inside writeSlot), so it must never need the lock.
+	frozen atomic.Bool
+
+	mu    sync.Mutex
+	files map[oid.PartitionID]*os.File
+}
+
+// Open opens (creating if needed) a segment directory for pages of the
+// given size.
+func Open(path string, pageSize int) (*Dir, error) {
+	if pageSize <= 0 || pageSize > maxPageLen {
+		return nil, fmt.Errorf("segment: bad page size %d", pageSize)
+	}
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	return &Dir{
+		path:     path,
+		pageSize: pageSize,
+		slotSize: hdrSize + pageSize,
+		files:    make(map[oid.PartitionID]*os.File),
+	}, nil
+}
+
+// Path returns the directory path.
+func (d *Dir) Path() string { return d.path }
+
+// PageSize returns the configured page size.
+func (d *Dir) PageSize() int { return d.pageSize }
+
+func partFileName(part oid.PartitionID) string {
+	return fmt.Sprintf("part-%d.seg", part)
+}
+
+// file returns the open handle for part, opening (and optionally
+// creating) the file. Caller holds d.mu.
+func (d *Dir) file(part oid.PartitionID, create bool) (*os.File, error) {
+	if f, ok := d.files[part]; ok {
+		return f, nil
+	}
+	flags := os.O_RDWR
+	if create {
+		flags |= os.O_CREATE
+	}
+	f, err := os.OpenFile(filepath.Join(d.path, partFileName(part)), flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d.files[part] = f
+	return f, nil
+}
+
+func (d *Dir) slotOffset(pn int) int64 {
+	return int64(pn-1) * int64(d.slotSize)
+}
+
+// encodeSlot builds the on-disk slot image: header + payload, with the
+// CRC covering everything past the crc field itself.
+func (d *Dir) encodeSlot(flags uint32, lsn uint64, data []byte) []byte {
+	buf := make([]byte, d.slotSize)
+	binary.LittleEndian.PutUint32(buf[0:4], slotMagic)
+	binary.LittleEndian.PutUint32(buf[8:12], flags)
+	binary.LittleEndian.PutUint64(buf[12:20], lsn)
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(len(data)))
+	copy(buf[hdrSize:], data)
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[crcFrom:], castagnoli))
+	return buf
+}
+
+func (d *Dir) writeSlot(part oid.PartitionID, pn int, buf []byte) error {
+	if pn < 1 {
+		return fmt.Errorf("segment: bad page number %d", pn)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frozen.Load() {
+		return ErrFrozen
+	}
+	f, err := d.file(part, true)
+	if err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	if ferr := fpWrite.Maybe(); ferr != nil {
+		if fault.IsCrash(ferr) {
+			// Torn write: a seeded prefix of the slot reaches the
+			// medium before the process dies; the directory freezes so
+			// nothing after this instant can become durable. A zero
+			// prefix models "the pwrite never made it" (old slot image
+			// survives intact) — also a legal crash state.
+			n := int(fault.RandOf(ferr) * float64(len(buf)))
+			if n > 0 {
+				_, _ = f.WriteAt(buf[:n], d.slotOffset(pn))
+			}
+			d.frozen.Store(true)
+		}
+		return fmt.Errorf("segment: write part %d page %d: %w", part, pn, ferr)
+	}
+	if _, err := f.WriteAt(buf, d.slotOffset(pn)); err != nil {
+		return fmt.Errorf("segment: write part %d page %d: %w", part, pn, err)
+	}
+	return nil
+}
+
+// WritePage durably-intends page pn of part: the slot is written with
+// the given pageLSN. The caller must already have forced the WAL past
+// lsn (the WAL-ahead rule); the segment layer just records it.
+func (d *Dir) WritePage(part oid.PartitionID, pn int, data []byte, lsn uint64) error {
+	if len(data) != d.pageSize {
+		return fmt.Errorf("segment: page size %d, want %d", len(data), d.pageSize)
+	}
+	return d.writeSlot(part, pn, d.encodeSlot(flagLive, lsn, data))
+}
+
+// WriteAbsent marks slot pn of part explicitly absent (a trimmed page),
+// stamped with the LSN that made it absent.
+func (d *Dir) WriteAbsent(part oid.PartitionID, pn int, lsn uint64) error {
+	return d.writeSlot(part, pn, d.encodeSlot(0, lsn, nil))
+}
+
+// ReadPage reads slot pn of part. On success it returns the page bytes
+// (a fresh slice of exactly the page size) and the slot's pageLSN. An
+// explicitly-absent or never-written slot returns ErrAbsent (with the
+// recorded LSN, zero when never written); a checksum failure returns
+// ErrTorn.
+func (d *Dir) ReadPage(part oid.PartitionID, pn int) ([]byte, uint64, error) {
+	if pn < 1 {
+		return nil, 0, fmt.Errorf("segment: bad page number %d", pn)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ferr := fpRead.Maybe(); ferr != nil {
+		return nil, 0, fmt.Errorf("segment: read part %d page %d: %w", part, pn, ferr)
+	}
+	f, err := d.file(part, false)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, ErrAbsent
+		}
+		return nil, 0, fmt.Errorf("segment: %w", err)
+	}
+	buf := make([]byte, d.slotSize)
+	n, err := f.ReadAt(buf, d.slotOffset(pn))
+	switch {
+	case n == 0:
+		return nil, 0, ErrAbsent // beyond the file: never written
+	case n < d.slotSize:
+		return nil, 0, fmt.Errorf("%w: part %d page %d (short slot)", ErrTorn, part, pn)
+	case err != nil:
+		return nil, 0, fmt.Errorf("segment: read part %d page %d: %w", part, pn, err)
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != slotMagic {
+		if allZero(buf) {
+			return nil, 0, ErrAbsent // sparse hole: never written
+		}
+		return nil, 0, fmt.Errorf("%w: part %d page %d (bad magic)", ErrTorn, part, pn)
+	}
+	if binary.LittleEndian.Uint32(buf[4:8]) != crc32.Checksum(buf[crcFrom:], castagnoli) {
+		return nil, 0, fmt.Errorf("%w: part %d page %d", ErrTorn, part, pn)
+	}
+	flags := binary.LittleEndian.Uint32(buf[8:12])
+	lsn := binary.LittleEndian.Uint64(buf[12:20])
+	if flags&flagLive == 0 {
+		return nil, lsn, ErrAbsent
+	}
+	if got := int(binary.LittleEndian.Uint32(buf[20:24])); got != d.pageSize {
+		return nil, 0, fmt.Errorf("%w: part %d page %d (length %d)", ErrTorn, part, pn, got)
+	}
+	out := make([]byte, d.pageSize)
+	copy(out, buf[hdrSize:])
+	return out, lsn, nil
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NumPages returns the number of slots part's file covers (its highest
+// written page number). A missing file has zero pages.
+func (d *Dir) NumPages(part oid.PartitionID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, err := d.file(part, false)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("segment: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("segment: %w", err)
+	}
+	// A partial tail slot (torn append) still counts as a page so that
+	// recovery visits — and rejects — it.
+	return int((fi.Size() + int64(d.slotSize) - 1) / int64(d.slotSize)), nil
+}
+
+// Partitions lists the partition ids that have segment files, in
+// ascending order.
+func (d *Dir) Partitions() ([]oid.PartitionID, error) {
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("segment: %w", err)
+	}
+	var ids []oid.PartitionID
+	for _, e := range ents {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "part-%d.seg", &id); err == nil {
+			ids = append(ids, oid.PartitionID(id))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// Sync forces part's file to the medium.
+func (d *Dir) Sync(part oid.PartitionID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncLocked(part)
+}
+
+func (d *Dir) syncLocked(part oid.PartitionID) error {
+	if d.frozen.Load() {
+		return ErrFrozen
+	}
+	f, ok := d.files[part]
+	if !ok {
+		return nil // nothing written through this handle
+	}
+	if ferr := fpSync.Maybe(); ferr != nil {
+		if fault.IsCrash(ferr) {
+			d.frozen.Store(true)
+		}
+		return fmt.Errorf("segment: sync part %d: %w", part, ferr)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("segment: sync part %d: %w", part, err)
+	}
+	return nil
+}
+
+// SyncAll forces every open segment file to the medium.
+func (d *Dir) SyncAll() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ids := make([]oid.PartitionID, 0, len(d.files))
+	for id := range d.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := d.syncLocked(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropPartition deletes part's segment file.
+func (d *Dir) DropPartition(part oid.PartitionID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frozen.Load() {
+		return ErrFrozen
+	}
+	if f, ok := d.files[part]; ok {
+		f.Close()
+		delete(d.files, part)
+	}
+	if err := os.Remove(filepath.Join(d.path, partFileName(part))); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("segment: %w", err)
+	}
+	return nil
+}
+
+// Reset deletes every segment file, leaving an empty directory. Restart
+// recovery uses it before rematerializing the recovered store.
+func (d *Dir) Reset() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.frozen.Load() {
+		return ErrFrozen
+	}
+	for id, f := range d.files {
+		f.Close()
+		delete(d.files, id)
+	}
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return fmt.Errorf("segment: %w", err)
+	}
+	for _, e := range ents {
+		var id uint64
+		if _, err := fmt.Sscanf(e.Name(), "part-%d.seg", &id); err == nil {
+			if err := os.Remove(filepath.Join(d.path, e.Name())); err != nil {
+				return fmt.Errorf("segment: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Freeze marks the directory crashed: every subsequent write or sync
+// fails with ErrFrozen. The torture harness freezes segments at the
+// crash instant so the recovered image is exactly what had reached the
+// files by then. Reads keep working — recovery reads the frozen image.
+func (d *Dir) Freeze() {
+	d.frozen.Store(true)
+}
+
+// Frozen reports whether Freeze was called (or a crash firing froze the
+// directory).
+func (d *Dir) Frozen() bool {
+	return d.frozen.Load()
+}
+
+// Close closes all open files. The directory contents remain.
+func (d *Dir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for id, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.files, id)
+	}
+	return first
+}

@@ -1,13 +1,108 @@
 package storage
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/oid"
 )
 
-func BenchmarkAllocateFree(b *testing.B) {
-	s := New()
+// Page get/put benchmarks in both store modes, so the disk path's hit
+// and miss costs enter the perf trajectory alongside the memory mode
+// they must not regress. The disk cells split by pool behavior: *Hit
+// keeps the working set inside the frame budget (buffer-pool overhead
+// alone), *Miss makes the budget a fraction of the working set so most
+// accesses fault, evict, and reread through the segment file.
+
+// benchStore returns a store in the requested mode, pre-filled with
+// enough 100-byte objects to span ~64 pages.
+func benchStore(b *testing.B, disk bool, frames int) (*Store, []oid.OID) {
+	b.Helper()
+	var s *Store
+	if disk {
+		var err error
+		if s, err = NewDiskBacked(b.TempDir(), frames, WithPageSize(4096)); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+	} else {
+		s = New(WithPageSize(4096))
+	}
+	if err := s.CreatePartition(1); err != nil {
+		b.Fatal(err)
+	}
+	var oids []oid.OID
+	data := make([]byte, 100)
+	for len(oids) == 0 || int(oids[len(oids)-1].Page()) < 64 {
+		o, err := s.Allocate(1, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		oids = append(oids, o)
+	}
+	return s, oids
+}
+
+func benchRead(b *testing.B, s *Store, oids []oid.OID) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	order := rng.Perm(len(oids))
+	buf := make([]byte, 0, 128)
+	b.ResetTimer()
+	var err error
+	for i := 0; i < b.N; i++ {
+		if buf, err = s.Read(oids[order[i%len(order)]], buf[:0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchUpdate(b *testing.B, s *Store, oids []oid.OID) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	order := rng.Perm(len(oids))
+	data := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[0] = byte(i)
+		if err := s.Update(oids[order[i%len(order)]], data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadMemory(b *testing.B) {
+	s, oids := benchStore(b, false, 0)
+	benchRead(b, s, oids)
+}
+
+func BenchmarkReadDiskHit(b *testing.B) {
+	s, oids := benchStore(b, true, 128) // working set fits: pure pool overhead
+	benchRead(b, s, oids)
+}
+
+func BenchmarkReadDiskMiss(b *testing.B) {
+	s, oids := benchStore(b, true, 8) // 8 frames vs ~64 pages: mostly faults
+	benchRead(b, s, oids)
+}
+
+func BenchmarkUpdateMemory(b *testing.B) {
+	s, oids := benchStore(b, false, 0)
+	benchUpdate(b, s, oids)
+}
+
+func BenchmarkUpdateDiskHit(b *testing.B) {
+	s, oids := benchStore(b, true, 128)
+	benchUpdate(b, s, oids)
+}
+
+func BenchmarkUpdateDiskMiss(b *testing.B) {
+	s, oids := benchStore(b, true, 8) // every faulting update also flushes a dirty victim
+	benchUpdate(b, s, oids)
+}
+
+func BenchmarkAllocateFreeMemory(b *testing.B) {
+	s := New(WithPageSize(4096))
 	s.CreatePartition(0)
 	data := make([]byte, 100)
 	b.ResetTimer()
@@ -22,19 +117,21 @@ func BenchmarkAllocateFree(b *testing.B) {
 	}
 }
 
-func BenchmarkRead(b *testing.B) {
-	s := New()
-	s.CreatePartition(0)
-	var oids []oid.OID
-	for i := 0; i < 1024; i++ {
-		o, _ := s.Allocate(0, make([]byte, 100))
-		oids = append(oids, o)
+func BenchmarkAllocateFreeDisk(b *testing.B) {
+	s, err := NewDiskBacked(b.TempDir(), 32, WithPageSize(4096))
+	if err != nil {
+		b.Fatal(err)
 	}
-	buf := make([]byte, 0, 128)
+	b.Cleanup(func() { s.Close() })
+	s.CreatePartition(0)
+	data := make([]byte, 100)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var err error
-		if buf, err = s.Read(oids[i%len(oids)], buf); err != nil {
+		o, err := s.Allocate(0, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Free(o); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,14 @@
 // path) and a dense append path used by relocation plans that want to pack
 // objects tightly (compaction, copying collection).
 //
+// The store runs in one of two modes. Memory-resident (New): every page
+// lives in the page table. Disk-backed (NewDiskBacked): the page table
+// acts as a buffer pool over per-partition segment files — pages are
+// faulted in on access, pinned while in use, and written back by a CLOCK
+// eviction policy under a frame budget, with the WAL-ahead rule enforced
+// on every flush (see pool.go). Both modes share one code path: every
+// method reaches page content through fetchPage/releasePage.
+//
 // The store provides physical consistency only: each partition has a
 // read-write mutex serializing structural changes against reads (cell
 // moves during in-page compaction would otherwise tear concurrent
@@ -25,6 +33,7 @@ import (
 	apstats "repro/internal/autopilot/stats"
 	"repro/internal/oid"
 	"repro/internal/page"
+	"repro/internal/wal"
 )
 
 // Errors returned by the store.
@@ -55,6 +64,10 @@ type Store struct {
 	pageSize   int
 	fillFactor float64
 
+	// pool is the buffer pool of a disk-backed store; nil in
+	// memory-resident mode.
+	pool *pool
+
 	// stats is the autopilot's statistics collector, or nil. Every
 	// mutator loads it exactly once; with no collector installed that
 	// single atomic load is the entire instrumentation cost.
@@ -67,6 +80,12 @@ type Store struct {
 // partition holds the pages of one partition. pages[0] is always nil so
 // that no object is ever at page 0 — that keeps oid.Nil (0:0:0)
 // unaddressable.
+//
+// In disk-backed mode the pages slice only defines the page-table
+// length (entries stay nil); existence lives in present and residency
+// in frames, both written only under the buffer pool's mutex so that
+// eviction — which cannot take this partition's mu — never races the
+// slice.
 type partition struct {
 	id oid.PartitionID
 
@@ -78,6 +97,10 @@ type partition struct {
 	// advances it past all existing pages so that migrated copies never
 	// reoccupy addresses that stale references might still carry.
 	denseFloor int
+
+	// Disk-backed mode only; same length as pages.
+	present []bool   // page logically exists (may be on disk only)
+	frames  []*frame // resident pages' buffer-pool frames
 }
 
 // Option configures a Store.
@@ -95,7 +118,7 @@ func WithFillFactor(f float64) Option {
 	}
 }
 
-// New creates an empty store.
+// New creates an empty memory-resident store.
 func New(opts ...Option) *Store {
 	s := &Store{
 		pageSize:   page.DefaultSize,
@@ -153,19 +176,26 @@ func (s *Store) CreatePartition(id oid.PartitionID) error {
 	if _, ok := s.parts[id]; ok {
 		return fmt.Errorf("%w: %d", ErrPartitionExists, id)
 	}
-	s.parts[id] = &partition{id: id, pages: []*page.Page{nil}, cursor: 1}
+	s.parts[id] = s.newPartition(id)
 	return nil
 }
 
 // DropPartition removes a partition and all objects in it. Used by the
-// copying collector after evacuating live objects.
+// copying collector after evacuating live objects. In disk-backed mode
+// the partition's segment file is deleted with it.
 func (s *Store) DropPartition(id oid.PartitionID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.parts[id]; !ok {
+	p, ok := s.parts[id]
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoPartition, id)
 	}
 	delete(s.parts, id)
+	if s.pool != nil {
+		if err := s.pool.dropPartition(p); err != nil {
+			return err
+		}
+	}
 	if c := s.stats.Load(); c != nil {
 		c.DropPartition(id)
 	}
@@ -211,17 +241,55 @@ func (s *Store) maxCell() int {
 // pages (so freed holes are refilled, which is what fragments a partition
 // over time), opening a new page when nothing fits within the fill factor.
 func (s *Store) Allocate(part oid.PartitionID, data []byte) (oid.OID, error) {
-	return s.allocate(part, data, false)
+	return s.allocate(part, data, false, nil)
 }
 
 // AllocateDense stores data at the tail of the partition, packing cells
 // tightly without hole-filling. Relocation plans use it to lay objects
 // contiguously.
 func (s *Store) AllocateDense(part oid.PartitionID, data []byte) (oid.OID, error) {
-	return s.allocate(part, data, true)
+	return s.allocate(part, data, true, nil)
 }
 
-func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID, error) {
+// AllocateLogged allocates like Allocate (or AllocateDense when dense is
+// set), invoking logFn with the chosen address while the target page is
+// still pinned and the partition write-locked, and stamping the page
+// with the LSN logFn returns before the pin drops. The transaction
+// layer's create path needs this: a create record can only be written
+// once the address is known, and logging after the allocation returned
+// would leave a window where a buffer-pool eviction flushes a page
+// holding an object no log record describes — a crash there resurrects
+// an orphan invisible to redo, undo, and the reference analyzer. If
+// logFn fails the insert is rolled back in place and its error
+// returned.
+func (s *Store) AllocateLogged(part oid.PartitionID, data []byte, dense bool, logFn func(o oid.OID) (wal.LSN, error)) (oid.OID, error) {
+	return s.allocate(part, data, dense, logFn)
+}
+
+// tryInsert attempts an insert into the (pinned) page pn, reporting the
+// footprint delta either way (a failed insert may still compact the
+// page) and marking the page dirty if its bytes may have changed.
+// Caller holds p.mu (W). Returns the slot and true on success.
+func (s *Store) tryInsert(c *apstats.Collector, p *partition, pn int, pg *page.Page, data []byte) (uint16, bool) {
+	var db0, ds0 int
+	if c != nil {
+		db0, ds0 = pageFootprint(pg)
+	}
+	slot, err := pg.Insert(data)
+	if err == nil {
+		p.nLive++
+		s.noteMutation(c, p.id, pg, db0, ds0, 1, 0)
+		s.notePageDirty(p, pn, 0)
+		return slot, true
+	}
+	// A failed insert may still have compacted the page; the footprint
+	// delta captures that too, and the page bytes may have moved.
+	s.noteMutation(c, p.id, pg, db0, ds0, 0, 0)
+	s.notePageDirty(p, pn, 0)
+	return 0, false
+}
+
+func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool, logFn func(o oid.OID) (wal.LSN, error)) (oid.OID, error) {
 	if len(data) > s.maxCell() {
 		return oid.Nil, fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, len(data))
 	}
@@ -233,23 +301,49 @@ func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID
 	defer p.mu.Unlock()
 	c := s.stats.Load()
 
-	if dense {
-		// Try only the last page (and only past the dense floor), then
-		// open a new one.
-		if last := len(p.pages) - 1; last >= 1 && last >= p.denseFloor && p.pages[last] != nil {
-			pg := p.pages[last]
+	// finish runs the caller's log hook (if any) while the page is
+	// still pinned, then stamps the page with the record's LSN, so any
+	// content the pool may flush is always covered by the log. If the
+	// append fails the insert is rolled back under the same pin — the
+	// page never leaves the pool holding an unlogged object. Drops the
+	// pin either way.
+	finish := func(pn int, pg *page.Page, slot uint16) (oid.OID, error) {
+		defer s.releasePage(p, pn)
+		o := oid.New(part, oid.PageNum(pn), oid.SlotNum(slot))
+		if logFn == nil {
+			return o, nil
+		}
+		lsn, lerr := logFn(o)
+		if lerr != nil {
 			var db0, ds0 int
 			if c != nil {
 				db0, ds0 = pageFootprint(pg)
 			}
-			if slot, err := pg.Insert(data); err == nil {
-				p.nLive++
-				s.noteMutation(c, part, pg, db0, ds0, 1, 0)
-				return oid.New(part, oid.PageNum(last), oid.SlotNum(slot)), nil
+			if derr := pg.Delete(slot); derr == nil {
+				p.nLive--
+				s.noteMutation(c, part, pg, db0, ds0, -1, 0)
 			}
-			// A failed insert may still have compacted the page; the
-			// footprint delta captures that too.
-			s.noteMutation(c, part, pg, db0, ds0, 0, 0)
+			s.notePageDirty(p, pn, 0)
+			return oid.Nil, lerr
+		}
+		s.notePageDirty(p, pn, lsn)
+		return o, nil
+	}
+
+	if dense {
+		// Try only the last page (and only past the dense floor), then
+		// open a new one.
+		if last := len(p.pages) - 1; last >= 1 && last >= p.denseFloor {
+			pg, ferr := s.fetchPage(p, last)
+			if ferr != nil {
+				return oid.Nil, ferr
+			}
+			if pg != nil {
+				if slot, ok := s.tryInsert(c, p, last, pg, data); ok {
+					return finish(last, pg, slot)
+				}
+				s.releasePage(p, last)
+			}
 		}
 	} else {
 		// First-fit from a rotating cursor, honoring the fill factor so
@@ -258,24 +352,26 @@ func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID
 		reserve := int(float64(s.pageSize) * (1 - s.fillFactor))
 		for i := 0; i < n; i++ {
 			pn := 1 + (p.cursor-1+i)%n
-			pg := p.pages[pn]
-			if pg == nil || pg.FreeSpace() < len(data)+reserve {
+			pg, ferr := s.fetchPage(p, pn)
+			if ferr != nil {
+				return oid.Nil, ferr
+			}
+			if pg == nil {
 				continue
 			}
-			var db0, ds0 int
-			if c != nil {
-				db0, ds0 = pageFootprint(pg)
+			if pg.FreeSpace() < len(data)+reserve {
+				s.releasePage(p, pn)
+				continue
 			}
-			if slot, err := pg.Insert(data); err == nil {
+			if slot, ok := s.tryInsert(c, p, pn, pg, data); ok {
 				p.cursor = pn
-				p.nLive++
-				s.noteMutation(c, part, pg, db0, ds0, 1, 0)
-				return oid.New(part, oid.PageNum(pn), oid.SlotNum(slot)), nil
+				return finish(pn, pg, slot)
 			}
-			s.noteMutation(c, part, pg, db0, ds0, 0, 0)
+			s.releasePage(p, pn)
 		}
 	}
-	// Open a new page.
+	// Open a new page. It is installed pinned so the first insert can
+	// be logged before an eviction may flush it.
 	if uint64(len(p.pages)) > oid.MaxPage {
 		return oid.Nil, fmt.Errorf("storage: partition %d page table full", part)
 	}
@@ -284,12 +380,15 @@ func (s *Store) allocate(part oid.PartitionID, data []byte, dense bool) (oid.OID
 	if err != nil {
 		return oid.Nil, err
 	}
-	p.pages = append(p.pages, pg)
+	pn, err := s.installNewPagePinned(p, pg)
+	if err != nil {
+		return oid.Nil, err
+	}
 	p.nLive++
 	if c != nil {
 		c.NoteSpace(part, 1, 1, 0, 0)
 	}
-	return oid.New(part, oid.PageNum(len(p.pages)-1), oid.SlotNum(slot)), nil
+	return finish(pn, pg, slot)
 }
 
 // SealDense advances the partition's dense-allocation floor past every
@@ -314,6 +413,12 @@ func (s *Store) SealDense(part oid.PartitionID) error {
 // replay creations at their original physical addresses; ordinary callers
 // should use Allocate.
 func (s *Store) AllocateAt(o oid.OID, data []byte) error {
+	return s.AllocateAtLSN(o, data, 0)
+}
+
+// AllocateAtLSN is AllocateAt stamping the page with the log record's
+// LSN (the transaction layer's delete-undo path supplies it).
+func (s *Store) AllocateAtLSN(o oid.OID, data []byte, lsn wal.LSN) error {
 	if len(data) > s.maxCell() {
 		return fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, len(data))
 	}
@@ -323,54 +428,89 @@ func (s *Store) AllocateAt(o oid.OID, data []byte) error {
 	s.mu.Lock()
 	p, ok := s.parts[o.Partition()]
 	if !ok {
-		p = &partition{id: o.Partition(), pages: []*page.Page{nil}, cursor: 1}
+		p = s.newPartition(o.Partition())
 		s.parts[o.Partition()] = p
 	}
 	s.mu.Unlock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return s.placeAt(p, o, data, lsn)
+}
+
+// placeAt installs data at the exact address o, extending the page
+// table and reviving trimmed pages as needed. Caller holds p.mu (W).
+func (s *Store) placeAt(p *partition, o oid.OID, data []byte, lsn wal.LSN) error {
 	c := s.stats.Load()
 	pagesAdded := 0
 	for uint64(len(p.pages)) <= uint64(o.Page()) {
-		p.pages = append(p.pages, page.New(s.pageSize))
+		if _, err := s.installNewPage(p, page.New(s.pageSize), lsn); err != nil {
+			return err
+		}
 		pagesAdded++
 	}
-	if p.pages[o.Page()] == nil {
-		p.pages[o.Page()] = page.New(s.pageSize)
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
+	if err != nil {
+		return err
+	}
+	if pg == nil {
+		// The slot exists in the table but holds no page (trimmed, or a
+		// disk-mode absence): revive it in place.
+		pg, err = s.revivePageAt(p, pn, lsn)
+		if err != nil {
+			return err
+		}
 		pagesAdded++
 	}
-	pg := p.pages[o.Page()]
+	defer s.releasePage(p, pn)
 	var db0, ds0 int
 	if c != nil {
 		db0, ds0 = pageFootprint(pg)
 	}
 	if pg.Has(uint16(o.Slot())) {
-		err := pg.Update(uint16(o.Slot()), data)
+		uerr := pg.Update(uint16(o.Slot()), data)
 		s.noteMutation(c, o.Partition(), pg, db0, ds0, 0, pagesAdded)
-		return err
+		s.notePageDirty(p, pn, lsn)
+		return uerr
 	}
 	if err := pg.InsertAt(uint16(o.Slot()), data); err != nil {
 		s.noteMutation(c, o.Partition(), pg, db0, ds0, 0, pagesAdded)
+		s.notePageDirty(p, pn, lsn)
 		return err
 	}
 	p.nLive++
 	s.noteMutation(c, o.Partition(), pg, db0, ds0, 1, pagesAdded)
+	s.notePageDirty(p, pn, lsn)
 	return nil
 }
 
-// locate resolves o to its partition and page without taking locks beyond
-// the store map lock. Caller must hold p.mu.
-func (p *partition) pageOf(o oid.OID) (*page.Page, error) {
-	pn := int(o.Page())
-	if pn < 1 || pn >= len(p.pages) || p.pages[pn] == nil {
-		return nil, fmt.Errorf("%w: %s", ErrNoObject, o)
+// revivePageAt places a fresh page at an existing (but empty) table
+// slot. In disk mode the page comes back pinned. Caller holds p.mu (W).
+func (s *Store) revivePageAt(p *partition, pn int, lsn wal.LSN) (*page.Page, error) {
+	pg := page.New(s.pageSize)
+	if s.pool == nil {
+		p.pages[pn] = pg
+		return pg, nil
 	}
-	return p.pages[pn], nil
+	pl := s.pool
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if err := pl.makeRoom(); err != nil {
+		return nil, err
+	}
+	f := &frame{part: p, pn: pn, pg: pg, ref: true, pin: 1, dirty: true, recLSN: lsn, pageLSN: lsn}
+	p.frames[pn] = f
+	p.present[pn] = true
+	pl.link(f)
+	pl.pinned.Add(1)
+	return pg, nil
 }
 
 // TrimPages releases pages that hold no live cells, returning how many
 // were reclaimed. After a compaction migrated every object to fresh tail
-// pages, this is what actually gives the fragmented space back.
+// pages, this is what actually gives the fragmented space back. In
+// disk-backed mode each trimmed page is replaced by a durable absence
+// marker (written WAL-ahead) so a restart does not resurrect it.
 func (s *Store) TrimPages(part oid.PartitionID) (int, error) {
 	p, err := s.part(part)
 	if err != nil {
@@ -382,15 +522,27 @@ func (s *Store) TrimPages(part oid.PartitionID) (int, error) {
 	trimmed := 0
 	var deadFreed, slotsFreed int
 	for pn := 1; pn < len(p.pages); pn++ {
-		if p.pages[pn] != nil && p.pages[pn].LiveSlots() == 0 {
-			if c != nil {
-				db, ds := pageFootprint(p.pages[pn])
-				deadFreed += db
-				slotsFreed += ds
-			}
-			p.pages[pn] = nil
-			trimmed++
+		pg, ferr := s.fetchPage(p, pn)
+		if ferr != nil {
+			return trimmed, ferr
 		}
+		if pg == nil {
+			continue
+		}
+		if pg.LiveSlots() != 0 {
+			s.releasePage(p, pn)
+			continue
+		}
+		if c != nil {
+			db, ds := pageFootprint(pg)
+			deadFreed += db
+			slotsFreed += ds
+		}
+		s.releasePage(p, pn)
+		if err := s.dropPageAt(p, pn); err != nil {
+			return trimmed, err
+		}
+		trimmed++
 	}
 	if c != nil && trimmed > 0 {
 		c.NoteSpace(part, 0, -trimmed, -deadFreed, -slotsFreed)
@@ -410,10 +562,15 @@ func (s *Store) Read(o oid.OID, buf []byte) ([]byte, error) {
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	pg, err := p.pageOf(o)
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
 	if err != nil {
 		return nil, err
 	}
+	if pg == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	defer s.releasePage(p, pn)
 	cell, err := pg.Get(uint16(o.Slot()))
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoObject, o)
@@ -430,10 +587,15 @@ func (s *Store) View(o oid.OID, fn func(data []byte)) error {
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	pg, err := p.pageOf(o)
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
 	if err != nil {
 		return err
 	}
+	if pg == nil {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	defer s.releasePage(p, pn)
 	cell, err := pg.Get(uint16(o.Slot()))
 	if err != nil {
 		return fmt.Errorf("%w: %s", ErrNoObject, o)
@@ -450,10 +612,12 @@ func (s *Store) Exists(o oid.OID) bool {
 	}
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	pg, err := p.pageOf(o)
-	if err != nil {
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
+	if err != nil || pg == nil {
 		return false
 	}
+	defer s.releasePage(p, pn)
 	return pg.Has(uint16(o.Slot()))
 }
 
@@ -461,16 +625,29 @@ func (s *Store) Exists(o oid.OID) bool {
 // in the object's page, ErrWontFit is returned and the object is
 // unchanged.
 func (s *Store) Update(o oid.OID, data []byte) error {
+	return s.UpdateLSN(o, data, 0)
+}
+
+// UpdateLSN is Update stamping the page with the log record's LSN, so a
+// disk-backed flush can enforce WAL-ahead and restart recovery can gate
+// redo per page. The transaction layer passes the record LSN; unlogged
+// callers use Update (LSN zero).
+func (s *Store) UpdateLSN(o oid.OID, data []byte, lsn wal.LSN) error {
 	p, err := s.part(o.Partition())
 	if err != nil {
 		return err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	pg, err := p.pageOf(o)
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
 	if err != nil {
 		return err
 	}
+	if pg == nil {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	defer s.releasePage(p, pn)
 	c := s.stats.Load()
 	var db0, ds0 int
 	if c != nil {
@@ -478,6 +655,7 @@ func (s *Store) Update(o oid.OID, data []byte) error {
 	}
 	uerr := pg.Update(uint16(o.Slot()), data)
 	s.noteMutation(c, o.Partition(), pg, db0, ds0, 0, 0)
+	s.notePageDirty(p, pn, lsn)
 	switch uerr {
 	case nil:
 		return nil
@@ -490,19 +668,147 @@ func (s *Store) Update(o oid.OID, data []byte) error {
 	}
 }
 
-// Free deletes the object at o. The slot's bytes become dead space that
-// only reorganization (or a lucky same-page insert) reclaims.
-func (s *Store) Free(o oid.OID) error {
+// UpdateLogged is Update appending the log record (via logFn) inside
+// the partition critical section, immediately before the apply. The
+// transaction layer routes every logged mutation through these
+// *Logged variants so that, per page, records are applied in exactly
+// the order their LSNs were assigned. Appending first and applying
+// later under separate locks would let two transactions' applies to
+// one page invert: a buffer-pool flush in that window writes a page
+// whose LSN stamp covers a record whose effect is missing, and
+// recovery's redo gate would then skip that record forever.
+func (s *Store) UpdateLogged(o oid.OID, data []byte, logFn func() (wal.LSN, error)) error {
 	p, err := s.part(o.Partition())
 	if err != nil {
 		return err
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	pg, err := p.pageOf(o)
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
 	if err != nil {
 		return err
 	}
+	if pg == nil {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	defer s.releasePage(p, pn)
+	if !pg.Has(uint16(o.Slot())) {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	lsn, err := logFn()
+	if err != nil {
+		return err
+	}
+	c := s.stats.Load()
+	var db0, ds0 int
+	if c != nil {
+		db0, ds0 = pageFootprint(pg)
+	}
+	uerr := pg.Update(uint16(o.Slot()), data)
+	s.noteMutation(c, o.Partition(), pg, db0, ds0, 0, 0)
+	// Stamped even if the in-place update failed: the record is in the
+	// log with no effect, and the stamp makes the redo gate skip it.
+	s.notePageDirty(p, pn, lsn)
+	switch uerr {
+	case nil:
+		return nil
+	case page.ErrPageFull:
+		return ErrWontFit
+	default:
+		return uerr
+	}
+}
+
+// FreeLogged is Free appending the log record inside the partition
+// critical section (see UpdateLogged).
+func (s *Store) FreeLogged(o oid.OID, logFn func() (wal.LSN, error)) error {
+	p, err := s.part(o.Partition())
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
+	if err != nil {
+		return err
+	}
+	if pg == nil {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	defer s.releasePage(p, pn)
+	if !pg.Has(uint16(o.Slot())) {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	lsn, err := logFn()
+	if err != nil {
+		return err
+	}
+	c := s.stats.Load()
+	var db0, ds0 int
+	if c != nil {
+		db0, ds0 = pageFootprint(pg)
+	}
+	if derr := pg.Delete(uint16(o.Slot())); derr != nil {
+		s.notePageDirty(p, pn, lsn)
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	p.nLive--
+	s.noteMutation(c, o.Partition(), pg, db0, ds0, -1, 0)
+	s.notePageDirty(p, pn, lsn)
+	return nil
+}
+
+// AllocateAtLogged is AllocateAt appending the log record inside the
+// partition critical section (see UpdateLogged). The delete-undo CLR
+// path uses it to revive an object at its original address.
+func (s *Store) AllocateAtLogged(o oid.OID, data []byte, logFn func() (wal.LSN, error)) error {
+	if len(data) > s.maxCell() {
+		return fmt.Errorf("%w: %d bytes", ErrObjectTooLarge, len(data))
+	}
+	if o.Page() == 0 {
+		return fmt.Errorf("%w: %s (page 0 is reserved)", ErrNoObject, o)
+	}
+	s.mu.Lock()
+	p, ok := s.parts[o.Partition()]
+	if !ok {
+		p = s.newPartition(o.Partition())
+		s.parts[o.Partition()] = p
+	}
+	s.mu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lsn, err := logFn()
+	if err != nil {
+		return err
+	}
+	return s.placeAt(p, o, data, lsn)
+}
+
+// Free deletes the object at o. The slot's bytes become dead space that
+// only reorganization (or a lucky same-page insert) reclaims.
+func (s *Store) Free(o oid.OID) error {
+	return s.FreeLSN(o, 0)
+}
+
+// FreeLSN is Free stamping the page with the log record's LSN.
+func (s *Store) FreeLSN(o oid.OID, lsn wal.LSN) error {
+	p, err := s.part(o.Partition())
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pn := int(o.Page())
+	pg, err := s.fetchPage(p, pn)
+	if err != nil {
+		return err
+	}
+	if pg == nil {
+		return fmt.Errorf("%w: %s", ErrNoObject, o)
+	}
+	defer s.releasePage(p, pn)
 	c := s.stats.Load()
 	var db0, ds0 int
 	if c != nil {
@@ -513,6 +819,7 @@ func (s *Store) Free(o oid.OID) error {
 	}
 	p.nLive--
 	s.noteMutation(c, o.Partition(), pg, db0, ds0, -1, 0)
+	s.notePageDirty(p, pn, lsn)
 	return nil
 }
 
@@ -528,17 +835,22 @@ func (s *Store) ForEach(part oid.PartitionID, fn func(o oid.OID, data []byte) bo
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	for pn := 1; pn < len(p.pages); pn++ {
-		if p.pages[pn] == nil {
+		pg, ferr := s.fetchPage(p, pn)
+		if ferr != nil {
+			return ferr
+		}
+		if pg == nil {
 			continue
 		}
 		stop := false
-		p.pages[pn].Slots(func(slot uint16, data []byte) bool {
+		pg.Slots(func(slot uint16, data []byte) bool {
 			if !fn(oid.New(part, oid.PageNum(pn), oid.SlotNum(slot)), data) {
 				stop = true
 				return false
 			}
 			return true
 		})
+		s.releasePage(p, pn)
 		if stop {
 			return nil
 		}
@@ -575,7 +887,10 @@ func (s *Store) PartitionStats(part oid.PartitionID) (Stats, error) {
 	defer p.mu.RUnlock()
 	st := Stats{Objects: p.nLive}
 	for pn := 1; pn < len(p.pages); pn++ {
-		pg := p.pages[pn]
+		pg, ferr := s.fetchPage(p, pn)
+		if ferr != nil {
+			return Stats{}, ferr
+		}
 		if pg == nil {
 			continue
 		}
@@ -588,6 +903,7 @@ func (s *Store) PartitionStats(part oid.PartitionID) (Stats, error) {
 			st.LiveBytes += len(data)
 			return true
 		})
+		s.releasePage(p, pn)
 	}
 	return st, nil
 }
@@ -608,8 +924,9 @@ type partSnap struct {
 	denseFloor int
 }
 
-// Snapshot deep-copies the store.
-func (s *Store) Snapshot() *Snapshot {
+// Snapshot deep-copies the store. In disk-backed mode non-resident
+// pages are faulted in one at a time, which can fail on segment I/O.
+func (s *Store) Snapshot() (*Snapshot, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	snap := &Snapshot{
@@ -621,17 +938,24 @@ func (s *Store) Snapshot() *Snapshot {
 		p.mu.RLock()
 		ps := &partSnap{nLive: p.nLive, cursor: p.cursor, denseFloor: p.denseFloor, pages: make([][]byte, len(p.pages))}
 		for i := 1; i < len(p.pages); i++ {
-			if p.pages[i] != nil {
-				ps.pages[i] = append([]byte(nil), p.pages[i].Bytes()...)
+			pg, err := s.fetchPage(p, i)
+			if err != nil {
+				p.mu.RUnlock()
+				return nil, err
 			}
+			if pg == nil {
+				continue
+			}
+			ps.pages[i] = append([]byte(nil), pg.Bytes()...)
+			s.releasePage(p, i)
 		}
 		p.mu.RUnlock()
 		snap.parts[id] = ps
 	}
-	return snap
+	return snap, nil
 }
 
-// RestoreSnapshot builds a fresh store from a snapshot.
+// RestoreSnapshot builds a fresh memory-resident store from a snapshot.
 func RestoreSnapshot(snap *Snapshot) *Store {
 	s := New(WithPageSize(snap.pageSize), WithFillFactor(snap.fillFactor))
 	for id, ps := range snap.parts {
@@ -647,4 +971,63 @@ func RestoreSnapshot(snap *Snapshot) *Store {
 		s.parts[id] = p
 	}
 	return s
+}
+
+// InstallPageImage places raw page bytes at (part, pn) on a
+// memory-resident store, creating the partition and extending its page
+// table as needed. Restart recovery uses it to overlay segment pages
+// over the checkpoint snapshot; it must not be used on a disk-backed
+// store.
+func (s *Store) InstallPageImage(part oid.PartitionID, pn int, data []byte) {
+	if s.pool != nil {
+		panic("storage: InstallPageImage on a disk-backed store")
+	}
+	p := s.imagePartition(part, pn)
+	p.pages[pn] = page.Wrap(append([]byte(nil), data...))
+}
+
+// RemovePageImage clears the page at (part, pn) on a memory-resident
+// store (recovery overlay of a durable absence marker).
+func (s *Store) RemovePageImage(part oid.PartitionID, pn int) {
+	if s.pool != nil {
+		panic("storage: RemovePageImage on a disk-backed store")
+	}
+	p := s.imagePartition(part, pn)
+	p.pages[pn] = nil
+}
+
+func (s *Store) imagePartition(part oid.PartitionID, pn int) *partition {
+	s.mu.Lock()
+	p, ok := s.parts[part]
+	if !ok {
+		p = s.newPartition(part)
+		s.parts[part] = p
+	}
+	s.mu.Unlock()
+	for len(p.pages) <= pn {
+		p.pages = append(p.pages, nil)
+	}
+	return p
+}
+
+// RecountLive recomputes every partition's live-object count from its
+// pages. Recovery calls it after overlaying segment pages, which can
+// change liveness behind the counters.
+func (s *Store) RecountLive() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, p := range s.parts {
+		p.mu.Lock()
+		n := 0
+		for pn := 1; pn < len(p.pages); pn++ {
+			if p.pages[pn] != nil {
+				n += p.pages[pn].LiveSlots()
+			}
+		}
+		p.nLive = n
+		if p.cursor >= len(p.pages) || p.cursor < 1 {
+			p.cursor = 1
+		}
+		p.mu.Unlock()
+	}
 }

@@ -10,6 +10,15 @@ import (
 	"repro/internal/oid"
 )
 
+func mustSnapshot(t *testing.T, s *Store) *Snapshot {
+	t.Helper()
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
 func newStore(t *testing.T, parts int, opts ...Option) *Store {
 	t.Helper()
 	s := New(opts...)
@@ -306,7 +315,7 @@ func TestSnapshotRestore(t *testing.T) {
 		datas = append(datas, data)
 	}
 	s.Free(oids[7])
-	snap := s.Snapshot()
+	snap := mustSnapshot(t, s)
 	// Mutate the original after snapshotting; restore must see old state.
 	s.Update(oids[3], []byte("mutated"))
 	s.Free(oids[5])
@@ -494,7 +503,7 @@ func TestSnapshotRestoreWithTrimmedPages(t *testing.T) {
 		s.Free(o)
 	}
 	s.TrimPages(0)
-	snap := s.Snapshot()
+	snap := mustSnapshot(t, s)
 	r := RestoreSnapshot(snap)
 	for _, o := range oids[8:] {
 		if !r.Exists(o) {
@@ -517,7 +526,7 @@ func TestSnapshotSerializationRoundTrip(t *testing.T) {
 	}
 	s.Free(oids[5])
 	s.TrimPages(0) // exercise nil-page serialization when a page empties
-	snap := s.Snapshot()
+	snap := mustSnapshot(t, s)
 
 	var buf bytes.Buffer
 	if _, err := snap.WriteTo(&buf); err != nil {
@@ -557,7 +566,7 @@ func TestReadSnapshotRejectsGarbage(t *testing.T) {
 	s := newStore(t, 1)
 	s.Allocate(0, []byte("x"))
 	var buf bytes.Buffer
-	s.Snapshot().WriteTo(&buf)
+	mustSnapshot(t, s).WriteTo(&buf)
 	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); !errors.Is(err, ErrBadSnapshot) {
 		t.Fatalf("truncated: %v", err)
 	}
