@@ -11,6 +11,7 @@
 //	reorgbench -bench interference      # 100ms-window reorg-on/off series → BENCH_interference.json
 //	reorgbench -bench autopilot         # closed-loop churn→detect→repair run → BENCH_autopilot.json
 //	reorgbench -bench bufferpool        # scan fault rate before/after clustering → BENCH_bufferpool.json
+//	reorgbench -bench lockscale -mode hardware   # one trajectory only (fidelity, hardware, or both)
 //	reorgbench -http :6060 -exp fig6    # expose expvar + pprof while running
 //
 // Quick scale preserves the paper's shapes (who wins, by what factor,
@@ -39,6 +40,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
 		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool")
 		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
+		mode     = flag.String("mode", "both", "execution mode for -bench trajectories: fidelity, hardware, or both")
 		httpAddr = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -62,6 +64,12 @@ func main() {
 			os.Exit(2)
 		}
 		sc.Params.Seed = *seed
+		modes, err := harness.ParseModes(*mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		sc.Modes = modes
 		switch *bench {
 		case "lockscale":
 			out := *benchout

@@ -7,8 +7,14 @@
 // Usage:
 //
 //	reorgck                       # defaults: IRA, small database
-//	reorgck -mode twolock -mpl 20 -objects 2040 -rounds 2
+//	reorgck -alg twolock -mpl 20 -objects 2040 -rounds 2
 //	reorgck -workers 4            # reorganize all partitions concurrently
+//	reorgck -mode hardware        # bypass the CPU token, group-commit WAL
+//
+// -alg selects the reorganization algorithm (ira, twolock, pqr); -mode
+// selects the execution mode (fidelity = paper's capacity-1 CPU token,
+// hardware = token bypassed with the multicore WAL/latching paths). The
+// mode defaults to $REORG_MODE, falling back to fidelity.
 //
 // With -torture it instead runs the seeded crash-recovery torture
 // sweep (see internal/harness.RunTorture): crash at schedule-chosen
@@ -41,6 +47,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/db"
 	"repro/internal/harness"
+	"repro/internal/hwmode"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/oid"
@@ -53,7 +60,8 @@ func main() {
 		partitions = flag.Int("partitions", 4, "data partitions")
 		objects    = flag.Int("objects", 1020, "objects per partition")
 		mpl        = flag.Int("mpl", 10, "concurrent transaction threads")
-		modeName   = flag.String("mode", "ira", "reorganization algorithm: ira, twolock, pqr")
+		algName    = flag.String("alg", "ira", "reorganization algorithm: ira, twolock, pqr")
+		hwName     = flag.String("mode", "", "execution mode: fidelity or hardware (default: $REORG_MODE, else fidelity)")
 		batch      = flag.Int("batch", 1, "object migrations per transaction (ira)")
 		rounds     = flag.Int("rounds", 1, "times to reorganize every partition")
 		workers    = flag.Int("workers", 1, "scheduler worker pool size; >1 reorganizes partitions concurrently")
@@ -68,6 +76,17 @@ func main() {
 		httpAddr   = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+	if *hwName != "" {
+		execMode, err := hwmode.Parse(*hwName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Every construction path (workload defaults, db.Open) consults
+		// $REORG_MODE, so exporting the parsed flag applies the mode to
+		// the stress, torture, and autopilot runs alike.
+		os.Setenv("REORG_MODE", string(execMode))
+	}
 	if *httpAddr != "" {
 		autopilot.PublishExpvar()
 		obs.ServeDebug(*httpAddr)
@@ -81,7 +100,7 @@ func main() {
 	}
 
 	var mode reorg.Mode
-	switch *modeName {
+	switch *algName {
 	case "ira":
 		mode = reorg.ModeIRA
 	case "twolock":
@@ -89,7 +108,7 @@ func main() {
 	case "pqr":
 		mode = reorg.ModePQR
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeName)
+		fmt.Fprintf(os.Stderr, "unknown algorithm %q (ira, twolock, pqr)\n", *algName)
 		os.Exit(2)
 	}
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/analyzer"
 	apstats "repro/internal/autopilot/stats"
 	"repro/internal/ert"
+	"repro/internal/hwmode"
 	"repro/internal/latch"
 	"repro/internal/lock"
 	"repro/internal/object"
@@ -65,6 +66,21 @@ type Config struct {
 	// PoolFrames is the buffer-pool frame budget for DiskBacked mode
 	// (default storage.DefaultPoolFrames).
 	PoolFrames int
+	// GroupCommit routes WAL appends through the flat-combining ring so
+	// concurrent committers batch into one log-mutex acquisition and
+	// piggyback on one device sync. Setting REORG_MODE=hardware turns it
+	// on by default; fidelity mode leaves the per-append mutex path,
+	// whose serialization is part of the simulated uniprocessor.
+	GroupCommit bool
+	// WALPerCommitSync makes every committer wait only for its own
+	// record's durability instead of joining the group-commit flush.
+	// This is the naive-baseline configuration the hardware-mode bench
+	// compares group commit against; not intended for normal use.
+	WALPerCommitSync bool
+	// ReaderShards is the reader-shard count for partition mutexes and
+	// latch stripes (see internal/shard). 0 selects 1 in fidelity mode
+	// and the host's shard count under REORG_MODE=hardware.
+	ReaderShards int
 }
 
 // DefaultConfig returns the configuration used by the experiments unless
@@ -141,6 +157,19 @@ func openDB(cfg Config, st *storage.Store) *Database {
 	if cfg.LatchStripes == 0 {
 		cfg.LatchStripes = def.LatchStripes
 	}
+	// Hardware mode (REORG_MODE=hardware) turns the multicore paths on by
+	// default, mirroring how REORG_DISK_BACKED forces disk mode; explicit
+	// config always wins.
+	if !cfg.GroupCommit && hwmode.Enabled() {
+		cfg.GroupCommit = true
+	}
+	if cfg.ReaderShards == 0 {
+		if hwmode.Enabled() {
+			cfg.ReaderShards = hwmode.ReaderShards()
+		} else {
+			cfg.ReaderShards = 1
+		}
+	}
 	ownsDataDir := false
 	if st == nil {
 		if !cfg.DiskBacked && envDiskBacked() {
@@ -157,12 +186,14 @@ func openDB(cfg Config, st *storage.Store) *Database {
 			}
 			var err error
 			st, err = storage.NewDiskBacked(cfg.DataDir, cfg.PoolFrames,
-				storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor))
+				storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor),
+				storage.WithReaderShards(cfg.ReaderShards))
 			if err != nil {
 				panic(fmt.Sprintf("db: open segment directory: %v", err))
 			}
 		} else {
-			st = storage.New(storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor))
+			st = storage.New(storage.WithPageSize(cfg.PageSize), storage.WithFillFactor(cfg.FillFactor),
+				storage.WithReaderShards(cfg.ReaderShards))
 		}
 	} else {
 		// Keep cfg truthful for recovery and stats consumers.
@@ -173,11 +204,17 @@ func openDB(cfg Config, st *storage.Store) *Database {
 		store:       st,
 		ownsDataDir: ownsDataDir,
 		locks:       lock.NewManager(lock.WithTimeout(cfg.LockTimeout), lock.WithHistory(!cfg.Strict2PL)),
-		latches:     latch.New(cfg.LatchStripes),
+		latches:     latch.NewSharded(cfg.LatchStripes, cfg.ReaderShards),
 		an:          analyzer.New(),
 		active:      make(map[lock.TxnID]*Txn),
 	}
 	opts := []wal.LogOption{wal.WithFlushLatency(cfg.FlushLatency), wal.WithObserver(d.an.Observe)}
+	if cfg.GroupCommit {
+		opts = append(opts, wal.WithGroupAppend(0))
+	}
+	if cfg.WALPerCommitSync {
+		opts = append(opts, wal.WithPerCommitSync())
+	}
 	if cfg.LogDir != "" {
 		dev, err := wal.NewFileDevice(cfg.LogDir, cfg.LogSegmentBytes)
 		if err != nil {
@@ -380,11 +417,11 @@ func (d *Database) StopReorgTRT(part oid.PartitionID) {
 func (d *Database) FuzzyRead(o oid.OID) (object.Object, error) {
 	var obj object.Object
 	var derr error
-	d.latches.RLatch(o)
+	tok := d.latches.RLatch(o)
 	err := d.store.View(o, func(data []byte) {
 		obj, derr = object.Decode(data)
 	})
-	d.latches.RUnlatch(o)
+	d.latches.RUnlatch(o, tok)
 	if err != nil {
 		return object.Object{}, err
 	}
@@ -395,11 +432,11 @@ func (d *Database) FuzzyRead(o oid.OID) (object.Object, error) {
 func (d *Database) FuzzyReadRefs(o oid.OID) ([]oid.OID, error) {
 	var refs []oid.OID
 	var derr error
-	d.latches.RLatch(o)
+	tok := d.latches.RLatch(o)
 	err := d.store.View(o, func(data []byte) {
 		refs, derr = object.DecodeRefs(data)
 	})
-	d.latches.RUnlatch(o)
+	d.latches.RUnlatch(o, tok)
 	if err != nil {
 		return nil, err
 	}

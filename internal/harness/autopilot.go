@@ -12,6 +12,7 @@ import (
 	"repro/internal/autopilot"
 	"repro/internal/check"
 	"repro/internal/db"
+	"repro/internal/hwmode"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/oid"
@@ -40,13 +41,16 @@ type AutopilotPoint struct {
 	Event            string  `json:"event"`
 }
 
-// AutopilotReport is the persisted shape of one autopilot run.
+// AutopilotReport is the persisted shape of one autopilot trajectory
+// (one hardware/fidelity mode); AutopilotBench is the on-disk wrapper
+// that carries one trajectory per mode.
 type AutopilotReport struct {
-	Timestamp    string  `json:"timestamp"`
-	Scale        string  `json:"scale"`
-	System       string  `json:"system"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	MPL          int     `json:"mpl"`
+	Timestamp    string   `json:"timestamp"`
+	Scale        string   `json:"scale"`
+	System       string   `json:"system"`
+	Env          BenchEnv `json:"env"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	MPL          int      `json:"mpl"`
 	Partitions   int     `json:"partitions"`
 	Objects      int     `json:"objects_per_partition"`
 	Seed         int64   `json:"seed"`
@@ -191,25 +195,69 @@ func runAutopilotSmoke(w io.Writer, sc Scale) error {
 		cfg.Pacer.InitialRate = 400
 		cfg.Pacer.MinRate = 200
 	}
-	return runAutopilot(w, cfg, sc.Name, "")
+	// The smoke cell runs a single trajectory in whatever mode the
+	// environment selects, so the REORG_MODE=hardware CI lane exercises
+	// the bypassed-token path here too.
+	env := applyMode(hwmode.Env(), &cfg.Params, &cfg.DB)
+	_, err := runAutopilot(w, cfg, sc.Name, env)
+	return err
+}
+
+// AutopilotBench is the persisted BENCH_autopilot.json shape: one
+// closed-loop trajectory per execution mode over the same cell.
+type AutopilotBench struct {
+	Timestamp    string             `json:"timestamp"`
+	Scale        string             `json:"scale"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	NumCPU       int                `json:"num_cpu"`
+	Trajectories []*AutopilotReport `json:"trajectories"`
 }
 
 // RunAutopilot runs the autopilot benchmark at the Scale's default
-// configuration, prints a summary to w and writes the JSON report to
-// outPath ("" skips the file).
+// configuration once per requested execution mode, prints a summary to
+// w and writes the JSON report to outPath ("" skips the file).
 func RunAutopilot(w io.Writer, sc Scale, outPath string) error {
-	return runAutopilot(w, DefaultAutopilotConfig(sc), sc.Name, outPath)
+	bench := &AutopilotBench{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      sc.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, mode := range sc.modes() {
+		cfg := DefaultAutopilotConfig(sc)
+		env := applyMode(mode, &cfg.Params, &cfg.DB)
+		fmt.Fprintf(w, "=== autopilot trajectory: %s mode (cpu tokens %d, group commit %v) ===\n",
+			env.Mode, env.CPUTokens, env.GroupCommit)
+		rep, err := runAutopilot(w, cfg, sc.Name, env)
+		if err != nil {
+			return err
+		}
+		bench.Trajectories = append(bench.Trajectories, rep)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return fmt.Errorf("autopilot: write report: %w", err)
+		}
+		fmt.Fprintf(w, "report written to %s\n", outPath)
+	}
+	return nil
 }
 
-// runAutopilot is RunAutopilot with an explicit configuration, so tests
-// can run a small cell.
-func runAutopilot(w io.Writer, cfg AutopilotConfig, scaleName, outPath string) error {
+// runAutopilot runs one trajectory with an explicit configuration, so
+// tests can run a small cell; env is recorded in the report verbatim
+// (applyMode has already folded it into cfg).
+func runAutopilot(w io.Writer, cfg AutopilotConfig, scaleName string, env BenchEnv) (*AutopilotReport, error) {
 	if cfg.ChurnedPartition == 0 {
 		cfg.ChurnedPartition = 1
 	}
 	wl, err := workload.Build(cfg.DB, cfg.Params)
 	if err != nil {
-		return fmt.Errorf("autopilot: build workload: %w", err)
+		return nil, fmt.Errorf("autopilot: build workload: %w", err)
 	}
 	defer wl.DB.Close()
 
@@ -230,7 +278,7 @@ func runAutopilot(w io.Writer, cfg AutopilotConfig, scaleName, outPath string) e
 		},
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	restore := autopilot.Install(ap)
 	defer restore()
@@ -239,6 +287,7 @@ func runAutopilot(w io.Writer, cfg AutopilotConfig, scaleName, outPath string) e
 		Timestamp:        time.Now().UTC().Format(time.RFC3339),
 		Scale:            scaleName,
 		System:           "autopilot/" + cfg.Policy.String(),
+		Env:              env,
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		MPL:              cfg.Params.MPL,
 		Partitions:       cfg.Params.NumPartitions,
@@ -257,16 +306,16 @@ func runAutopilot(w io.Writer, cfg AutopilotConfig, scaleName, outPath string) e
 	// span between the two is the decay the autopilot must repair.
 	freshScore, freshEx, err := ap.ExactScore(cfg.ChurnedPartition)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.FreshScore = freshScore
 	rep.FreshLocality = freshEx.Locality
 	if _, err := shuffleChurn(wl.DB, cfg.ChurnedPartition, cfg.Params.Seed+7); err != nil {
-		return fmt.Errorf("autopilot: churn pass: %w", err)
+		return nil, fmt.Errorf("autopilot: churn pass: %w", err)
 	}
 	churnedScore, churnedEx, err := ap.ExactScore(cfg.ChurnedPartition)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.ChurnedScore = churnedScore
 	rep.ChurnedLocality = churnedEx.Locality
@@ -346,7 +395,7 @@ sampling:
 	}
 	driver.Stop()
 	if pass.err != nil {
-		return fmt.Errorf("autopilot: pass: %w", pass.err)
+		return nil, fmt.Errorf("autopilot: pass: %w", pass.err)
 	}
 	rep.Migrated = pass.rep.Migrated
 	rep.PassMs = ms(pass.rep.Duration)
@@ -357,22 +406,22 @@ sampling:
 	if cfg.Verify {
 		crep, err := check.Verify(wl.DB, wl.Roots())
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := crep.Err(); err != nil {
-			return fmt.Errorf("autopilot: post-run consistency: %w", err)
+			return nil, fmt.Errorf("autopilot: post-run consistency: %w", err)
 		}
 	}
 	// The database is quiescent now; the incremental counters must agree
 	// with an exact scan across every managed partition.
 	if err := ap.VerifyCounters(); err != nil {
-		return err
+		return nil, err
 	}
 	rep.CountersExact = true
 
 	recoveredScore, recoveredEx, err := ap.ExactScore(cfg.ChurnedPartition)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.RecoveredScore = recoveredScore
 	rep.RecoveredLocality = recoveredEx.Locality
@@ -401,17 +450,5 @@ sampling:
 		rep.BaselineP99Ms, rep.ActiveP99Ms, rep.P99InflationPct, rep.BudgetPct, rep.WithinBudget)
 	fmt.Fprintf(w, "pacer: %.0f → %.0f tokens/s, %d backoffs, %d probes over %d windows\n",
 		cfg.Pacer.InitialRate, rep.Pacer.RateTokensPerSec, rep.Pacer.Backoffs, rep.Pacer.Probes, rep.Pacer.Observed)
-
-	if outPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(outPath, data, 0o644); err != nil {
-			return fmt.Errorf("autopilot: write report: %w", err)
-		}
-		fmt.Fprintf(w, "report written to %s\n", outPath)
-	}
-	return nil
+	return rep, nil
 }

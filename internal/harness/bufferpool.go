@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/hwmode"
 	"repro/internal/oid"
 	"repro/internal/reorg"
 )
@@ -30,10 +32,13 @@ type BufferpoolScan struct {
 	FaultRate float64 `json:"fault_rate"`
 }
 
-// BufferpoolReport is the persisted shape of one bufferpool run.
+// BufferpoolReport is the persisted shape of one bufferpool trajectory
+// (one hardware/fidelity mode); BufferpoolBench is the on-disk wrapper
+// that carries one trajectory per mode.
 type BufferpoolReport struct {
 	Timestamp    string         `json:"timestamp"`
 	Scale        string         `json:"scale"`
+	Env          BenchEnv       `json:"env"`
 	PageSize     int            `json:"page_size"`
 	PoolFrames   int            `json:"pool_frames"`
 	Objects      int            `json:"objects"`
@@ -60,10 +65,51 @@ func livePages(d *db.Database) int {
 	return st.Pages
 }
 
-// RunBufferpool runs the benchmark and writes the JSON report to out.
-// It fails if the clustered layout does not beat the declustered one —
-// that regression would invalidate the repo's central measurement.
+// BufferpoolBench is the persisted BENCH_bufferpool.json shape: one
+// fault-rate trajectory per execution mode over the same chain.
+type BufferpoolBench struct {
+	Timestamp    string              `json:"timestamp"`
+	Scale        string              `json:"scale"`
+	GOMAXPROCS   int                 `json:"gomaxprocs"`
+	NumCPU       int                 `json:"num_cpu"`
+	Trajectories []*BufferpoolReport `json:"trajectories"`
+}
+
+// RunBufferpool runs the benchmark once per requested execution mode and
+// writes the JSON report to out. It fails if any trajectory's clustered
+// layout does not beat the declustered one — that regression would
+// invalidate the repo's central measurement.
 func RunBufferpool(w io.Writer, sc Scale, out string) error {
+	bench := &BufferpoolBench{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      sc.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, mode := range sc.modes() {
+		rep, err := runBufferpoolOnce(w, sc, mode)
+		if err != nil {
+			return err
+		}
+		bench.Trajectories = append(bench.Trajectories, rep)
+	}
+	data, err := json.MarshalIndent(bench, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "bufferpool: report written to %s\n", out)
+	return nil
+}
+
+// runBufferpoolOnce runs one trajectory of the benchmark in the given
+// execution mode. The scan itself is single-threaded, so the fidelity
+// and hardware numbers should agree within noise — the pair is the
+// sanity check that the hardware-mode WAL and latching changes do not
+// disturb placement or the pool's fault accounting.
+func runBufferpoolOnce(w io.Writer, sc Scale, mode hwmode.Mode) (*BufferpoolReport, error) {
 	objects, payload, frames, scans := 1536, 160, 16, 3
 	if sc.Name == "full" {
 		objects, scans = 6144, 5
@@ -71,11 +117,12 @@ func RunBufferpool(w io.Writer, sc Scale, out string) error {
 
 	dir, err := os.MkdirTemp("", "bufferpool-*")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer os.RemoveAll(dir)
 
 	cfg := db.DefaultConfig()
+	env := applyMode(mode, nil, &cfg)
 	cfg.PageSize = 4096
 	cfg.FlushLatency = 0
 	cfg.DiskBacked = true
@@ -86,17 +133,17 @@ func RunBufferpool(w io.Writer, sc Scale, out string) error {
 
 	anchor, err := buildChain(d, objects, payload)
 	if err != nil {
-		return fmt.Errorf("bufferpool: build chain: %w", err)
+		return nil, fmt.Errorf("bufferpool: build chain: %w", err)
 	}
 
 	// Decay the layout: a shuffled first-fit self-migration decorrelates
 	// page placement from reference order, like years of churn would.
 	if _, err := shuffleChurn(d, bufferpoolPart, sc.Params.Seed); err != nil {
-		return fmt.Errorf("bufferpool: decluster: %w", err)
+		return nil, fmt.Errorf("bufferpool: decluster: %w", err)
 	}
 	declustered, err := coldScan(d, anchor, scans)
 	if err != nil {
-		return fmt.Errorf("bufferpool: declustered scan: %w", err)
+		return nil, fmt.Errorf("bufferpool: declustered scan: %w", err)
 	}
 
 	// Re-cluster: migrate the whole partition densely in traversal
@@ -104,17 +151,18 @@ func RunBufferpool(w io.Writer, sc Scale, out string) error {
 	reorgStart := time.Now()
 	migrated, err := clusterPass(d, anchor)
 	if err != nil {
-		return fmt.Errorf("bufferpool: cluster reorg: %w", err)
+		return nil, fmt.Errorf("bufferpool: cluster reorg: %w", err)
 	}
 	reorgMs := ms(time.Since(reorgStart))
 	clustered, err := coldScan(d, anchor, scans)
 	if err != nil {
-		return fmt.Errorf("bufferpool: clustered scan: %w", err)
+		return nil, fmt.Errorf("bufferpool: clustered scan: %w", err)
 	}
 
-	rep := BufferpoolReport{
+	rep := &BufferpoolReport{
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		Scale:        sc.Name,
+		Env:          env,
 		PageSize:     cfg.PageSize,
 		PoolFrames:   frames,
 		Objects:      objects,
@@ -129,22 +177,15 @@ func RunBufferpool(w io.Writer, sc Scale, out string) error {
 	if clustered.FaultRate > 0 {
 		rep.FaultRateRatio = declustered.FaultRate / clustered.FaultRate
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "bufferpool: %d objects over %d live pages, %d-frame pool\n",
-		rep.Objects, rep.LivePages, rep.PoolFrames)
-	fmt.Fprintf(w, "bufferpool: cold-scan fault rate %.3f declustered -> %.3f clustered (%.1fx) -> %s\n",
-		declustered.FaultRate, clustered.FaultRate, rep.FaultRateRatio, out)
+	fmt.Fprintf(w, "bufferpool[%s]: %d objects over %d live pages, %d-frame pool\n",
+		env.Mode, rep.Objects, rep.LivePages, rep.PoolFrames)
+	fmt.Fprintf(w, "bufferpool[%s]: cold-scan fault rate %.3f declustered -> %.3f clustered (%.1fx)\n",
+		env.Mode, declustered.FaultRate, clustered.FaultRate, rep.FaultRateRatio)
 	if clustered.FaultRate >= declustered.FaultRate {
-		return fmt.Errorf("bufferpool: clustering did not reduce the fault rate (%.3f -> %.3f)",
-			declustered.FaultRate, clustered.FaultRate)
+		return nil, fmt.Errorf("bufferpool[%s]: clustering did not reduce the fault rate (%.3f -> %.3f)",
+			env.Mode, declustered.FaultRate, clustered.FaultRate)
 	}
-	return nil
+	return rep, nil
 }
 
 // buildChain creates a singly-linked chain of n objects in the bench

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/hwmode"
 	"repro/internal/workload"
 )
 
@@ -32,6 +33,9 @@ type Scale struct {
 	// micro sweep (striped vs reference manager, per goroutine count)
 	// measures.
 	LockScaleMicroDuration time.Duration
+	// Modes lists the execution modes every bench harness sweeps; empty
+	// means both (fidelity first). The cmds' -mode flag narrows it.
+	Modes []hwmode.Mode
 }
 
 // QuickScale is sized so the full experiment suite completes in minutes.

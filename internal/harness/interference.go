@@ -63,13 +63,15 @@ type ReorgStepDigest struct {
 	Span        obs.HistDigest `json:"span"`
 }
 
-// InterferenceReport is the persisted shape of one interference run.
+// InterferenceReport is the persisted shape of one interference run
+// (one execution-mode trajectory of the benchmark).
 type InterferenceReport struct {
-	Timestamp    string  `json:"timestamp"`
-	Scale        string  `json:"scale"`
-	System       string  `json:"system"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	MPL          int     `json:"mpl"`
+	Timestamp    string   `json:"timestamp"`
+	Scale        string   `json:"scale"`
+	System       string   `json:"system"`
+	Env          BenchEnv `json:"env"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	MPL          int      `json:"mpl"`
 	Partitions   int     `json:"partitions"`
 	Objects      int     `json:"objects_per_partition"`
 	Seed         int64   `json:"seed"`
@@ -267,20 +269,59 @@ func meanOver(points []InterferencePoint, idx []int, f func(InterferencePoint) f
 	return sum / float64(len(idx))
 }
 
-// RunInterference runs the paired interference cells at the Scale's
-// default configuration, prints a summary to w and writes the JSON
-// report to outPath ("" skips the file).
-func RunInterference(w io.Writer, sc Scale, outPath string) error {
-	return runInterference(w, DefaultInterferenceConfig(sc), sc.Name, outPath)
+// InterferenceBench is the persisted shape of BENCH_interference.json:
+// one monitored trajectory per execution mode.
+type InterferenceBench struct {
+	Timestamp    string                `json:"timestamp"`
+	Scale        string                `json:"scale"`
+	GOMAXPROCS   int                   `json:"gomaxprocs"`
+	NumCPU       int                   `json:"num_cpu"`
+	Trajectories []*InterferenceReport `json:"trajectories"`
 }
 
-// runInterference is RunInterference with an explicit configuration, so
-// tests can monitor a small cell.
-func runInterference(w io.Writer, cfg InterferenceConfig, scaleName, outPath string) error {
+// RunInterference runs the paired interference cells at the Scale's
+// default configuration once per execution mode, prints a summary to w
+// and writes the JSON report to outPath ("" skips the file).
+func RunInterference(w io.Writer, sc Scale, outPath string) error {
+	bench := &InterferenceBench{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      sc.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, mode := range sc.modes() {
+		cfg := DefaultInterferenceConfig(sc)
+		env := applyMode(mode, &cfg.Params, &cfg.DB)
+		fmt.Fprintf(w, "=== %s mode (cpu_tokens=%d, group_commit=%v, reader_shards=%d)\n",
+			mode, env.CPUTokens, env.GroupCommit, env.ReaderShards)
+		rep, err := runInterference(w, cfg, sc.Name, env)
+		if err != nil {
+			return err
+		}
+		bench.Trajectories = append(bench.Trajectories, rep)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return fmt.Errorf("interference: write report: %w", err)
+		}
+		fmt.Fprintf(w, "\nreport written to %s\n", outPath)
+	}
+	return nil
+}
+
+// runInterference monitors one trajectory with an explicit
+// configuration, so tests can monitor a small cell.
+func runInterference(w io.Writer, cfg InterferenceConfig, scaleName string, env BenchEnv) (*InterferenceReport, error) {
 	rep := &InterferenceReport{
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		Scale:        scaleName,
 		System:       cfg.Mode.String(),
+		Env:          env,
 		GOMAXPROCS:   runtime.GOMAXPROCS(0),
 		MPL:          cfg.Params.MPL,
 		Partitions:   cfg.Params.NumPartitions,
@@ -309,7 +350,7 @@ func runInterference(w io.Writer, cfg InterferenceConfig, scaleName, outPath str
 		obs.Install(nil)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.On = on.series
 	fmt.Fprintf(w, "reorg-on : %d windows, reorganization %.0f ms, %d objects migrated\n",
@@ -319,7 +360,7 @@ func runInterference(w io.Writer, cfg InterferenceConfig, scaleName, outPath str
 	// of windows.
 	off, err := runInterferenceCell(cfg, false, len(on.series.Points))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.Off = off.series
 
@@ -372,17 +413,6 @@ func runInterference(w io.Writer, cfg InterferenceConfig, scaleName, outPath str
 				s.Step, s.Count, s.Errs, s.LockWaitMs, s.LatchWaitMs, s.CPUWaitMs, s.Span.P99Us)
 		}
 	}
-
-	if outPath != "" {
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			return err
-		}
-		data = append(data, '\n')
-		if err := os.WriteFile(outPath, data, 0o644); err != nil {
-			return fmt.Errorf("interference: write report: %w", err)
-		}
-		fmt.Fprintf(w, "\nreport written to %s\n", outPath)
-	}
-	return nil
+	fmt.Fprintln(w)
+	return rep, nil
 }

@@ -3,12 +3,11 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
-	"os"
-	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/hwmode"
 	"repro/internal/obs"
 	"repro/internal/reorg"
 	"repro/internal/workload"
@@ -44,19 +43,26 @@ func TestInterferencePairedReport(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paired workload runs")
 	}
-	out := filepath.Join(t.TempDir(), "BENCH_interference.json")
 	var buf bytes.Buffer
-	if err := runInterference(&buf, tinyInterferenceConfig(), "test", out); err != nil {
+	cfg := tinyInterferenceConfig()
+	env := applyMode(hwmode.Fidelity, &cfg.Params, &cfg.DB)
+	repPtr, err := runInterference(&buf, cfg, "test", env)
+	if err != nil {
 		t.Fatalf("runInterference: %v\n%s", err, buf.String())
 	}
 
-	data, err := os.ReadFile(out)
+	// The report must round-trip through JSON, as the bench wrapper
+	// persists it.
+	data, err := json.Marshal(repPtr)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var rep InterferenceReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if rep.Env.Mode != "fidelity" || rep.Env.CPUTokens != 1 {
+		t.Fatalf("trajectory env not stamped: %+v", rep.Env)
 	}
 
 	if len(rep.On.Points) == 0 || len(rep.On.Points) != len(rep.Off.Points) {

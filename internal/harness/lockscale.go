@@ -11,23 +11,32 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/hwmode"
 	"repro/internal/lock"
 	"repro/internal/oid"
 	"repro/internal/reorg"
 )
 
 // This file is the `lockscale` benchmark: the perf-trajectory harness for
-// the striped lock manager. It measures two things and writes both to a
-// JSON report (BENCH_lock.json by default) so successive runs can be
-// compared across commits:
+// the concurrency hot paths. Per execution mode (fidelity and hardware —
+// see mode.go) it measures and writes to a JSON report (BENCH_lock.json
+// by default) so successive runs can be compared across commits:
 //
 //  1. a micro sweep — raw Begin/Lock/Finish throughput of the striped and
 //     the reference (single-mutex) manager at 1/2/4/8 goroutines, plus the
-//     striped/reference speedup at 8 goroutines, and
+//     striped/reference speedup at 8 goroutines. The fidelity sweep is
+//     pinned to GOMAXPROCS=1 (the paper's uniprocessor — striping is
+//     *expected* to lose there, and the number is host-independent); the
+//     hardware sweep runs at full GOMAXPROCS, where striping must win on
+//     any multicore host, and the speedup is asserted.
 //  2. a workload sweep — the full system (MPL transaction threads × fleet
 //     reorganization workers) per grid cell, reporting transaction
 //     throughput, mean and p99 response time, reorganization duration and
 //     the lock manager's cumulative counters.
+//  3. hardware mode only: a commit-throughput sweep — disjoint-object
+//     committers at MPL 8 and 16 under WAL group commit versus the naive
+//     per-commit-sync baseline. Group commit must win: every committer in
+//     a flush window piggybacks on one simulated device write.
 
 // LockMicroPoint is one cell of the micro sweep.
 type LockMicroPoint struct {
@@ -52,15 +61,43 @@ type LockWorkloadPoint struct {
 	LockTimeouts  uint64  `json:"lock_timeouts"`
 }
 
+// LockCommitPoint is one cell of the hardware-mode commit-throughput
+// sweep: MPL disjoint-object committers under one WAL sync discipline.
+type LockCommitPoint struct {
+	Sync          string  `json:"sync"` // "group" or "percommit"
+	MPL           int     `json:"mpl"`
+	Commits       uint64  `json:"commits"`
+	Seconds       float64 `json:"seconds"`
+	CommitsPerSec float64 `json:"commits_per_sec"`
+}
+
+// LockScaleSweep is one execution mode's trajectory of the lockscale
+// benchmark.
+type LockScaleSweep struct {
+	Env        BenchEnv         `json:"env"`
+	Micro      []LockMicroPoint `json:"micro"`
+	SpeedupAt8 float64          `json:"speedup_at_8"`
+	// SpeedupAsserted records whether SpeedupAt8 was held to the > 1.0
+	// bar: only the hardware sweep on a multicore host asserts it. The
+	// fidelity number is a uniprocessor artifact (striping adds overhead
+	// with nothing to parallelize) and is recorded, never judged.
+	SpeedupAsserted bool                `json:"speedup_asserted"`
+	SpeedupNote     string              `json:"speedup_note,omitempty"`
+	Workload        []LockWorkloadPoint `json:"workload"`
+	// Commit and GroupCommitSpeedup are hardware mode only.
+	Commit []LockCommitPoint `json:"commit,omitempty"`
+	// GroupCommitSpeedup is group over percommit commits/sec at the
+	// sweep's lowest MPL (8).
+	GroupCommitSpeedup float64 `json:"group_commit_speedup_at_mpl8,omitempty"`
+}
+
 // LockScaleReport is the persisted shape of one lockscale run.
 type LockScaleReport struct {
-	Timestamp  string              `json:"timestamp"`
-	Scale      string              `json:"scale"`
-	GOMAXPROCS int                 `json:"gomaxprocs"`
-	NumCPU     int                 `json:"num_cpu"`
-	Micro      []LockMicroPoint    `json:"micro"`
-	SpeedupAt8 float64             `json:"speedup_at_8"`
-	Workload   []LockWorkloadPoint `json:"workload"`
+	Timestamp  string           `json:"timestamp"`
+	Scale      string           `json:"scale"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	NumCPU     int              `json:"num_cpu"`
+	Sweeps     []LockScaleSweep `json:"sweeps"`
 }
 
 // lockMicro measures aggregate Begin/Lock/Finish throughput of manager m
@@ -100,24 +137,110 @@ func lockMicro(m *lock.Manager, g int, d time.Duration) (uint64, float64) {
 	return ops.Load(), time.Since(start).Seconds()
 }
 
-// RunLockScale runs both sweeps, prints a human-readable summary to w and
-// writes the JSON report to outPath ("" skips the file).
-func RunLockScale(w io.Writer, sc Scale, outPath string) error {
-	rep := &LockScaleReport{
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-		Scale:      sc.Name,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
+// commitThroughput measures commits/sec of mpl committers over roughly d,
+// each repeatedly updating its own private object — no lock conflicts, so
+// the commit path (WAL append + flush wait) is the whole cost. The db
+// uses the default 2 ms simulated log device: under group commit all
+// committers in a window share one 2 ms write; under per-commit sync each
+// commit pays its own.
+func commitThroughput(groupCommit bool, mpl int, d time.Duration) (uint64, float64, error) {
+	cfg := db.DefaultConfig()
+	cfg.GroupCommit = groupCommit
+	cfg.WALPerCommitSync = !groupCommit
+	dbase := db.Open(cfg)
+	defer dbase.Close()
+	if err := dbase.CreatePartition(1); err != nil {
+		return 0, 0, err
+	}
+	payload := []byte("commit-throughput-cell-payload")
+	objs := make([]oid.OID, mpl)
+	tx, err := dbase.Begin()
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range objs {
+		if objs[i], err = tx.Create(1, payload, nil); err != nil {
+			tx.Abort()
+			return 0, 0, err
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return 0, 0, err
 	}
 
-	// Micro sweep: striped vs reference at each goroutine count.
+	var (
+		commits atomic.Uint64
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+		fail    atomic.Pointer[error]
+	)
+	start := time.Now()
+	for c := 0; c < mpl; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for !stop.Load() {
+				tx, err := dbase.Begin()
+				if err != nil {
+					fail.CompareAndSwap(nil, &err)
+					return
+				}
+				if err := tx.Lock(objs[c], lock.Exclusive); err != nil {
+					tx.Abort()
+					fail.CompareAndSwap(nil, &err)
+					return
+				}
+				if err := tx.UpdatePayload(objs[c], payload); err != nil {
+					tx.Abort()
+					fail.CompareAndSwap(nil, &err)
+					return
+				}
+				if err := tx.Commit(); err != nil {
+					fail.CompareAndSwap(nil, &err)
+					return
+				}
+				commits.Add(1)
+			}
+		}(c)
+	}
+	time.Sleep(d)
+	stop.Store(true)
+	wg.Wait()
+	secs := time.Since(start).Seconds()
+	if e := fail.Load(); e != nil {
+		return 0, 0, *e
+	}
+	return commits.Load(), secs, nil
+}
+
+// runLockScaleSweep runs one mode's trajectory.
+func runLockScaleSweep(w io.Writer, sc Scale, mode hwmode.Mode) (LockScaleSweep, error) {
+	params := sc.Params
+	dbcfg := db.DefaultConfig()
+	sweep := LockScaleSweep{Env: applyMode(mode, &params, &dbcfg)}
+	fmt.Fprintf(w, "=== %s mode (GOMAXPROCS=%d, NumCPU=%d, cpu_tokens=%d, group_commit=%v, reader_shards=%d)\n",
+		mode, sweep.Env.GOMAXPROCS, sweep.Env.NumCPU, sweep.Env.CPUTokens,
+		sweep.Env.GroupCommit, sweep.Env.ReaderShards)
+
+	// Micro sweep: striped vs reference at each goroutine count. The
+	// fidelity trajectory pins GOMAXPROCS to 1 for the duration — the
+	// paper's uniprocessor, and a number that does not depend on how many
+	// cores the CI runner happens to have.
 	micro := sc.LockScaleMicroDuration
 	if micro <= 0 {
 		micro = 150 * time.Millisecond
 	}
+	restoreProcs := func() {}
+	if mode == hwmode.Fidelity {
+		prev := runtime.GOMAXPROCS(1)
+		restoreProcs = func() { runtime.GOMAXPROCS(prev) }
+		defer restoreProcs() // idempotent; covers the error returns below
+		sweep.Env.GOMAXPROCS = 1
+	}
 	gors := []int{1, 2, 4, 8}
 	perImpl := map[string]map[int]float64{}
-	fmt.Fprintf(w, "micro sweep (Begin/Lock/Finish, disjoint objects, %s/point)\n", micro)
+	fmt.Fprintf(w, "micro sweep (Begin/Lock/Finish, disjoint objects, %s/point, GOMAXPROCS=%d)\n",
+		micro, sweep.Env.GOMAXPROCS)
 	fmt.Fprintf(w, "%-10s %-11s %14s\n", "impl", "goroutines", "ops/sec")
 	for _, impl := range []struct {
 		name string
@@ -131,24 +254,36 @@ func RunLockScale(w io.Writer, sc Scale, outPath string) error {
 			ops, secs := lockMicro(lock.NewManager(impl.opts...), g, micro)
 			rate := float64(ops) / secs
 			perImpl[impl.name][g] = rate
-			rep.Micro = append(rep.Micro, LockMicroPoint{
+			sweep.Micro = append(sweep.Micro, LockMicroPoint{
 				Impl: impl.name, Goroutines: g, Ops: ops, Seconds: secs, OpsPerSec: rate,
 			})
 			fmt.Fprintf(w, "%-10s %-11d %14.0f\n", impl.name, g, rate)
 		}
 	}
+	restoreProcs() // the workload and commit sweeps run unpinned
 	if ref := perImpl["reference"][8]; ref > 0 {
-		rep.SpeedupAt8 = perImpl["striped"][8] / ref
+		sweep.SpeedupAt8 = perImpl["striped"][8] / ref
 	}
-	fmt.Fprintf(w, "striped/reference speedup at 8 goroutines: %.2fx (GOMAXPROCS=%d)\n\n",
-		rep.SpeedupAt8, rep.GOMAXPROCS)
+	switch {
+	case mode != hwmode.Hardware:
+		sweep.SpeedupNote = "fidelity artifact: striping measured on a pinned uniprocessor, not judged"
+	case sweep.Env.NumCPU <= 1:
+		sweep.SpeedupNote = "single-CPU host: striping has nothing to parallelize, not judged"
+	default:
+		sweep.SpeedupAsserted = true
+	}
+	fmt.Fprintf(w, "striped/reference speedup at 8 goroutines: %.2fx (asserted: %v)\n\n",
+		sweep.SpeedupAt8, sweep.SpeedupAsserted)
+	if sweep.SpeedupAsserted && sweep.SpeedupAt8 < 1.0 {
+		return sweep, fmt.Errorf("lockscale: hardware-mode striped manager slower than reference at 8 goroutines (%.2fx) on a %d-CPU host",
+			sweep.SpeedupAt8, sweep.Env.NumCPU)
+	}
 
 	// Workload sweep: MPL × fleet workers under a whole-database
 	// reorganization. Quick scale shrinks the database so the sweep fits a
 	// CI smoke job; the reorganizer's simulated uniprocessor charge is
 	// zeroed as in the preorg experiment, since it would serialize any
 	// worker pool by construction.
-	params := sc.Params
 	params.ReorgCPUPerObject = 0
 	if sc.Name == "quick" {
 		params.NumPartitions = 4
@@ -164,7 +299,7 @@ func RunLockScale(w io.Writer, sc Scale, outPath string) error {
 			p.MPL = mpl
 			res, err := RunParallel(ParallelConfig{
 				Params:  p,
-				DB:      db.DefaultConfig(),
+				DB:      dbcfg,
 				Mode:    reorg.ModeIRA,
 				Workers: workers,
 				Warmup:  200 * time.Millisecond,
@@ -172,7 +307,7 @@ func RunLockScale(w io.Writer, sc Scale, outPath string) error {
 				Verify:  true,
 			})
 			if err != nil {
-				return fmt.Errorf("lockscale MPL=%d workers=%d: %w", mpl, workers, err)
+				return sweep, fmt.Errorf("lockscale %s MPL=%d workers=%d: %w", mode, mpl, workers, err)
 			}
 			pt := LockWorkloadPoint{
 				MPL:           mpl,
@@ -186,11 +321,68 @@ func RunLockScale(w io.Writer, sc Scale, outPath string) error {
 				LockWaits:     res.Fleet.Locks.Waits,
 				LockTimeouts:  res.Fleet.Locks.Timeouts,
 			}
-			rep.Workload = append(rep.Workload, pt)
+			sweep.Workload = append(sweep.Workload, pt)
 			fmt.Fprintf(w, "%-5d %-8d %10.1f %9.1f %9.1f %10.0f %10d %8d %8d\n",
 				pt.MPL, pt.Workers, pt.Throughput, pt.MeanMs, pt.P99Ms, pt.ReorgMs,
 				pt.LocksAcquired, pt.LockWaits, pt.LockTimeouts)
 		}
+	}
+
+	// Commit-throughput sweep, hardware mode only: WAL group commit vs the
+	// naive per-commit-sync baseline at MPL ≥ 8. The win does not need
+	// spare cores — the 2 ms simulated device write is a sleep — so this
+	// holds even on a single-CPU host.
+	if mode == hwmode.Hardware {
+		commitDur := 400 * time.Millisecond
+		if sc.Name == "full" {
+			commitDur = time.Second
+		}
+		perSync := map[string]map[int]float64{"group": {}, "percommit": {}}
+		fmt.Fprintf(w, "\ncommit sweep (disjoint-object committers, 2 ms simulated log device, %s/point)\n", commitDur)
+		fmt.Fprintf(w, "%-10s %-5s %14s\n", "sync", "MPL", "commits/sec")
+		for _, discipline := range []string{"group", "percommit"} {
+			for _, mpl := range []int{8, 16} {
+				commits, secs, err := commitThroughput(discipline == "group", mpl, commitDur)
+				if err != nil {
+					return sweep, fmt.Errorf("lockscale commit sweep %s MPL=%d: %w", discipline, mpl, err)
+				}
+				rate := float64(commits) / secs
+				perSync[discipline][mpl] = rate
+				sweep.Commit = append(sweep.Commit, LockCommitPoint{
+					Sync: discipline, MPL: mpl, Commits: commits, Seconds: secs, CommitsPerSec: rate,
+				})
+				fmt.Fprintf(w, "%-10s %-5d %14.0f\n", discipline, mpl, rate)
+			}
+		}
+		if base := perSync["percommit"][8]; base > 0 {
+			sweep.GroupCommitSpeedup = perSync["group"][8] / base
+		}
+		fmt.Fprintf(w, "group/percommit speedup at MPL 8: %.2fx\n", sweep.GroupCommitSpeedup)
+		if sweep.GroupCommitSpeedup <= 1.0 {
+			return sweep, fmt.Errorf("lockscale: group commit did not beat per-commit sync at MPL 8 (%.2fx)",
+				sweep.GroupCommitSpeedup)
+		}
+	}
+	fmt.Fprintln(w)
+	return sweep, nil
+}
+
+// RunLockScale runs the sweeps for every mode in the Scale, prints a
+// human-readable summary to w and writes the JSON report to outPath (""
+// skips the file).
+func RunLockScale(w io.Writer, sc Scale, outPath string) error {
+	rep := &LockScaleReport{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      sc.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, mode := range sc.modes() {
+		sweep, err := runLockScaleSweep(w, sc, mode)
+		if err != nil {
+			return err
+		}
+		rep.Sweeps = append(rep.Sweeps, sweep)
 	}
 
 	if outPath != "" {

@@ -42,23 +42,56 @@ func TestRunLockScaleWritesReport(t *testing.T) {
 	if err := json.Unmarshal(data, &rep); err != nil {
 		t.Fatalf("report is not valid JSON: %v", err)
 	}
-	if len(rep.Micro) != 8 { // 2 impls × 4 goroutine counts
-		t.Errorf("micro points = %d, want 8", len(rep.Micro))
+	if len(rep.Sweeps) != 2 { // fidelity + hardware
+		t.Fatalf("sweeps = %d, want 2", len(rep.Sweeps))
 	}
-	if len(rep.Workload) != 1 {
-		t.Errorf("workload points = %d, want 1", len(rep.Workload))
-	}
-	for _, pt := range rep.Micro {
-		if pt.OpsPerSec <= 0 {
-			t.Errorf("micro %s/%d: ops/sec = %v, want > 0", pt.Impl, pt.Goroutines, pt.OpsPerSec)
+	for _, sweep := range rep.Sweeps {
+		if sweep.Env.Mode != "fidelity" && sweep.Env.Mode != "hardware" {
+			t.Errorf("sweep env mode = %q", sweep.Env.Mode)
 		}
-	}
-	for _, pt := range rep.Workload {
-		if pt.LocksAcquired == 0 {
-			t.Errorf("workload MPL=%d workers=%d: no locks acquired", pt.MPL, pt.Workers)
+		if len(sweep.Micro) != 8 { // 2 impls × 4 goroutine counts
+			t.Errorf("%s micro points = %d, want 8", sweep.Env.Mode, len(sweep.Micro))
 		}
-		if pt.Migrated == 0 {
-			t.Errorf("workload MPL=%d workers=%d: no objects migrated", pt.MPL, pt.Workers)
+		if len(sweep.Workload) != 1 {
+			t.Errorf("%s workload points = %d, want 1", sweep.Env.Mode, len(sweep.Workload))
+		}
+		for _, pt := range sweep.Micro {
+			if pt.OpsPerSec <= 0 {
+				t.Errorf("micro %s/%d: ops/sec = %v, want > 0", pt.Impl, pt.Goroutines, pt.OpsPerSec)
+			}
+		}
+		for _, pt := range sweep.Workload {
+			if pt.LocksAcquired == 0 {
+				t.Errorf("workload MPL=%d workers=%d: no locks acquired", pt.MPL, pt.Workers)
+			}
+			if pt.Migrated == 0 {
+				t.Errorf("workload MPL=%d workers=%d: no objects migrated", pt.MPL, pt.Workers)
+			}
+		}
+		switch sweep.Env.Mode {
+		case "fidelity":
+			if sweep.Env.CPUTokens != 1 || sweep.Env.GroupCommit || sweep.Env.ReaderShards != 1 {
+				t.Errorf("fidelity env = %+v", sweep.Env)
+			}
+			if sweep.SpeedupAsserted {
+				t.Error("fidelity speedup must never be asserted")
+			}
+			if sweep.Env.GOMAXPROCS != 1 {
+				t.Errorf("fidelity micro sweep GOMAXPROCS = %d, want pinned to 1", sweep.Env.GOMAXPROCS)
+			}
+			if len(sweep.Commit) != 0 {
+				t.Error("fidelity sweep must not run the commit comparison")
+			}
+		case "hardware":
+			if sweep.Env.CPUTokens != 0 || !sweep.Env.GroupCommit {
+				t.Errorf("hardware env = %+v", sweep.Env)
+			}
+			if len(sweep.Commit) != 4 { // 2 disciplines × 2 MPLs
+				t.Errorf("hardware commit points = %d, want 4", len(sweep.Commit))
+			}
+			if sweep.GroupCommitSpeedup <= 1.0 {
+				t.Errorf("group commit speedup at MPL 8 = %.2f, want > 1.0", sweep.GroupCommitSpeedup)
+			}
 		}
 	}
 	if rep.GOMAXPROCS <= 0 || rep.NumCPU <= 0 {

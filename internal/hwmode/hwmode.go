@@ -1,0 +1,73 @@
+// Package hwmode resolves the process-wide execution mode: paper
+// fidelity (the default) or hardware.
+//
+// Fidelity mode reproduces the paper's testbed — a capacity-1 simulated
+// CPU serializes every object access, the WAL append path is a single
+// mutex, and read latches are plain RWMutexes — so every committed
+// trajectory keeps the uniprocessor shapes of §5. Hardware mode removes
+// the simulation throttles and turns on the multicore hot-path variants
+// (CPU-token bypass, WAL group-append ring, reader-sharded latching) so
+// the same system runs as fast as the host allows.
+//
+// The mode is selected by the REORG_MODE environment variable
+// ("fidelity" or "hardware"; unset means fidelity), mirroring
+// REORG_DISK_BACKED: the test suite can run unmodified in either mode,
+// which is how CI surfaces contention bugs on multicore runners.
+// Explicit configuration (db.Config, workload.Params, the cmds' -mode
+// flag) always wins over the environment.
+package hwmode
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Mode names an execution mode.
+type Mode string
+
+// The two execution modes.
+const (
+	Fidelity Mode = "fidelity"
+	Hardware Mode = "hardware"
+)
+
+// Parse maps a flag value to a Mode.
+func Parse(s string) (Mode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", string(Fidelity):
+		return Fidelity, nil
+	case string(Hardware), "hw":
+		return Hardware, nil
+	}
+	return "", fmt.Errorf("unknown mode %q (fidelity or hardware)", s)
+}
+
+// Env returns the mode requested by REORG_MODE, defaulting to Fidelity
+// on unset or unrecognized values (an explicit flag should be the only
+// way to fail loudly).
+func Env() Mode {
+	if m, err := Parse(os.Getenv("REORG_MODE")); err == nil {
+		return m
+	}
+	return Fidelity
+}
+
+// Enabled reports whether the environment requests hardware mode.
+func Enabled() bool { return Env() == Hardware }
+
+// ReaderShards is the default reader-shard count for hardware mode:
+// one shard per CPU, capped so the all-shard write path stays cheap.
+// Single-CPU hosts get 1 — hardware mode degenerates to the fidelity
+// locking structure there, which is exactly right.
+func ReaderShards() int {
+	n := runtime.NumCPU()
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

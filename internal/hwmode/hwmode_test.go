@@ -1,0 +1,49 @@
+package hwmode
+
+import "testing"
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Mode
+		wantErr bool
+	}{
+		{"", Fidelity, false},
+		{"fidelity", Fidelity, false},
+		{"hardware", Hardware, false},
+		{"HW", Hardware, false},
+		{" Hardware ", Hardware, false},
+		{"turbo", "", true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("Parse(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+		}
+		if got != c.want {
+			t.Fatalf("Parse(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEnv(t *testing.T) {
+	t.Setenv("REORG_MODE", "")
+	if Env() != Fidelity || Enabled() {
+		t.Fatal("unset REORG_MODE must mean fidelity")
+	}
+	t.Setenv("REORG_MODE", "hardware")
+	if Env() != Hardware || !Enabled() {
+		t.Fatal("REORG_MODE=hardware not detected")
+	}
+	t.Setenv("REORG_MODE", "nonsense")
+	if Env() != Fidelity {
+		t.Fatal("unrecognized REORG_MODE must fall back to fidelity")
+	}
+}
+
+func TestReaderShardsBounds(t *testing.T) {
+	n := ReaderShards()
+	if n < 1 || n > 8 {
+		t.Fatalf("ReaderShards() = %d, want in [1,8]", n)
+	}
+}

@@ -8,19 +8,26 @@
 // concurrent transactions.
 //
 // Latches are striped: an OID hashes to one of a fixed number of
-// sync.RWMutex stripes. Two objects on the same stripe contend with each
+// read-write stripes. Two objects on the same stripe contend with each
 // other, which is harmless for correctness and keeps the structure
 // allocation-free. Stripe ordering is irrelevant because callers never
 // hold two latches at once.
+//
+// Each stripe is a shard.RWMutex: with one reader shard (the default,
+// fidelity mode) it is exactly a sync.RWMutex; with more (hardware
+// mode) concurrent fuzzy readers of the same hot stripe land on
+// different cache lines instead of serializing on one reader count.
+// Read acquisition therefore returns a token that the matching release
+// must be given.
 package latch
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/oid"
+	"repro/internal/shard"
 )
 
 // fpLatchAcquire lets a fault registry stretch latch hold windows
@@ -34,13 +41,19 @@ const DefaultStripes = 1024
 
 // Table is a striped latch table. The zero value is not usable; call New.
 type Table struct {
-	stripes []sync.RWMutex
+	stripes []shard.RWMutex
 	mask    uint64
 }
 
 // New creates a latch table with the given number of stripes, rounded up
-// to a power of two. n <= 0 selects DefaultStripes.
-func New(n int) *Table {
+// to a power of two. n <= 0 selects DefaultStripes. Each stripe has one
+// reader shard (plain RWMutex behavior).
+func New(n int) *Table { return NewSharded(n, 1) }
+
+// NewSharded is New with an explicit reader-shard count per stripe
+// (hardware mode passes the host's shard count; shards <= 1 behaves
+// exactly like New).
+func NewSharded(n, shards int) *Table {
 	if n <= 0 {
 		n = DefaultStripes
 	}
@@ -48,31 +61,36 @@ func New(n int) *Table {
 	for size < n {
 		size <<= 1
 	}
-	return &Table{stripes: make([]sync.RWMutex, size), mask: uint64(size - 1)}
+	t := &Table{stripes: make([]shard.RWMutex, size), mask: uint64(size - 1)}
+	for i := range t.stripes {
+		t.stripes[i] = shard.New(shards)
+	}
+	return t
 }
 
 // stripe maps an OID to its stripe index. OIDs of objects on the same page
 // differ only in slot bits, so a multiplicative hash spreads them.
-func (t *Table) stripe(o oid.OID) *sync.RWMutex {
+func (t *Table) stripe(o oid.OID) *shard.RWMutex {
 	h := uint64(o) * 0x9e3779b97f4a7c15
 	h ^= h >> 32
 	return &t.stripes[h&t.mask]
 }
 
-// RLatch acquires the read latch for o.
-func (t *Table) RLatch(o oid.OID) {
+// RLatch acquires the read latch for o and returns the shard token
+// RUnlatch must be given.
+func (t *Table) RLatch(o oid.OID) int {
 	_ = fpLatchAcquire.Maybe()
 	if obs.Enabled() {
 		start := time.Now()
-		t.stripe(o).RLock()
+		tok := t.stripe(o).RLock()
 		obs.Observe(obs.LatchWait, time.Since(start))
-		return
+		return tok
 	}
-	t.stripe(o).RLock()
+	return t.stripe(o).RLock()
 }
 
-// RUnlatch releases the read latch for o.
-func (t *Table) RUnlatch(o oid.OID) { t.stripe(o).RUnlock() }
+// RUnlatch releases the read latch for o; tok is RLatch's return value.
+func (t *Table) RUnlatch(o oid.OID, tok int) { t.stripe(o).RUnlock(tok) }
 
 // Latch acquires the write latch for o.
 func (t *Table) Latch(o oid.OID) {
@@ -91,8 +109,8 @@ func (t *Table) Unlatch(o oid.OID) { t.stripe(o).Unlock() }
 
 // WithR runs fn while holding the read latch for o.
 func (t *Table) WithR(o oid.OID, fn func()) {
-	t.RLatch(o)
-	defer t.RUnlatch(o)
+	tok := t.RLatch(o)
+	defer t.RUnlatch(o, tok)
 	fn()
 }
 

@@ -35,12 +35,12 @@ func TestMutualExclusion(t *testing.T) {
 func TestReadersShareWritersExclude(t *testing.T) {
 	tab := New(8)
 	o := oid.New(0, 1, 1)
-	tab.RLatch(o)
+	tok := tab.RLatch(o)
 	// A second reader must not block.
 	done := make(chan struct{})
 	go func() {
-		tab.RLatch(o)
-		tab.RUnlatch(o)
+		t2 := tab.RLatch(o)
+		tab.RUnlatch(o, t2)
 		close(done)
 	}()
 	select {
@@ -59,7 +59,7 @@ func TestReadersShareWritersExclude(t *testing.T) {
 	if wrote.Load() {
 		t.Fatal("writer acquired latch while reader held it")
 	}
-	tab.RUnlatch(o)
+	tab.RUnlatch(o, tok)
 	deadline := time.Now().Add(2 * time.Second)
 	for !wrote.Load() {
 		if time.Now().After(deadline) {
@@ -98,6 +98,42 @@ func TestDistinctOIDsUsuallyIndependent(t *testing.T) {
 		t.Fatal("latch on b blocked by latch on a despite distinct stripes")
 	}
 	tab.Unlatch(a)
+}
+
+// TestShardedStripes runs the exclusion invariants against a table with
+// reader-sharded stripes (the hardware-mode configuration): writers must
+// still exclude every reader shard, and lost updates must be impossible.
+func TestShardedStripes(t *testing.T) {
+	tab := NewSharded(16, 4)
+	o := oid.New(1, 2, 3)
+	var counter int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tab.WithW(o, func() {
+					c := counter
+					counter = c + 1
+				})
+			}
+		}()
+	}
+	// Concurrent readers must always observe the write latch's atomicity.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				tab.WithR(o, func() { _ = counter })
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 2000 {
+		t.Fatalf("counter = %d, want 2000 (lost updates under sharded write latch)", counter)
+	}
 }
 
 func TestNewRoundsUpToPowerOfTwo(t *testing.T) {

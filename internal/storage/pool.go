@@ -10,6 +10,7 @@ import (
 	"repro/internal/oid"
 	"repro/internal/page"
 	"repro/internal/segment"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -385,6 +386,7 @@ func (s *Store) loadLayout() error {
 		}
 		p := &partition{
 			id:      id,
+			mu:      shard.New(s.readerShards),
 			cursor:  1,
 			pages:   make([]*page.Page, n+1),
 			present: make([]bool, n+1),
@@ -433,9 +435,10 @@ func MaterializeDiskBacked(src *Store, dir string, frames int) (*Store, error) {
 	src.mu.RLock()
 	defer src.mu.RUnlock()
 	for id, p := range src.parts {
-		p.mu.RLock()
+		tok := p.mu.RLock()
 		np := &partition{
 			id:         id,
+			mu:         shard.New(dst.readerShards),
 			nLive:      p.nLive,
 			cursor:     p.cursor,
 			denseFloor: p.denseFloor,
@@ -459,7 +462,7 @@ func MaterializeDiskBacked(src *Store, dir string, frames int) (*Store, error) {
 			}
 			np.present[pn] = true
 		}
-		p.mu.RUnlock()
+		p.mu.RUnlock(tok)
 		if werr != nil {
 			seg.Close()
 			return nil, werr
@@ -511,9 +514,9 @@ func (s *Store) FlushAll() error {
 		if err != nil {
 			continue // dropped concurrently
 		}
-		p.mu.RLock()
+		tok := p.mu.RLock()
 		err = s.pool.flushPartition(p)
-		p.mu.RUnlock()
+		p.mu.RUnlock(tok)
 		if err != nil {
 			return err
 		}
@@ -645,7 +648,7 @@ func (s *Store) dropPageAt(p *partition, pn int) error {
 
 // newPartition builds an empty partition shaped for the store's mode.
 func (s *Store) newPartition(id oid.PartitionID) *partition {
-	p := &partition{id: id, pages: []*page.Page{nil}, cursor: 1}
+	p := &partition{id: id, mu: shard.New(s.readerShards), pages: []*page.Page{nil}, cursor: 1}
 	if s.pool != nil {
 		p.present = []bool{false}
 		p.frames = []*frame{nil}

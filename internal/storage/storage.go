@@ -33,6 +33,7 @@ import (
 	apstats "repro/internal/autopilot/stats"
 	"repro/internal/oid"
 	"repro/internal/page"
+	"repro/internal/shard"
 	"repro/internal/wal"
 )
 
@@ -73,6 +74,12 @@ type Store struct {
 	// single atomic load is the entire instrumentation cost.
 	stats atomic.Pointer[apstats.Collector]
 
+	// readerShards is the reader-shard count of each partition's mutex.
+	// 1 (the default) is a plain RWMutex; hardware mode raises it so
+	// concurrent fuzzy readers of one hot partition stop serializing on
+	// a single reader count.
+	readerShards int
+
 	mu    sync.RWMutex
 	parts map[oid.PartitionID]*partition
 }
@@ -89,7 +96,9 @@ type Store struct {
 type partition struct {
 	id oid.PartitionID
 
-	mu     sync.RWMutex
+	// mu serializes structural changes against reads. Read acquisition
+	// returns a shard token that the matching RUnlock must receive.
+	mu     shard.RWMutex
 	pages  []*page.Page
 	nLive  int // live objects
 	cursor int // first-fit rotating start page
@@ -118,12 +127,26 @@ func WithFillFactor(f float64) Option {
 	}
 }
 
+// WithReaderShards sets the reader-shard count of every partition's
+// mutex (default 1, a plain RWMutex). Hardware mode passes the host's
+// shard count so fuzzy readers of a hot partition spread across cache
+// lines. Values below 1 are clamped to 1.
+func WithReaderShards(n int) Option {
+	return func(s *Store) {
+		if n < 1 {
+			n = 1
+		}
+		s.readerShards = n
+	}
+}
+
 // New creates an empty memory-resident store.
 func New(opts ...Option) *Store {
 	s := &Store{
-		pageSize:   page.DefaultSize,
-		fillFactor: DefaultFillFactor,
-		parts:      make(map[oid.PartitionID]*partition),
+		pageSize:     page.DefaultSize,
+		fillFactor:   DefaultFillFactor,
+		readerShards: 1,
+		parts:        make(map[oid.PartitionID]*partition),
 	}
 	for _, o := range opts {
 		o(s)
@@ -560,8 +583,8 @@ func (s *Store) Read(o oid.OID, buf []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	tok := p.mu.RLock()
+	defer p.mu.RUnlock(tok)
 	pn := int(o.Page())
 	pg, err := s.fetchPage(p, pn)
 	if err != nil {
@@ -585,8 +608,8 @@ func (s *Store) View(o oid.OID, fn func(data []byte)) error {
 	if err != nil {
 		return err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	tok := p.mu.RLock()
+	defer p.mu.RUnlock(tok)
 	pn := int(o.Page())
 	pg, err := s.fetchPage(p, pn)
 	if err != nil {
@@ -610,8 +633,8 @@ func (s *Store) Exists(o oid.OID) bool {
 	if err != nil {
 		return false
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	tok := p.mu.RLock()
+	defer p.mu.RUnlock(tok)
 	pn := int(o.Page())
 	pg, err := s.fetchPage(p, pn)
 	if err != nil || pg == nil {
@@ -832,8 +855,8 @@ func (s *Store) ForEach(part oid.PartitionID, fn func(o oid.OID, data []byte) bo
 	if err != nil {
 		return err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	tok := p.mu.RLock()
+	defer p.mu.RUnlock(tok)
 	for pn := 1; pn < len(p.pages); pn++ {
 		pg, ferr := s.fetchPage(p, pn)
 		if ferr != nil {
@@ -883,8 +906,8 @@ func (s *Store) PartitionStats(part oid.PartitionID) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	tok := p.mu.RLock()
+	defer p.mu.RUnlock(tok)
 	st := Stats{Objects: p.nLive}
 	for pn := 1; pn < len(p.pages); pn++ {
 		pg, ferr := s.fetchPage(p, pn)
@@ -935,12 +958,12 @@ func (s *Store) Snapshot() (*Snapshot, error) {
 		parts:      make(map[oid.PartitionID]*partSnap, len(s.parts)),
 	}
 	for id, p := range s.parts {
-		p.mu.RLock()
+		tok := p.mu.RLock()
 		ps := &partSnap{nLive: p.nLive, cursor: p.cursor, denseFloor: p.denseFloor, pages: make([][]byte, len(p.pages))}
 		for i := 1; i < len(p.pages); i++ {
 			pg, err := s.fetchPage(p, i)
 			if err != nil {
-				p.mu.RUnlock()
+				p.mu.RUnlock(tok)
 				return nil, err
 			}
 			if pg == nil {
@@ -949,7 +972,7 @@ func (s *Store) Snapshot() (*Snapshot, error) {
 			ps.pages[i] = append([]byte(nil), pg.Bytes()...)
 			s.releasePage(p, i)
 		}
-		p.mu.RUnlock()
+		p.mu.RUnlock(tok)
 		snap.parts[id] = ps
 	}
 	return snap, nil
@@ -959,7 +982,7 @@ func (s *Store) Snapshot() (*Snapshot, error) {
 func RestoreSnapshot(snap *Snapshot) *Store {
 	s := New(WithPageSize(snap.pageSize), WithFillFactor(snap.fillFactor))
 	for id, ps := range snap.parts {
-		p := &partition{id: id, nLive: ps.nLive, cursor: ps.cursor, denseFloor: ps.denseFloor, pages: make([]*page.Page, len(ps.pages))}
+		p := &partition{id: id, mu: shard.New(s.readerShards), nLive: ps.nLive, cursor: ps.cursor, denseFloor: ps.denseFloor, pages: make([]*page.Page, len(ps.pages))}
 		if p.cursor < 1 {
 			p.cursor = 1
 		}

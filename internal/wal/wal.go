@@ -21,7 +21,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -138,6 +140,31 @@ type Log struct {
 	closed   bool
 	devErr   error
 	observer Observer
+
+	// perCommitSync disables flush piggybacking: every FlushWait caller
+	// whose records are not yet durable issues its own device write
+	// covering only its LSN. This is the naive-WAL baseline the
+	// group-commit benchmark compares against; never set in production
+	// configurations.
+	perCommitSync bool
+
+	// Group-append ring (WithGroupAppend; nil otherwise). Appenders
+	// reserve an LSN with one atomic increment, publish their record
+	// into ring[lsn&ringMask], and then help drain: whoever wins drainMu
+	// moves every contiguously-published record into the canonical
+	// records slice (and through the observer) in one batch under one
+	// l.mu acquisition. Under contention the per-record mutex handoff of
+	// the default path becomes one handoff per batch — flat combining —
+	// while every Append still returns only after its record has been
+	// drained, preserving the two properties everything above relies on:
+	// the observer sees records in strict LSN order synchronously with
+	// the append, and FlushWait(lsn) can always find record lsn.
+	ring     []atomic.Pointer[Record]
+	ringMask uint64
+	reserved atomic.Uint64 // last LSN handed to an appender
+	drained  atomic.Uint64 // all records <= drained are in records[] and observed
+	drainMu  sync.Mutex
+	closedRA atomic.Bool // closed, readable without l.mu (ring appenders)
 }
 
 // Option configures a Log.
@@ -160,6 +187,45 @@ func WithObserver(fn Observer) LogOption {
 // slower device than the host disk).
 func WithFileDevice(dev *FileDevice) LogOption {
 	return func(l *Log) { l.device = dev.write }
+}
+
+// DefaultGroupAppendRing is the append-ring capacity WithGroupAppend
+// uses when 0 is requested. It only bounds how far reservation may run
+// ahead of draining; any power of two comfortably above the realistic
+// appender count works.
+const DefaultGroupAppendRing = 1024
+
+// WithGroupAppend routes Append through the batched append ring (see
+// the Log field comments): LSN reservation becomes one atomic add and
+// record hand-off to the canonical slice and observer is amortized over
+// whole batches. n is the ring capacity, rounded up to a power of two;
+// n <= 0 selects DefaultGroupAppendRing. Hardware mode enables this;
+// the default single-mutex path is unchanged without it.
+func WithGroupAppend(n int) LogOption {
+	return func(l *Log) {
+		if n <= 0 {
+			n = DefaultGroupAppendRing
+		}
+		size := 1
+		for size < n {
+			size <<= 1
+		}
+		l.ring = make([]atomic.Pointer[Record], size)
+		l.ringMask = uint64(size - 1)
+	}
+}
+
+// WithPerCommitSync makes every FlushWait caller whose records were
+// undurable on entry issue its own device write, serialized behind
+// every other committer's — no piggybacking on a sync that completes
+// while the caller waits. The write itself still covers the whole
+// appended prefix (an fsync is file-wide); what this disables is the
+// op sharing, because the op count is what group commit optimizes
+// away. This deliberately reproduces the naive per-commit-fsync WAL
+// that group commit exists to beat; it is the baseline of the
+// commit-throughput benchmark and has no other use.
+func WithPerCommitSync() LogOption {
+	return func(l *Log) { l.perCommitSync = true }
 }
 
 // NewLog creates a log.
@@ -208,6 +274,9 @@ func (l *Log) Fail(cause error) {
 // Append assigns the next LSN to r, stores it, and hands it to the
 // observer. It does not wait for durability; use FlushWait for that.
 func (l *Log) Append(r *Record) (LSN, error) {
+	if l.ring != nil {
+		return l.appendRing(r)
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -226,15 +295,105 @@ func (l *Log) Append(r *Record) (LSN, error) {
 	return r.LSN, nil
 }
 
+// appendRing is the group-append path. The appender reserves an LSN,
+// publishes the record into its ring slot, and helps drain until its
+// own record has been moved into the canonical slice — so on return the
+// record is visible to Get/Records/FlushWait and the observer has seen
+// it, exactly like the mutex path, but the slice append, LSN bump and
+// observer calls are batched under one mutex acquisition per drain.
+func (l *Log) appendRing(r *Record) (LSN, error) {
+	if l.closedRA.Load() {
+		return 0, ErrClosed
+	}
+	lsn := LSN(l.reserved.Add(1))
+	// Backpressure: the slot for lsn may still hold the record of
+	// lsn-ringSize until that record drains. Help drain until it has;
+	// every reservation ahead of us publishes without blocking, so this
+	// always terminates.
+	for uint64(lsn)-l.drained.Load() > uint64(len(l.ring)) {
+		l.drainRing()
+	}
+	r.LSN = lsn
+	l.ring[uint64(lsn)&l.ringMask].Store(r)
+	for l.drained.Load() < uint64(lsn) {
+		l.drainRing()
+	}
+	return lsn, nil
+}
+
+// drainRing moves every contiguously-published ring record into the
+// canonical slice and through the observer, as one batch. Only one
+// drainer runs at a time; losers yield so the winner's batch grows.
+func (l *Log) drainRing() {
+	if !l.drainMu.TryLock() {
+		runtime.Gosched()
+		return
+	}
+	defer l.drainMu.Unlock()
+	next := l.drained.Load() + 1
+	var batch []*Record
+	for {
+		slot := &l.ring[next&l.ringMask]
+		r := slot.Load()
+		if r == nil || uint64(r.LSN) != next {
+			break // unpublished gap: its appender will drain the rest
+		}
+		slot.Store(nil)
+		batch = append(batch, r)
+		next++
+	}
+	if len(batch) == 0 {
+		return
+	}
+	l.mu.Lock()
+	l.records = append(l.records, batch...)
+	l.nextLSN = LSN(next)
+	if l.observer != nil {
+		// Single drainer + in-batch order = strict LSN order, same
+		// guarantee the mutex path gives the TRT correctness argument.
+		for _, r := range batch {
+			l.observer(r)
+		}
+	}
+	l.mu.Unlock()
+	// Publish only after the records are visible under l.mu: an Append
+	// returns (and its caller may FlushWait) the moment this store lands.
+	l.drained.Store(next - 1)
+}
+
 // FlushWait blocks until all records up to and including lsn are durable.
 // Concurrent callers are group-committed: one simulated device write
-// covers every record appended before it starts.
+// covers every record appended before it starts. Under WithPerCommitSync
+// the sharing is disabled — every caller undurable on entry pays its own
+// device write, serialized behind the others'.
 func (l *Log) FlushWait(lsn LSN) error {
 	if obs.Enabled() {
 		defer obs.ObserveSince(obs.WALSync, time.Now())
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.perCommitSync && l.flushed < lsn {
+		// Naive baseline: wait for the device to be free, then issue our
+		// own write even if a concurrent committer's sync covered our
+		// records while we waited — one device op per commit is exactly
+		// the discipline the group path is measured against.
+		for l.flushing {
+			if l.closed {
+				return ErrClosed
+			}
+			if l.devErr != nil {
+				return l.devErr
+			}
+			l.cond.Wait()
+		}
+		if l.closed {
+			return ErrClosed
+		}
+		if l.devErr != nil {
+			return l.devErr
+		}
+		return l.syncLocked(lsn)
+	}
 	for l.flushed < lsn {
 		if l.closed {
 			return ErrClosed
@@ -243,57 +402,68 @@ func (l *Log) FlushWait(lsn LSN) error {
 			return l.devErr
 		}
 		if !l.flushing {
-			l.flushing = true
-			target := l.nextLSN - 1
-			var batch []*Record
-			if l.device != nil && target >= l.flushed+1 {
-				lo := l.flushed + 1
-				if lo < l.firstLSN {
-					lo = l.firstLSN
-				}
-				batch = append(batch, l.records[lo-l.firstLSN:target-l.firstLSN+1]...)
+			if err := l.syncLocked(lsn); err != nil {
+				return err
 			}
-			if l.device != nil || l.flushLatency > 0 {
-				l.mu.Unlock()
-				var err error
-				if l.device != nil {
-					err = l.device(batch)
-				}
-				if err == nil && l.flushLatency > 0 {
-					time.Sleep(l.flushLatency)
-				}
-				l.mu.Lock()
-				if err != nil {
-					// The log medium failed: nothing past the durable
-					// horizon can ever commit. A concurrent Fail may
-					// have latched a cause already; first one wins.
-					if l.devErr == nil {
-						l.devErr = fmt.Errorf("wal: flush device: %w", err)
-					}
-					l.flushing = false
-					l.cond.Broadcast()
-					return l.devErr
-				}
-				if l.devErr != nil {
-					// Fail raced the device write: the write itself
-					// made it to the medium, but the log is dead —
-					// don't advance past records the device already
-					// holds, and report the failure.
-					l.flushing = false
-					l.cond.Broadcast()
-					if l.flushed >= lsn {
-						return nil
-					}
-					return l.devErr
-				}
-			}
-			l.flushed = target
-			l.flushing = false
-			l.cond.Broadcast()
 			continue
 		}
 		l.cond.Wait()
 	}
+	return nil
+}
+
+// syncLocked performs one device write covering every record appended so
+// far and advances the durable horizon to it. Called with l.mu held and
+// l.flushing false; returns with l.mu held and l.flushing false (the
+// mutex is dropped around the device write itself).
+func (l *Log) syncLocked(lsn LSN) error {
+	l.flushing = true
+	target := l.nextLSN - 1
+	var batch []*Record
+	if l.device != nil && target >= l.flushed+1 {
+		lo := l.flushed + 1
+		if lo < l.firstLSN {
+			lo = l.firstLSN
+		}
+		batch = append(batch, l.records[lo-l.firstLSN:target-l.firstLSN+1]...)
+	}
+	if l.device != nil || l.flushLatency > 0 {
+		l.mu.Unlock()
+		var err error
+		if l.device != nil {
+			err = l.device(batch)
+		}
+		if err == nil && l.flushLatency > 0 {
+			time.Sleep(l.flushLatency)
+		}
+		l.mu.Lock()
+		if err != nil {
+			// The log medium failed: nothing past the durable
+			// horizon can ever commit. A concurrent Fail may
+			// have latched a cause already; first one wins.
+			if l.devErr == nil {
+				l.devErr = fmt.Errorf("wal: flush device: %w", err)
+			}
+			l.flushing = false
+			l.cond.Broadcast()
+			return l.devErr
+		}
+		if l.devErr != nil {
+			// Fail raced the device write: the write itself
+			// made it to the medium, but the log is dead —
+			// don't advance past records the device already
+			// holds, and report the failure.
+			l.flushing = false
+			l.cond.Broadcast()
+			if l.flushed >= lsn {
+				return nil
+			}
+			return l.devErr
+		}
+	}
+	l.flushed = target
+	l.flushing = false
+	l.cond.Broadcast()
 	return nil
 }
 
@@ -356,6 +526,7 @@ func (l *Log) Truncate(before LSN) {
 
 // Close marks the log closed and wakes waiters.
 func (l *Log) Close() {
+	l.closedRA.Store(true)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.closed = true

@@ -19,8 +19,11 @@
 // One deliberate substitution from the paper's testbed: the experiments
 // ran on a single 167 MHz CPU that saturated around MPL 5. To reproduce
 // that throughput shape on a modern multi-core host, each object access
-// spends CPUPerOp inside a single-server "CPU" (a capacity-1 token),
-// emulating the uniprocessor. Set CPUPerOp to zero to disable.
+// spends CPUPerOp inside a simulated CPU — a semaphore of CPUTokens
+// servers, capacity 1 by default, emulating the uniprocessor. Set
+// CPUPerOp to zero to disable the charge entirely, or CPUTokens to 0
+// (hardware mode) to drop the token and spin-burn on the real CPU, so
+// the work parallelizes across however many cores the host has.
 package workload
 
 import (
@@ -30,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/hwmode"
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -58,12 +62,28 @@ type Params struct {
 	// one object (copying it and rewriting parents); the reorganizer is
 	// charged on the same CPU the transactions use.
 	ReorgCPUPerObject time.Duration
-	Seed              int64
+	// CPUTokens is the capacity of the simulated-CPU semaphore burnCPU
+	// charges against. 1 (the DefaultParams value) reproduces the
+	// paper's uniprocessor; N > 1 models an N-way machine by admitting N
+	// concurrent burners; 0 bypasses the token entirely — the charge is
+	// spun on the real CPU with no serialization, which is hardware
+	// mode's "as fast as the host allows" trajectory.
+	CPUTokens int
+	Seed      int64
 }
 
-// DefaultParams returns the paper's defaults (Table 1).
+// DefaultParams returns the paper's defaults (Table 1). The CPU token
+// capacity follows the process mode: 1 (the paper's uniprocessor) in
+// fidelity mode, 0 (bypass) when REORG_MODE=hardware — so the whole
+// test suite runs in either mode unmodified, like REORG_DISK_BACKED
+// does for the store.
 func DefaultParams() Params {
+	tokens := 1
+	if hwmode.Enabled() {
+		tokens = 0
+	}
 	return Params{
+		CPUTokens:           tokens,
 		NumPartitions:       10,
 		ObjectsPerPartition: 4080,
 		MPL:                 30,
@@ -98,7 +118,19 @@ type Workload struct {
 	// their cluster lives in.
 	rootsByPart map[oid.PartitionID][]oid.OID
 
-	cpu chan struct{} // capacity-1: the simulated uniprocessor
+	// cpu is the simulated-CPU semaphore: capacity Params.CPUTokens.
+	// nil means the token is bypassed (CPUTokens 0, hardware mode) and
+	// burnCPU charges spin on the real CPU unserialized.
+	cpu chan struct{}
+}
+
+// CPUTokenCapacity returns the built semaphore's capacity (0 when the
+// token is bypassed); benchmark reports stamp it into their JSON.
+func (w *Workload) CPUTokenCapacity() int {
+	if w.cpu == nil {
+		return 0
+	}
+	return cap(w.cpu)
 }
 
 // Build creates the database and object graph.
@@ -109,7 +141,9 @@ func Build(cfg db.Config, p Params) (*Workload, error) {
 		Params:       p,
 		ClusterRoots: make(map[oid.PartitionID][]oid.OID),
 		rootsByPart:  make(map[oid.PartitionID][]oid.OID),
-		cpu:          make(chan struct{}, 1),
+	}
+	if p.CPUTokens > 0 {
+		w.cpu = make(chan struct{}, p.CPUTokens)
 	}
 	if err := d.CreatePartition(RootPartition); err != nil {
 		return nil, err
@@ -268,20 +302,24 @@ func (w *Workload) pickGlueTarget(clusters []cluster, self int, rng *rand.Rand) 
 // for the processor.
 func (w *Workload) BurnCPU(d time.Duration) { w.burnCPU(d) }
 
-// burnCPU spends d on the simulated uniprocessor. Sub-millisecond costs
-// are spun rather than slept: the Go timer's granularity would otherwise
-// inflate a 50 µs charge by an order of magnitude and distort every
-// CPU-bound shape in the evaluation.
+// burnCPU spends d on the simulated CPU. Sub-millisecond costs are spun
+// rather than slept: the Go timer's granularity would otherwise inflate
+// a 50 µs charge by an order of magnitude and distort every CPU-bound
+// shape in the evaluation. With the token bypassed (CPUTokens 0) the
+// spin happens with no admission at all — real CPU, real parallelism.
 func (w *Workload) burnCPU(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	if obs.Enabled() {
-		start := time.Now()
-		w.cpu <- struct{}{}
-		obs.Observe(obs.CPUWait, time.Since(start))
-	} else {
-		w.cpu <- struct{}{}
+	if w.cpu != nil {
+		if obs.Enabled() {
+			start := time.Now()
+			w.cpu <- struct{}{}
+			obs.Observe(obs.CPUWait, time.Since(start))
+		} else {
+			w.cpu <- struct{}{}
+		}
+		defer func() { <-w.cpu }()
 	}
 	if d < time.Millisecond {
 		for start := time.Now(); time.Since(start) < d; {
@@ -289,7 +327,6 @@ func (w *Workload) burnCPU(d time.Duration) {
 	} else {
 		time.Sleep(d)
 	}
-	<-w.cpu
 }
 
 // Roots returns all persistent roots (for the consistency checker, the

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -174,6 +175,7 @@ func TestDriverCommitsTransactions(t *testing.T) {
 
 func TestDriverWithCPUToken(t *testing.T) {
 	p := smallParams()
+	p.CPUTokens = 1 // pin: the uniprocessor bound below assumes capacity 1 even under REORG_MODE=hardware
 	p.CPUPerOp = 100 * time.Microsecond
 	p.MPL = 4
 	w, err := Build(testDBConfig(), p)
@@ -194,6 +196,84 @@ func TestDriverWithCPUToken(t *testing.T) {
 	// 8 ops × 100µs serialized CPU bounds throughput at ~1250 tps.
 	if s.Throughput > 1600 {
 		t.Fatalf("throughput %.0f exceeds uniprocessor bound", s.Throughput)
+	}
+}
+
+// timedBurn runs n concurrent burnCPU(d) calls against a semaphore of
+// the given capacity (0 = bypass) and returns the wall-clock time.
+func timedBurn(tokens, n int, d time.Duration) time.Duration {
+	w := &Workload{}
+	if tokens > 0 {
+		w.cpu = make(chan struct{}, tokens)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.burnCPU(d)
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func TestCPUTokenCapacityOneSerializes(t *testing.T) {
+	// Four 20 ms burns through a capacity-1 token must take ≥ 80 ms.
+	const d = 20 * time.Millisecond
+	if got := timedBurn(1, 4, d); got < 4*d {
+		t.Fatalf("capacity-1 burns finished in %v, want ≥ %v (token failed to serialize)", got, 4*d)
+	}
+}
+
+func TestCPUTokenCapacityNAdmitsN(t *testing.T) {
+	// With capacity 4, the four burns overlap: well under the serialized
+	// 80 ms. The bound is generous (3×d) to tolerate scheduler noise —
+	// the sleeps themselves need no spare cores to overlap.
+	const d = 20 * time.Millisecond
+	if got := timedBurn(4, 4, d); got >= 3*d {
+		t.Fatalf("capacity-4 burns took %v, want < %v (token over-serialized)", got, 3*d)
+	}
+}
+
+func TestCPUTokenBypassAdmitsAll(t *testing.T) {
+	const d = 20 * time.Millisecond
+	if got := timedBurn(0, 8, d); got >= 3*d {
+		t.Fatalf("bypassed burns took %v, want < %v", got, 3*d)
+	}
+}
+
+func TestDefaultParamsFollowMode(t *testing.T) {
+	t.Setenv("REORG_MODE", "")
+	if got := DefaultParams().CPUTokens; got != 1 {
+		t.Fatalf("fidelity CPUTokens = %d, want 1", got)
+	}
+	t.Setenv("REORG_MODE", "hardware")
+	if got := DefaultParams().CPUTokens; got != 0 {
+		t.Fatalf("hardware CPUTokens = %d, want 0 (bypass)", got)
+	}
+}
+
+func TestCPUTokenCapacityReported(t *testing.T) {
+	p := smallParams()
+	p.CPUTokens = 3
+	w, err := Build(testDBConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.DB.Close()
+	if got := w.CPUTokenCapacity(); got != 3 {
+		t.Fatalf("CPUTokenCapacity = %d, want 3", got)
+	}
+	p.CPUTokens = 0
+	w2, err := Build(testDBConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.DB.Close()
+	if got := w2.CPUTokenCapacity(); got != 0 {
+		t.Fatalf("bypassed CPUTokenCapacity = %d, want 0", got)
 	}
 }
 
