@@ -11,6 +11,7 @@
 //	reorgbench -bench interference      # 100ms-window reorg-on/off series → BENCH_interference.json
 //	reorgbench -bench autopilot         # closed-loop churn→detect→repair run → BENCH_autopilot.json
 //	reorgbench -bench bufferpool        # scan fault rate before/after clustering → BENCH_bufferpool.json
+//	reorgbench -bench netload           # wire-protocol client/server series → BENCH_netload.json
 //	reorgbench -bench lockscale -mode hardware   # one trajectory only (fidelity, hardware, or both)
 //	reorgbench -http :6060 -exp fig6    # expose expvar + pprof while running
 //
@@ -22,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -30,7 +32,44 @@ import (
 	"repro/internal/obs"
 )
 
+// netClientMain is the hidden child-process entry point spawned by the
+// netload bench (`reorgbench netclient -addr ...`): it drives walker
+// clients against the server and streams per-transaction samples on
+// stdout until stdin reaches EOF.
+func netClientMain(args []string) {
+	fs := flag.NewFlagSet("netclient", flag.ExitOnError)
+	var (
+		addr       = fs.String("addr", "", "server address")
+		tenant     = fs.String("tenant", "load", "tenant name for admission")
+		workers    = fs.Int("workers", 1, "walker goroutines in this process")
+		seed       = fs.Int64("seed", 1, "walker random seed")
+		partitions = fs.Int("partitions", 1, "data partition count")
+		ops        = fs.Int("ops", 8, "accesses per transaction")
+		updateProb = fs.Float64("updateprob", 0.5, "exclusive-access probability")
+		churnProb  = fs.Float64("churnprob", 0, "reference-churn probability")
+	)
+	fs.Parse(args)
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "netclient: -addr is required")
+		os.Exit(2)
+	}
+	stop := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, os.Stdin) // parent closes our stdin to stop us
+		close(stop)
+	}()
+	if err := harness.RunNetClient(os.Stdout, stop, *addr, *tenant, *workers, *seed,
+		harness.NetClientParams(*partitions, *ops, *updateProb, *churnProb)); err != nil {
+		fmt.Fprintf(os.Stderr, "netclient: %v\n", err)
+		os.Exit(1)
+	}
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "netclient" {
+		netClientMain(os.Args[2:])
+		return
+	}
 	var (
 		expID    = flag.String("exp", "", "experiment id (see -list), or 'all'")
 		scale    = flag.String("scale", "quick", "experiment scale: quick or full")
@@ -38,7 +77,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
-		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool")
+		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool, netload")
 		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
 		mode     = flag.String("mode", "both", "execution mode for -bench trajectories: fidelity, hardware, or both")
 		httpAddr = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
@@ -147,8 +186,29 @@ func main() {
 			if *verbose {
 				fmt.Printf("-- bufferpool completed in %s\n", time.Since(start).Round(time.Millisecond))
 			}
+		case "netload":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_netload.json"
+			}
+			// The load runs in real child client processes: this binary
+			// re-executed with the hidden netclient subcommand.
+			self, err := os.Executable()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark netload: resolve executable: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("== netload — wire-protocol client/server window series (scale: %s) ==\n", sc.Name)
+			start := time.Now()
+			if err := harness.RunNetload(os.Stdout, sc, out, []string{self, "netclient"}); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark netload failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- netload completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot, bufferpool)\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot, bufferpool, netload)\n", *bench)
 			os.Exit(2)
 		}
 		return

@@ -32,6 +32,18 @@
 //
 //	reorgck -autopilot
 //	reorgck -autopilot -policy round-robin -passes 8
+//
+// With -serve it builds the workload fixture and serves it over the
+// wire protocol until interrupted, draining gracefully on SIGINT:
+//
+//	reorgck -serve :7070 -http :6060   # server state under the "server" expvar
+//
+// With -netchaos it runs the socket-chaos cell: wire clients increment
+// counters while net/conn-drop and net/stall faults fire under a live
+// reorganization fleet, then the server drains mid-fleet; the
+// committed-prefix oracle, tree signature, and leak sweep must all hold:
+//
+//	reorgck -netchaos -seed 7
 package main
 
 import (
@@ -39,7 +51,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"flag"
 
@@ -52,6 +67,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oid"
 	"repro/internal/reorg"
+	"repro/internal/server"
 	"repro/internal/workload"
 )
 
@@ -73,6 +89,9 @@ func main() {
 		autopilotF = flag.Bool("autopilot", false, "run the autopilot closed-loop correctness mode instead of the stress check")
 		policyName = flag.String("policy", "greedy", "autopilot: partition-selection policy (greedy, round-robin, threshold)")
 		passes     = flag.Int("passes", 0, "autopilot: passes to run (default: one per data partition)")
+		serveAddr  = flag.String("serve", "", "serve the workload fixture over the wire protocol on this address (e.g. :7070)")
+		netchaos   = flag.Bool("netchaos", false, "run the socket-chaos cell instead of the stress check")
+		chaosDur   = flag.Duration("chaosdur", 0, "netchaos: chaos phase duration (default 2s)")
 		httpAddr   = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
@@ -94,6 +113,12 @@ func main() {
 
 	if *torture {
 		os.Exit(runTorture(*seeds, *seedbase, *points))
+	}
+	if *netchaos {
+		os.Exit(runNetChaos(*seed, *mpl, *chaosDur))
+	}
+	if *serveAddr != "" {
+		os.Exit(runServe(*serveAddr, *partitions, *objects, *seed))
 	}
 	if *autopilotF {
 		os.Exit(runAutopilot(*partitions, *objects, *mpl, *batch, *passes, *seed, *policyName))
@@ -213,6 +238,75 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// runServe builds the workload fixture and serves it over the wire
+// protocol until interrupted. SIGINT/SIGTERM triggers a graceful drain:
+// new transactions are rejected with DRAINING, in-flight ones get a
+// grace period to finish. Roots are published through the catalog as
+// "roots/<partition>". Returns the process exit code.
+func runServe(addr string, partitions, objects int, seed int64) int {
+	params := workload.DefaultParams()
+	params.NumPartitions = partitions
+	params.ObjectsPerPartition = objects
+	params.Seed = seed
+
+	fmt.Printf("building %d partitions × %d objects...\n", partitions, objects)
+	w, err := workload.Build(db.DefaultConfig(), params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer w.DB.Close()
+
+	srv, lnAddr, err := server.Start(server.Config{
+		DB: w.DB,
+		Catalog: func(name string) []oid.OID {
+			var part int
+			if _, err := fmt.Sscanf(name, "roots/%d", &part); err != nil {
+				return nil
+			}
+			return w.RootsOf(oid.PartitionID(part))
+		},
+		PerOpWork: func() { w.BurnCPU(params.CPUPerOp) },
+	}, addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	obs.RegisterServerStats(func() any { return srv.StatsSnapshot() })
+
+	fmt.Printf("serving on %s (roots under \"roots/1\"..\"roots/%d\"; SIGINT drains)\n",
+		lnAddr, partitions)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+	if err := srv.Drain(); err != nil {
+		fmt.Fprintf(os.Stderr, "drain: %v\n", err)
+		return 1
+	}
+	st := srv.StatsSnapshot()
+	fmt.Printf("drained: %d conns served, %d committed, %d aborted, %d shed\n",
+		st.Accepted, st.Committed, st.Aborted, st.ShedConns+st.ShedTxns)
+	return 0
+}
+
+// runNetChaos executes the socket-chaos cell and returns the process
+// exit code.
+func runNetChaos(seed int64, mpl int, dur time.Duration) int {
+	res, err := harness.RunNetChaos(os.Stdout, harness.NetChaosConfig{
+		Seed:     seed,
+		MPL:      mpl,
+		Duration: dur,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("netchaos: OK — committed prefix exact, graph preserved, no leaks (%d commits under %d firings)\n",
+		res.Commits, res.Firings)
+	return 0
 }
 
 // runAutopilot is the closed-loop correctness mode: scatter every data

@@ -1,0 +1,66 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// newForTest builds a Client without dialing anything.
+func newForTest(cfg Config) *Client {
+	cfg.defaults()
+	return &Client{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+func TestShedErrorUnwrap(t *testing.T) {
+	var err error = &ShedError{After: 20 * time.Millisecond, Msg: "queue full"}
+	if !errors.Is(err, ErrShed) {
+		t.Fatal("ShedError must unwrap to ErrShed")
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.After != 20*time.Millisecond {
+		t.Fatalf("errors.As lost the hint: %v", err)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.defaults()
+	if c.PoolSize != 4 || c.MaxRetries != 4 || c.Seed != 1 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if c.BackoffBase != 2*time.Millisecond || c.BackoffMax != 250*time.Millisecond {
+		t.Fatalf("unexpected backoff defaults: %+v", c)
+	}
+	// Explicit values survive.
+	c = Config{PoolSize: 9, MaxRetries: 1, Seed: -3}
+	c.defaults()
+	if c.PoolSize != 9 || c.MaxRetries != 1 || c.Seed != -3 {
+		t.Fatalf("defaults clobbered explicit values: %+v", c)
+	}
+}
+
+func TestBackoffCapAndJitterBounds(t *testing.T) {
+	cl := newForTest(Config{BackoffBase: time.Millisecond, BackoffMax: 4 * time.Millisecond, Seed: 42})
+	// attempt 10 would be 1ms<<10 ≈ 1s without the cap; with ±50%
+	// jitter the sleep stays within [2ms, 6ms] plus scheduling slack.
+	start := time.Now()
+	cl.sleepBackoff(10, 0)
+	if got := time.Since(start); got > 100*time.Millisecond {
+		t.Fatalf("backoff cap not applied: slept %s", got)
+	}
+	// The hint is additive: a shed with RETRY_AFTER waits at least it.
+	start = time.Now()
+	cl.sleepBackoff(0, 30*time.Millisecond)
+	if got := time.Since(start); got < 30*time.Millisecond {
+		t.Fatalf("server hint ignored: slept %s", got)
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	cl := newForTest(Config{RequestTimeout: 1500 * time.Millisecond})
+	if got := cl.deadlineMs(); got != 1500 {
+		t.Fatalf("deadlineMs = %d, want 1500", got)
+	}
+}

@@ -49,6 +49,11 @@ const (
 	SegmentWrite     = "segment/write"     // segment page write; a crash tears the page
 	SegmentSync      = "segment/sync"      // segment fsync error or crash
 	PoolEvict        = "pool/evict"        // buffer pool mid-eviction, before the flush
+	NetAccept        = "net/accept"        // server accept-loop failure for one connection
+	NetRead          = "net/read"          // server-side frame read error (connection dies)
+	NetWrite         = "net/write"         // server-side frame write error (connection dies)
+	NetConnDrop      = "net/conn-drop"     // abrupt connection close mid-request, no response
+	NetStall         = "net/stall"         // delay on the server's socket path (slow network)
 )
 
 // Kind classifies what happens when a trigger fires.

@@ -1,0 +1,762 @@
+package harness
+
+// The netload bench is the interference monitor pushed through real
+// sockets: the same windowed tput/p99 pairing as BENCH_interference
+// (reorg-on vs an identically-seeded reorg-off run), but with every
+// transaction submitted by a wire-protocol client against the network
+// server, so protocol encode/decode, per-connection goroutines,
+// admission control and deadline bookkeeping are all inside the
+// measured path. Clients run as in-process goroutines by default, or —
+// when Config.ClientCmd is set, as reorgbench does — as real child
+// processes streaming per-transaction samples over a pipe, so the
+// measured path crosses a process boundary exactly like a deployed
+// client would.
+//
+// Each trajectory also runs an overload cell: the same workload against
+// a server whose admission rate is set far below the offered load. The
+// point being asserted (and recorded) is that shedding protects the
+// admitted requests — the shed count is large, yet the p99 of admitted
+// transactions stays bounded, because a shed transaction never holds
+// locks.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/oid"
+	"repro/internal/reorg"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// NetloadConfig describes one monitored client/server run pair.
+type NetloadConfig struct {
+	Params workload.Params
+	DB     db.Config
+	Mode   reorg.Mode
+	// ReorgPartition is the partition reorganized during the ON run
+	// (default 1).
+	ReorgPartition oid.PartitionID
+	Window         time.Duration
+	Warmup         time.Duration
+	LeadWindows    int
+	DrainWindows   int
+	// MaxConns / AcceptQueue size the server for the main pair.
+	MaxConns    int
+	AcceptQueue int
+	// OverloadAdmitRate is the admission rate (tx/s) of the overload
+	// cell; the offered load is far above it, so most Begins are shed.
+	OverloadAdmitRate float64
+	// OverloadDuration is how long the overload cell runs.
+	OverloadDuration time.Duration
+	// ClientCmd, when non-empty, is the argv prefix of a real client
+	// process (reorgbench passes {self, "netclient"}); the load then
+	// runs in Procs child processes instead of goroutines.
+	ClientCmd []string
+	// Procs is how many client processes to spawn when ClientCmd is set
+	// (default 2); the MPL is split across them.
+	Procs int
+}
+
+// DefaultNetloadConfig sizes the netload monitor for a Scale.
+func DefaultNetloadConfig(sc Scale) NetloadConfig {
+	cfg := NetloadConfig{
+		Params:            sc.Params,
+		DB:                db.DefaultConfig(),
+		Mode:              reorg.ModeIRA,
+		ReorgPartition:    1,
+		Window:            100 * time.Millisecond,
+		Warmup:            300 * time.Millisecond,
+		LeadWindows:       4,
+		DrainWindows:      2,
+		MaxConns:          64,
+		AcceptQueue:       16,
+		OverloadAdmitRate: 30,
+		OverloadDuration:  1200 * time.Millisecond,
+		Procs:             2,
+	}
+	if sc.Name == "quick" {
+		cfg.Params.NumPartitions = 4
+		cfg.Params.ObjectsPerPartition = 510
+		cfg.Params.MPL = 10
+	} else {
+		cfg.LeadWindows = 8
+		cfg.DrainWindows = 4
+	}
+	return cfg
+}
+
+// NetloadOverload is the overload cell's recorded outcome.
+type NetloadOverload struct {
+	AdmitRate  float64 `json:"admit_rate_tps"`
+	DurationMs float64 `json:"duration_ms"`
+	MPL        int     `json:"mpl"`
+	Sheds      uint64  `json:"sheds"`
+	Commits    int     `json:"commits"`
+	Aborts     int     `json:"aborts"`
+	// Latency of admitted transactions only: a shed restarts the clock,
+	// so these tails measure the work the server agreed to do.
+	AdmittedP50Ms float64 `json:"admitted_p50_ms"`
+	AdmittedP99Ms float64 `json:"admitted_p99_ms"`
+	AdmittedMaxMs float64 `json:"admitted_max_ms"`
+}
+
+// NetloadReport is one execution-mode trajectory of the bench.
+type NetloadReport struct {
+	Timestamp    string   `json:"timestamp"`
+	Scale        string   `json:"scale"`
+	System       string   `json:"system"`
+	Env          BenchEnv `json:"env"`
+	GOMAXPROCS   int      `json:"gomaxprocs"`
+	MPL          int      `json:"mpl"`
+	Partitions   int      `json:"partitions"`
+	Objects      int      `json:"objects_per_partition"`
+	Seed         int64    `json:"seed"`
+	WindowMs     float64  `json:"window_ms"`
+	WarmupMs     float64  `json:"warmup_ms"`
+	LeadWindows  int      `json:"lead_windows"`
+	DrainWindows int      `json:"drain_windows"`
+	// Procs is the real-client-process count (0 = in-process goroutines).
+	Procs int `json:"client_procs"`
+
+	On  InterferenceSeries `json:"on"`
+	Off InterferenceSeries `json:"off"`
+
+	// ServerOn is the ON-run server's final counter snapshot.
+	ServerOn server.StatsSnapshot `json:"server_on"`
+	// Sheds counts RETRY_AFTER answers seen by the ON-run clients.
+	Sheds uint64 `json:"sheds"`
+
+	OffMeanTput         float64 `json:"off_mean_tput_tps"`
+	OnMeanTput          float64 `json:"on_mean_tput_tps"`
+	TputInterferencePct float64 `json:"tput_interference_pct"`
+	OffMeanP99Ms        float64 `json:"off_mean_p99_ms"`
+	OnMeanP99Ms         float64 `json:"on_mean_p99_ms"`
+
+	Overload *NetloadOverload `json:"overload,omitempty"`
+}
+
+// NetloadBench is the persisted shape of BENCH_netload.json.
+type NetloadBench struct {
+	Timestamp    string           `json:"timestamp"`
+	Scale        string           `json:"scale"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	NumCPU       int              `json:"num_cpu"`
+	Trajectories []*NetloadReport `json:"trajectories"`
+}
+
+// netloadCatalog resolves "roots/<part>" to the partition's persistent
+// roots — the walk entry points a remote client needs.
+func netloadCatalog(wl *workload.Workload) func(string) []oid.OID {
+	return func(name string) []oid.OID {
+		var part int
+		if _, err := fmt.Sscanf(name, "roots/%d", &part); err != nil {
+			return nil
+		}
+		return wl.RootsOf(oid.PartitionID(part))
+	}
+}
+
+// netWalkerParams is the walk shape shared by in-process walkers and
+// netclient child processes.
+type netWalkerParams struct {
+	NumPartitions int
+	OpsPerTrans   int
+	UpdateProb    float64
+	RefChurnProb  float64
+}
+
+func walkerParamsOf(p workload.Params) netWalkerParams {
+	return netWalkerParams{
+		NumPartitions: p.NumPartitions,
+		OpsPerTrans:   p.OpsPerTrans,
+		UpdateProb:    p.UpdateProb,
+		RefChurnProb:  p.RefChurnProb,
+	}
+}
+
+// netWalkOutcome is one transaction attempt's result.
+type netWalkOutcome int
+
+const (
+	walkCommitted netWalkOutcome = iota
+	walkAborted                  // server aborted (lock timeout, migration race): resubmit
+	walkShed                     // admission shed: not admitted, restart the clock
+	walkFatal                    // client/server gone: stop the walker
+)
+
+// runNetWalk performs one wire-protocol walk attempt, mirroring the
+// in-process driver's runWalk: random descent from a persistent root,
+// exclusive accesses rewriting payloads (or churning a glue edge), any
+// abort resubmitted by the caller.
+func runNetWalk(cl *client.Client, rng *rand.Rand, roots []oid.OID, p netWalkerParams) netWalkOutcome {
+	tx, err := cl.Begin()
+	if err != nil {
+		switch {
+		case errors.Is(err, client.ErrShed):
+			var shed *client.ShedError
+			if errors.As(err, &shed) && shed.After > 0 {
+				time.Sleep(shed.After)
+			}
+			return walkShed
+		case errors.Is(err, client.ErrDraining), errors.Is(err, client.ErrClosed), errors.Is(err, client.ErrRejected):
+			return walkFatal
+		default:
+			return walkAborted // connection died; the pool redials
+		}
+	}
+	cur := roots[rng.Intn(len(roots))]
+	var visited []oid.OID
+	for step := 0; step < p.OpsPerTrans; step++ {
+		excl := rng.Float64() < p.UpdateProb
+		obj, err := tx.Read(cur, excl)
+		if err != nil {
+			return walkAborted
+		}
+		visited = append(visited, cur)
+		if excl {
+			if rng.Float64() < p.RefChurnProb && len(obj.Refs) > 1 && len(visited) > 1 {
+				victim := obj.Refs[len(obj.Refs)-1]
+				target := visited[rng.Intn(len(visited)-1)]
+				if victim != target && target != cur {
+					if err := tx.DeleteRef(cur, victim); err != nil {
+						return walkAborted
+					}
+					if err := tx.InsertRef(cur, target); err != nil {
+						return walkAborted
+					}
+					obj.Refs[len(obj.Refs)-1] = target
+				}
+			} else if err := tx.Update(cur, obj.Payload); err != nil {
+				return walkAborted
+			}
+		}
+		if len(obj.Refs) == 0 {
+			break
+		}
+		cur = obj.Refs[rng.Intn(len(obj.Refs))]
+	}
+	if err := tx.Commit(); err != nil {
+		// ErrCommitUnknown included: without an ack the walker must
+		// treat the attempt as not committed and resubmit.
+		return walkAborted
+	}
+	return walkCommitted
+}
+
+// netLoad drives MPL walkers against addr and records commits/aborts
+// into rec, until stop closes. Each walker owns a Client (its own pool,
+// its own seeded rng) and is homed on a partition round-robin, exactly
+// like the in-process driver's threads.
+type netLoad struct {
+	sheds atomic.Uint64
+	wg    sync.WaitGroup
+
+	// procs, when the load runs in child processes, so Stop can
+	// terminate them.
+	procs []*exec.Cmd
+	pipes []io.WriteCloser
+}
+
+func startNetLoad(addr string, params workload.Params, rec *metrics.Recorder, stop <-chan struct{}, cfg *NetloadConfig) (*netLoad, error) {
+	nl := &netLoad{}
+	if cfg != nil && len(cfg.ClientCmd) > 0 {
+		return nl, nl.startProcs(addr, params, rec, cfg)
+	}
+	wp := walkerParamsOf(params)
+	for t := 0; t < params.MPL; t++ {
+		home := oid.PartitionID(1 + t%params.NumPartitions)
+		cl, err := client.Dial(client.Config{
+			Addr:   addr,
+			Tenant: "load",
+			Seed:   params.Seed + 5000*int64(t+1),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("netload: dial walker %d: %w", t, err)
+		}
+		roots, err := cl.Roots(fmt.Sprintf("roots/%d", home))
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("netload: roots of partition %d: %w", home, err)
+		}
+		nl.wg.Add(1)
+		go func(t int, cl *client.Client, roots []oid.OID) {
+			defer nl.wg.Done()
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(params.Seed + 1000*int64(t+1)))
+			h := rec.Handle(t)
+			stopped := func() bool {
+				select {
+				case <-stop:
+					return true
+				default:
+					return false
+				}
+			}
+			for !stopped() {
+				start := time.Now()
+			attempt:
+				for !stopped() {
+					switch runNetWalk(cl, rng, roots, wp) {
+					case walkCommitted:
+						h.Record(time.Since(start))
+						break attempt
+					case walkAborted:
+						h.RecordAbort()
+					case walkShed:
+						// Not admitted: no work was done on the
+						// transaction's behalf, so the latency clock
+						// restarts — admitted-request tails must not
+						// absorb admission queueing.
+						nl.sheds.Add(1)
+						start = time.Now()
+					case walkFatal:
+						return
+					}
+				}
+			}
+		}(t, cl, roots)
+	}
+	return nl, nil
+}
+
+// startProcs spawns cfg.Procs child client processes and parses their
+// sample streams into rec.
+func (nl *netLoad) startProcs(addr string, params workload.Params, rec *metrics.Recorder, cfg *NetloadConfig) error {
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = 2
+	}
+	if procs > params.MPL {
+		procs = params.MPL
+	}
+	for i := 0; i < procs; i++ {
+		workers := params.MPL / procs
+		if i < params.MPL%procs {
+			workers++
+		}
+		args := append(append([]string(nil), cfg.ClientCmd[1:]...),
+			"-addr", addr,
+			"-tenant", "load",
+			"-workers", strconv.Itoa(workers),
+			"-seed", strconv.FormatInt(params.Seed+int64(i+1)*77, 10),
+			"-partitions", strconv.Itoa(params.NumPartitions),
+			"-ops", strconv.Itoa(params.OpsPerTrans),
+			"-updateprob", strconv.FormatFloat(params.UpdateProb, 'f', -1, 64),
+			"-churnprob", strconv.FormatFloat(params.RefChurnProb, 'f', -1, 64),
+		)
+		cmd := exec.Command(cfg.ClientCmd[0], args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("netload: start client process: %w", err)
+		}
+		nl.procs = append(nl.procs, cmd)
+		nl.pipes = append(nl.pipes, stdin)
+		h := rec.Handle(i)
+		nl.wg.Add(1)
+		go func(r io.Reader, h *metrics.Handle) {
+			defer nl.wg.Done()
+			sc := bufio.NewScanner(r)
+			for sc.Scan() {
+				line := sc.Text()
+				switch {
+				case strings.HasPrefix(line, "C "):
+					us, err := strconv.ParseInt(line[2:], 10, 64)
+					if err == nil {
+						h.Record(time.Duration(us) * time.Microsecond)
+					}
+				case line == "A":
+					h.RecordAbort()
+				case line == "S":
+					nl.sheds.Add(1)
+				}
+			}
+		}(stdout, h)
+	}
+	return nil
+}
+
+// Stop ends the load: child processes see stdin EOF and exit; goroutine
+// walkers observe the caller's stop channel. Waits for all samples to
+// be drained.
+func (nl *netLoad) Stop() {
+	for _, p := range nl.pipes {
+		p.Close()
+	}
+	for _, c := range nl.procs {
+		c.Wait()
+	}
+	nl.wg.Wait()
+}
+
+// RunNetClient is the body of a netclient child process: it drives
+// `workers` walkers against addr and streams one line per transaction
+// outcome to out — "C <latency_us>", "A" (abort resubmitted), or "S"
+// (shed) — until stop closes. reorgbench's hidden netclient subcommand
+// calls this with stop wired to stdin EOF.
+func RunNetClient(out io.Writer, stop <-chan struct{}, addr, tenant string, workers int, seed int64, p netWalkerParamsExported) error {
+	wp := netWalkerParams(p)
+	var mu sync.Mutex // serializes sample lines on out
+	emit := func(s string) {
+		mu.Lock()
+		fmt.Fprintln(out, s)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	var dialErr error
+	for t := 0; t < workers; t++ {
+		home := oid.PartitionID(1 + t%wp.NumPartitions)
+		cl, err := client.Dial(client.Config{Addr: addr, Tenant: tenant, Seed: seed + 5000*int64(t+1)})
+		if err != nil {
+			dialErr = err
+			break
+		}
+		roots, err := cl.Roots(fmt.Sprintf("roots/%d", home))
+		if err != nil {
+			cl.Close()
+			dialErr = err
+			break
+		}
+		wg.Add(1)
+		go func(t int, cl *client.Client, roots []oid.OID) {
+			defer wg.Done()
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(seed + 1000*int64(t+1)))
+			stopped := func() bool {
+				select {
+				case <-stop:
+					return true
+				default:
+					return false
+				}
+			}
+			for !stopped() {
+				start := time.Now()
+			attempt:
+				for !stopped() {
+					switch runNetWalk(cl, rng, roots, wp) {
+					case walkCommitted:
+						emit("C " + strconv.FormatInt(time.Since(start).Microseconds(), 10))
+						break attempt
+					case walkAborted:
+						emit("A")
+					case walkShed:
+						emit("S")
+						start = time.Now()
+					case walkFatal:
+						return
+					}
+				}
+			}
+		}(t, cl, roots)
+	}
+	wg.Wait()
+	return dialErr
+}
+
+// netWalkerParamsExported is the exported mirror of netWalkerParams for
+// the netclient cmd entry point.
+type netWalkerParamsExported struct {
+	NumPartitions int
+	OpsPerTrans   int
+	UpdateProb    float64
+	RefChurnProb  float64
+}
+
+// NetClientParams builds the walker parameters for RunNetClient.
+func NetClientParams(partitions, ops int, updateProb, churnProb float64) netWalkerParamsExported {
+	return netWalkerParamsExported{
+		NumPartitions: partitions,
+		OpsPerTrans:   ops,
+		UpdateProb:    updateProb,
+		RefChurnProb:  churnProb,
+	}
+}
+
+// netloadRun is one sampled serving run.
+type netloadRun struct {
+	series InterferenceSeries
+	server server.StatsSnapshot
+	sheds  uint64
+}
+
+// runNetloadCell builds the workload, serves it, drives the network
+// load, and samples windows — the socket-path twin of
+// runInterferenceCell.
+func runNetloadCell(cfg NetloadConfig, reorgOn bool, totalWindows int) (*netloadRun, error) {
+	wl, err := workload.Build(cfg.DB, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("netload: build workload: %w", err)
+	}
+	defer wl.DB.Close()
+
+	srv, addr, err := server.Start(server.Config{
+		DB:          wl.DB,
+		Catalog:     netloadCatalog(wl),
+		MaxConns:    cfg.MaxConns,
+		AcceptQueue: cfg.AcceptQueue,
+		PerOpWork:   func() { wl.BurnCPU(cfg.Params.CPUPerOp) },
+	}, "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netload: start server: %w", err)
+	}
+	defer srv.Close()
+	// With -http up, the live server counters show under the "server"
+	// expvar while the cell runs.
+	obs.RegisterServerStats(func() any { return srv.StatsSnapshot() })
+
+	rec := metrics.NewRecorder()
+	stop := make(chan struct{})
+	load, err := startNetLoad(addr.String(), cfg.Params, rec, stop, &cfg)
+	if err != nil {
+		close(stop)
+		return nil, err
+	}
+	time.Sleep(cfg.Warmup)
+	base := time.Now()
+
+	run := &netloadRun{series: InterferenceSeries{Label: "reorg-off"}}
+	var reorgErr error
+	if reorgOn {
+		run.series.Label = "reorg-on"
+		for i := 0; i < cfg.LeadWindows; i++ {
+			run.series.Points = append(run.series.Points, sampleWindow(rec, cfg.Window, base, false))
+		}
+		r := reorg.New(wl.DB, cfg.ReorgPartition, reorg.Options{
+			Mode: cfg.Mode,
+			PerObjectWork: func() {
+				wl.BurnCPU(cfg.Params.ReorgCPUPerObject)
+			},
+		})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			reorgErr = r.Run()
+		}()
+	sampling:
+		for {
+			run.series.Points = append(run.series.Points, sampleWindow(rec, cfg.Window, base, true))
+			select {
+			case <-done:
+				break sampling
+			default:
+			}
+		}
+		st := r.Stats()
+		run.series.ReorgMs = ms(st.Duration())
+		run.series.Migrated = st.Migrated
+		for i := 0; i < cfg.DrainWindows; i++ {
+			run.series.Points = append(run.series.Points, sampleWindow(rec, cfg.Window, base, false))
+		}
+	} else {
+		for i := 0; i < totalWindows; i++ {
+			run.series.Points = append(run.series.Points, sampleWindow(rec, cfg.Window, base, false))
+		}
+	}
+	close(stop)
+	load.Stop()
+	// The clients are gone; give the server a moment to observe the
+	// closed sockets so the snapshot reflects the settled end state.
+	settle := time.Now().Add(2 * time.Second)
+	for {
+		s := srv.StatsSnapshot()
+		if (s.LiveConns == 0 && s.ActiveTxns == 0) || time.Now().After(settle) {
+			run.server = s
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	run.sheds = load.sheds.Load()
+	if reorgErr != nil {
+		return nil, fmt.Errorf("netload: reorganization: %w", reorgErr)
+	}
+	return run, nil
+}
+
+// runNetloadOverload runs the overload cell: offered load far above the
+// admission rate, measuring the shed count and the admitted tails.
+func runNetloadOverload(cfg NetloadConfig) (*NetloadOverload, error) {
+	wl, err := workload.Build(cfg.DB, cfg.Params)
+	if err != nil {
+		return nil, fmt.Errorf("netload overload: build workload: %w", err)
+	}
+	defer wl.DB.Close()
+
+	srv, addr, err := server.Start(server.Config{
+		DB:         wl.DB,
+		Catalog:    netloadCatalog(wl),
+		AdmitRate:  cfg.OverloadAdmitRate,
+		AdmitBurst: cfg.OverloadAdmitRate / 10,
+		PerOpWork:  func() { wl.BurnCPU(cfg.Params.CPUPerOp) },
+	}, "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("netload overload: start server: %w", err)
+	}
+	defer srv.Close()
+
+	rec := metrics.NewRecorder()
+	stop := make(chan struct{})
+	// The overload cell always uses in-process walkers: it measures the
+	// server's shedding, not client deployment shape.
+	load, err := startNetLoad(addr.String(), cfg.Params, rec, stop, nil)
+	if err != nil {
+		close(stop)
+		return nil, err
+	}
+	rec.StartWindow()
+	time.Sleep(cfg.OverloadDuration)
+	s := rec.Stop()
+	close(stop)
+	load.Stop()
+
+	return &NetloadOverload{
+		AdmitRate:     cfg.OverloadAdmitRate,
+		DurationMs:    ms(cfg.OverloadDuration),
+		MPL:           cfg.Params.MPL,
+		Sheds:         load.sheds.Load(),
+		Commits:       s.Commits,
+		Aborts:        s.Aborts,
+		AdmittedP50Ms: ms(s.P50),
+		AdmittedP99Ms: ms(s.P99),
+		AdmittedMaxMs: ms(s.Max),
+	}, nil
+}
+
+// RunNetload runs the paired netload cells plus the overload cell once
+// per execution mode, prints a summary and writes BENCH_netload.json.
+// clientCmd, when non-empty, is the argv prefix of a real client
+// process (reorgbench passes its own binary plus "netclient"); nil runs
+// the load in-process.
+func RunNetload(w io.Writer, sc Scale, outPath string, clientCmd []string) error {
+	bench := &NetloadBench{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Scale:      sc.Name,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, mode := range sc.modes() {
+		cfg := DefaultNetloadConfig(sc)
+		cfg.ClientCmd = clientCmd
+		env := applyMode(mode, &cfg.Params, &cfg.DB)
+		fmt.Fprintf(w, "=== %s mode (cpu_tokens=%d, group_commit=%v, reader_shards=%d)\n",
+			mode, env.CPUTokens, env.GroupCommit, env.ReaderShards)
+		rep, err := runNetload(w, cfg, sc.Name, env)
+		if err != nil {
+			return err
+		}
+		bench.Trajectories = append(bench.Trajectories, rep)
+	}
+	if outPath != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return fmt.Errorf("netload: write report: %w", err)
+		}
+		fmt.Fprintf(w, "\nreport written to %s\n", outPath)
+	}
+	return nil
+}
+
+// runNetload monitors one trajectory.
+func runNetload(w io.Writer, cfg NetloadConfig, scaleName string, env BenchEnv) (*NetloadReport, error) {
+	procs := 0
+	if len(cfg.ClientCmd) > 0 {
+		procs = cfg.Procs
+		if procs <= 0 {
+			procs = 2
+		}
+	}
+	rep := &NetloadReport{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		Scale:        scaleName,
+		System:       cfg.Mode.String(),
+		Env:          env,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		MPL:          cfg.Params.MPL,
+		Partitions:   cfg.Params.NumPartitions,
+		Objects:      cfg.Params.ObjectsPerPartition,
+		Seed:         cfg.Params.Seed,
+		WindowMs:     ms(cfg.Window),
+		WarmupMs:     ms(cfg.Warmup),
+		LeadWindows:  cfg.LeadWindows,
+		DrainWindows: cfg.DrainWindows,
+		Procs:        procs,
+	}
+	fmt.Fprintf(w, "netload monitor: %s over sockets, %d×%d objects, MPL %d, %s windows, %d client procs\n",
+		cfg.Mode, cfg.Params.NumPartitions, cfg.Params.ObjectsPerPartition,
+		cfg.Params.MPL, cfg.Window, procs)
+
+	on, err := runNetloadCell(cfg, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.On = on.series
+	rep.ServerOn = on.server
+	rep.Sheds = on.sheds
+	fmt.Fprintf(w, "reorg-on : %d windows, reorganization %.0f ms, %d objects migrated, %d conns served\n",
+		len(on.series.Points), on.series.ReorgMs, on.series.Migrated, on.server.Accepted)
+
+	off, err := runNetloadCell(cfg, false, len(on.series.Points))
+	if err != nil {
+		return nil, err
+	}
+	rep.Off = off.series
+
+	var active []int
+	for i, p := range rep.On.Points {
+		if p.ReorgActive && i < len(rep.Off.Points) {
+			active = append(active, i)
+		}
+	}
+	tput := func(p InterferencePoint) float64 { return p.Throughput }
+	p99 := func(p InterferencePoint) float64 { return p.P99Ms }
+	rep.OnMeanTput = meanOver(rep.On.Points, active, tput)
+	rep.OffMeanTput = meanOver(rep.Off.Points, active, tput)
+	rep.OnMeanP99Ms = meanOver(rep.On.Points, active, p99)
+	rep.OffMeanP99Ms = meanOver(rep.Off.Points, active, p99)
+	if rep.OffMeanTput > 0 {
+		rep.TputInterferencePct = 100 * (1 - rep.OnMeanTput/rep.OffMeanTput)
+	}
+	fmt.Fprintf(w, "reorg-off: %d windows\n\n", len(off.series.Points))
+	fmt.Fprintf(w, "%-22s %12s %12s\n", "", "reorg-off", "reorg-on")
+	fmt.Fprintf(w, "%-22s %12.1f %12.1f\n", "mean tput (tps)", rep.OffMeanTput, rep.OnMeanTput)
+	fmt.Fprintf(w, "%-22s %12.1f %12.1f\n", "mean p99 (ms)", rep.OffMeanP99Ms, rep.OnMeanP99Ms)
+	fmt.Fprintf(w, "throughput interference: %.1f%% over %d reorg-active windows\n",
+		rep.TputInterferencePct, len(active))
+
+	ov, err := runNetloadOverload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.Overload = ov
+	fmt.Fprintf(w, "overload: admit %.0f tx/s vs MPL %d — %d sheds, %d commits, admitted p99 %.1f ms\n\n",
+		ov.AdmitRate, ov.MPL, ov.Sheds, ov.Commits, ov.AdmittedP99Ms)
+	return rep, nil
+}

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/hwmode"
+	"repro/internal/reorg"
+	"repro/internal/workload"
+)
+
+// tinyNetloadConfig sizes a netload pair small enough for go test.
+func tinyNetloadConfig() NetloadConfig {
+	p := workload.DefaultParams()
+	p.NumPartitions = 2
+	p.ObjectsPerPartition = 126
+	p.MPL = 4
+	p.Seed = 7
+	return NetloadConfig{
+		Params:            p,
+		DB:                db.DefaultConfig(),
+		Mode:              reorg.ModeIRA,
+		ReorgPartition:    1,
+		Window:            50 * time.Millisecond,
+		Warmup:            100 * time.Millisecond,
+		LeadWindows:       2,
+		DrainWindows:      1,
+		MaxConns:          16,
+		AcceptQueue:       4,
+		OverloadAdmitRate: 10,
+		OverloadDuration:  400 * time.Millisecond,
+	}
+}
+
+// TestNetloadPair runs the full ON/OFF monitor plus the overload cell
+// over real sockets at tiny scale.
+func TestNetloadPair(t *testing.T) {
+	cfg := tinyNetloadConfig()
+	env := applyMode(hwmode.Fidelity, &cfg.Params, &cfg.DB)
+	rep, err := runNetload(io.Discard, cfg, "test", env)
+	if err != nil {
+		t.Fatalf("runNetload: %v", err)
+	}
+	if len(rep.On.Points) == 0 || len(rep.Off.Points) != len(rep.On.Points) {
+		t.Fatalf("window pairing broken: on=%d off=%d", len(rep.On.Points), len(rep.Off.Points))
+	}
+	var commits int
+	for _, p := range rep.On.Points {
+		commits += p.Commits
+	}
+	if commits == 0 {
+		t.Fatal("no transaction committed over the socket path")
+	}
+	if rep.On.Migrated == 0 {
+		t.Fatal("reorg-on run migrated nothing")
+	}
+	if rep.ServerOn.Committed == 0 {
+		t.Fatal("server counted no commits")
+	}
+	if rep.ServerOn.LiveConns != 0 || rep.ServerOn.ActiveTxns != 0 {
+		t.Fatalf("server leaked state after load stop: %+v", rep.ServerOn)
+	}
+	ov := rep.Overload
+	if ov == nil {
+		t.Fatal("overload cell missing")
+	}
+	if ov.Sheds == 0 {
+		t.Fatalf("overload cell shed nothing at admit rate %.0f with MPL %d", ov.AdmitRate, ov.MPL)
+	}
+	if ov.Commits == 0 {
+		t.Fatal("overload cell admitted nothing")
+	}
+	// The core shedding claim: admitted requests keep a sane tail even
+	// though the offered load is far above the admission rate. The
+	// bound is generous — it catches admitted requests queueing behind
+	// shed ones, not scheduler jitter.
+	if ov.AdmittedP99Ms > ms(2*time.Second) {
+		t.Fatalf("admitted p99 %.1f ms: shedding is not protecting admitted requests", ov.AdmittedP99Ms)
+	}
+}
+
+// TestNetChaosCell runs the socket-chaos cell at reduced scale: conn
+// drops and stalls under live reorganization, then a drain mid-fleet.
+func TestNetChaosCell(t *testing.T) {
+	res, err := RunNetChaos(io.Discard, NetChaosConfig{
+		Seed:                11,
+		Partitions:          2,
+		ObjectsPerPartition: 40,
+		Counters:            4,
+		MPL:                 4,
+		Duration:            600 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("RunNetChaos: %v", err)
+	}
+	if !res.DrainStoppedFleet {
+		t.Fatal("drain did not stop the active fleet")
+	}
+	if res.Firings == 0 || res.Commits == 0 {
+		t.Fatalf("cell under-exercised: %+v", res)
+	}
+}

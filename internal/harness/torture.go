@@ -693,6 +693,16 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 	}
 	close(stop)
 	wg.Wait()
+	// A counter worker's last commit can reach the armed hit after the
+	// fleet finished and the first CrashC check passed — the WAL device
+	// and segment directory are then frozen, and treating the round as
+	// clean would hand that dead store to the verifier. Re-check now
+	// that every firing source has stopped.
+	select {
+	case <-reg.CrashC():
+		rep.Crashed = true
+	default:
+	}
 	restore()
 
 	failures := s.Failures()

@@ -72,6 +72,29 @@ func PoolStatsSnapshot() any {
 	return (*fn)()
 }
 
+// serverStatsFn is the registered network-server stats provider. Like
+// the buffer pool, the server package registers a closure (obs must not
+// import server); the latest registration wins, so the live server is
+// always the one published.
+var serverStatsFn atomic.Pointer[func() any]
+
+// RegisterServerStats installs the network-server counter provider
+// published under the "server" expvar: live connections, shed counts,
+// per-tenant admit/deny decisions, and drain status.
+func RegisterServerStats(fn func() any) {
+	serverStatsFn.Store(&fn)
+}
+
+// ServerStatsSnapshot returns the registered provider's current state,
+// or nil when no server is serving.
+func ServerStatsSnapshot() any {
+	fn := serverStatsFn.Load()
+	if fn == nil {
+		return nil
+	}
+	return (*fn)()
+}
+
 var publishOnce sync.Once
 
 // PublishExpvar publishes the live tracer state as the expvar "obs" and
@@ -82,5 +105,6 @@ func PublishExpvar() {
 	publishOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(ExpvarSnapshot))
 		expvar.Publish("bufferpool", expvar.Func(PoolStatsSnapshot))
+		expvar.Publish("server", expvar.Func(ServerStatsSnapshot))
 	})
 }

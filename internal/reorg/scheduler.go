@@ -13,10 +13,17 @@ import (
 	"repro/internal/wal"
 )
 
+// ErrFleetStopped marks a deliberate fleet shutdown — Stop was asked
+// for, nothing went wrong. Callers that stop the fleet as part of their
+// own shutdown (the network server's drain path) match on this to tell
+// "we shut it down" apart from a real failure like ErrQuiesced.
+var ErrFleetStopped = errors.New("reorg: fleet stopped")
+
 // ErrStopped is returned for partitions the scheduler abandoned because
 // Stop was called. Unlike ErrCrash this is a clean abort: in-flight
 // transactions are rolled back and TRTs detached before Run returns.
-var ErrStopped = errors.New("reorg: scheduler stopped")
+// It wraps ErrFleetStopped, so errors.Is(err, ErrFleetStopped) holds.
+var ErrStopped = fmt.Errorf("reorg: scheduler stopped: %w", ErrFleetStopped)
 
 // ErrQuiesced is returned for partitions the scheduler abandoned
 // because a worker hit a failed log device (wal.ErrDeviceFailed).

@@ -190,6 +190,15 @@ func TestSchedulerStopAbortsCleanly(t *testing.T) {
 	if !errors.Is(runErr, ErrStopped) {
 		t.Fatalf("Run error = %v, want ErrStopped", runErr)
 	}
+	// A deliberate stop is distinguishable from a real failure: the
+	// server's drain path matches ErrFleetStopped, which ErrQuiesced
+	// (device failure) must never satisfy.
+	if !errors.Is(runErr, ErrFleetStopped) {
+		t.Fatalf("Run error = %v, want to match ErrFleetStopped", runErr)
+	}
+	if errors.Is(ErrQuiesced, ErrFleetStopped) {
+		t.Fatal("ErrQuiesced must not match ErrFleetStopped")
+	}
 	for p, ferr := range s.Failures() {
 		if !errors.Is(ferr, ErrStopped) {
 			t.Fatalf("partition %d failed with %v", p, ferr)

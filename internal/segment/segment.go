@@ -19,7 +19,12 @@
 // segment/sync — used by the torture harness. A crash-kind firing at
 // segment/write emulates the torn write itself: a seeded prefix of the
 // slot reaches the file, then the directory freezes (all further writes
-// fail), modeling the process dying mid-pwrite.
+// fail), modeling the process dying mid-pwrite. Error-kind firings (and
+// real I/O errors) are treated as transient device hiccups: the
+// operation retries a few times with doubling backoff, and only when
+// the budget is spent does the directory latch the device-failed
+// quiesce — writes and syncs freeze the directory (durability promises
+// may be void), reads just report the failure.
 package segment
 
 import (
@@ -32,6 +37,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/oid"
@@ -48,7 +54,47 @@ var (
 	ErrAbsent = errors.New("segment: page absent")
 	// ErrFrozen reports a write against a frozen (crashed) directory.
 	ErrFrozen = errors.New("segment: directory frozen after crash")
+	// ErrDeviceFailed reports an I/O failure that survived the transient
+	// retry budget: the device is treated as gone and the directory is
+	// frozen so no later write can appear durable when it is not.
+	ErrDeviceFailed = errors.New("segment: device failed (transient retries exhausted)")
 )
+
+// Transient I/O failures (an EIO-style hiccup, an injected error-kind
+// fault) are retried with a short doubling backoff before the directory
+// gives up; permanent conditions — a crash firing, a frozen directory,
+// a torn or absent slot — fail immediately, since retrying cannot change
+// what is on the medium.
+const (
+	ioRetries     = 3
+	ioBackoffBase = 200 * time.Microsecond
+)
+
+// permanentIOErr classifies an I/O error: true means retrying is
+// pointless.
+func permanentIOErr(err error) bool {
+	return fault.IsCrash(err) ||
+		errors.Is(err, ErrFrozen) ||
+		errors.Is(err, ErrTorn) ||
+		errors.Is(err, ErrAbsent)
+}
+
+// retryIO runs op until it succeeds, fails permanently, or exhausts the
+// retry budget. Callers hold d.mu; the backoff is short enough (≤1.4ms
+// total) that stalling the directory is preferable to letting another
+// writer race a flaky device.
+func (d *Dir) retryIO(op func() error) error {
+	backoff := ioBackoffBase
+	for attempt := 0; ; attempt++ {
+		err := op()
+		if err == nil || permanentIOErr(err) || attempt == ioRetries {
+			return err
+		}
+		d.ioRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
 
 const (
 	slotMagic  = 0x47534547 // "GESG"
@@ -77,6 +123,11 @@ type Dir struct {
 	// point inside writeSlot), so it must never need the lock.
 	frozen atomic.Bool
 
+	// ioRetries counts transient I/O failures absorbed by the retry
+	// loop (observability: a rising count flags a degrading device
+	// before it fails for good).
+	ioRetries atomic.Uint64
+
 	mu    sync.Mutex
 	files map[oid.PartitionID]*os.File
 }
@@ -100,6 +151,10 @@ func Open(path string, pageSize int) (*Dir, error) {
 
 // Path returns the directory path.
 func (d *Dir) Path() string { return d.path }
+
+// IORetries returns how many transient I/O failures the retry loop has
+// absorbed since Open.
+func (d *Dir) IORetries() uint64 { return d.ioRetries.Load() }
 
 // PageSize returns the configured page size.
 func (d *Dir) PageSize() int { return d.pageSize }
@@ -156,25 +211,37 @@ func (d *Dir) writeSlot(part oid.PartitionID, pn int, buf []byte) error {
 	if err != nil {
 		return fmt.Errorf("segment: %w", err)
 	}
-	if ferr := fpWrite.Maybe(); ferr != nil {
-		if fault.IsCrash(ferr) {
-			// Torn write: a seeded prefix of the slot reaches the
-			// medium before the process dies; the directory freezes so
-			// nothing after this instant can become durable. A zero
-			// prefix models "the pwrite never made it" (old slot image
-			// survives intact) — also a legal crash state.
-			n := int(fault.RandOf(ferr) * float64(len(buf)))
-			if n > 0 {
-				_, _ = f.WriteAt(buf[:n], d.slotOffset(pn))
-			}
-			d.frozen.Store(true)
+	err = d.retryIO(func() error {
+		if d.frozen.Load() {
+			return ErrFrozen
 		}
-		return fmt.Errorf("segment: write part %d page %d: %w", part, pn, ferr)
+		if ferr := fpWrite.Maybe(); ferr != nil {
+			if fault.IsCrash(ferr) {
+				// Torn write: a seeded prefix of the slot reaches the
+				// medium before the process dies; the directory freezes so
+				// nothing after this instant can become durable. A zero
+				// prefix models "the pwrite never made it" (old slot image
+				// survives intact) — also a legal crash state.
+				n := int(fault.RandOf(ferr) * float64(len(buf)))
+				if n > 0 {
+					_, _ = f.WriteAt(buf[:n], d.slotOffset(pn))
+				}
+				d.frozen.Store(true)
+			}
+			return fmt.Errorf("segment: write part %d page %d: %w", part, pn, ferr)
+		}
+		if _, err := f.WriteAt(buf, d.slotOffset(pn)); err != nil {
+			return fmt.Errorf("segment: write part %d page %d: %w", part, pn, err)
+		}
+		return nil
+	})
+	if err != nil && !permanentIOErr(err) {
+		// The transient budget is spent: latch the device-failed quiesce
+		// so nothing written after this instant can be presumed durable.
+		d.frozen.Store(true)
+		return fmt.Errorf("%w: %w", ErrDeviceFailed, err)
 	}
-	if _, err := f.WriteAt(buf, d.slotOffset(pn)); err != nil {
-		return fmt.Errorf("segment: write part %d page %d: %w", part, pn, err)
-	}
-	return nil
+	return err
 }
 
 // WritePage durably-intends page pn of part: the slot is written with
@@ -204,6 +271,20 @@ func (d *Dir) ReadPage(part oid.PartitionID, pn int) ([]byte, uint64, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	var (
+		page []byte
+		lsn  uint64
+	)
+	err := d.retryIO(func() error {
+		var rerr error
+		page, lsn, rerr = d.readPageLocked(part, pn)
+		return rerr
+	})
+	return page, lsn, err
+}
+
+// readPageLocked is one read attempt. Caller holds d.mu.
+func (d *Dir) readPageLocked(part oid.PartitionID, pn int) ([]byte, uint64, error) {
 	if ferr := fpRead.Maybe(); ferr != nil {
 		return nil, 0, fmt.Errorf("segment: read part %d page %d: %w", part, pn, ferr)
 	}
@@ -309,16 +390,28 @@ func (d *Dir) syncLocked(part oid.PartitionID) error {
 	if !ok {
 		return nil // nothing written through this handle
 	}
-	if ferr := fpSync.Maybe(); ferr != nil {
-		if fault.IsCrash(ferr) {
-			d.frozen.Store(true)
+	err := d.retryIO(func() error {
+		if d.frozen.Load() {
+			return ErrFrozen
 		}
-		return fmt.Errorf("segment: sync part %d: %w", part, ferr)
+		if ferr := fpSync.Maybe(); ferr != nil {
+			if fault.IsCrash(ferr) {
+				d.frozen.Store(true)
+			}
+			return fmt.Errorf("segment: sync part %d: %w", part, ferr)
+		}
+		if err := f.Sync(); err != nil {
+			return fmt.Errorf("segment: sync part %d: %w", part, err)
+		}
+		return nil
+	})
+	if err != nil && !permanentIOErr(err) {
+		// A sync that keeps failing means durability promises already
+		// made may be void — same latch as a failed write.
+		d.frozen.Store(true)
+		return fmt.Errorf("%w: %w", ErrDeviceFailed, err)
 	}
-	if err := f.Sync(); err != nil {
-		return fmt.Errorf("segment: sync part %d: %w", part, err)
-	}
-	return nil
+	return err
 }
 
 // SyncAll forces every open segment file to the medium.

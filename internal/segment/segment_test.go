@@ -217,7 +217,9 @@ func TestResetAndDrop(t *testing.T) {
 	}
 }
 
-func TestSyncFaultPoint(t *testing.T) {
+func TestSyncTransientFaultAbsorbed(t *testing.T) {
+	// A single error-kind firing is a transient hiccup: the retry loop
+	// absorbs it and the sync succeeds.
 	d := openDir(t, 64)
 	if err := d.WritePage(1, 1, pageOf(1, 64), 1); err != nil {
 		t.Fatal(err)
@@ -227,11 +229,121 @@ func TestSyncFaultPoint(t *testing.T) {
 	restore := fault.Install(reg)
 	err := d.SyncAll()
 	restore()
+	if err != nil {
+		t.Fatalf("transient sync fault not absorbed: %v", err)
+	}
+	if d.IORetries() == 0 {
+		t.Fatal("retry counter = 0, want > 0")
+	}
+	if d.Frozen() {
+		t.Fatal("directory frozen by an absorbed transient fault")
+	}
+}
+
+func TestSyncExhaustionLatchesDeviceFailed(t *testing.T) {
+	// A persistent error-kind fault outlives the retry budget: the sync
+	// fails with ErrDeviceFailed and the directory freezes.
+	d := openDir(t, 64)
+	if err := d.WritePage(1, 1, pageOf(1, 64), 1); err != nil {
+		t.Fatal(err)
+	}
+	reg := fault.NewRegistry(2)
+	reg.Arm(fault.Trigger{Point: fault.SegmentSync, Kind: fault.KindError, Times: fault.Forever})
+	restore := fault.Install(reg)
+	err := d.SyncAll()
+	restore()
+	if !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("err = %v, want ErrDeviceFailed", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want to keep the injected cause", err)
+	}
+	if !d.Frozen() {
+		t.Fatal("directory not frozen after retry exhaustion")
+	}
+	if err := d.WritePage(1, 2, pageOf(2, 64), 2); !errors.Is(err, ErrFrozen) {
+		t.Fatalf("post-quiesce write = %v, want ErrFrozen", err)
+	}
+}
+
+func TestWriteTransientFaultAbsorbed(t *testing.T) {
+	d := openDir(t, 64)
+	reg := fault.NewRegistry(3)
+	// Two consecutive firings: still inside the retry budget.
+	reg.Arm(fault.Trigger{Point: fault.SegmentWrite, Kind: fault.KindError, Times: 2})
+	restore := fault.Install(reg)
+	err := d.WritePage(1, 1, pageOf(7, 64), 9)
+	restore()
+	if err != nil {
+		t.Fatalf("transient write faults not absorbed: %v", err)
+	}
+	got, lsn, err := d.ReadPage(1, 1)
+	if err != nil || lsn != 9 || got[0] != 7 {
+		t.Fatalf("page after absorbed faults: got[0]=%d lsn=%d err=%v", got[0], lsn, err)
+	}
+	if d.IORetries() < 2 {
+		t.Fatalf("retry counter = %d, want >= 2", d.IORetries())
+	}
+}
+
+func TestWriteExhaustionLatchesDeviceFailed(t *testing.T) {
+	d := openDir(t, 64)
+	reg := fault.NewRegistry(3)
+	reg.Arm(fault.Trigger{Point: fault.SegmentWrite, Kind: fault.KindError, Times: fault.Forever})
+	restore := fault.Install(reg)
+	err := d.WritePage(1, 1, pageOf(7, 64), 9)
+	restore()
+	if !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("err = %v, want ErrDeviceFailed", err)
+	}
+	if !d.Frozen() {
+		t.Fatal("directory not frozen after write retry exhaustion")
+	}
+}
+
+func TestReadTransientFaultAbsorbed(t *testing.T) {
+	d := openDir(t, 64)
+	if err := d.WritePage(1, 1, pageOf(5, 64), 3); err != nil {
+		t.Fatal(err)
+	}
+	reg := fault.NewRegistry(4)
+	reg.Arm(fault.Trigger{Point: fault.SegmentRead, Kind: fault.KindError})
+	restore := fault.Install(reg)
+	got, lsn, err := d.ReadPage(1, 1)
+	restore()
+	if err != nil || lsn != 3 || got[0] != 5 {
+		t.Fatalf("read under transient fault: got[0]=%v lsn=%d err=%v", got, lsn, err)
+	}
+	// Permanent conditions are NOT retried: an absent slot fails at the
+	// first attempt without burning the budget.
+	before := d.IORetries()
+	if _, _, err := d.ReadPage(1, 99); !errors.Is(err, ErrAbsent) {
+		t.Fatalf("absent read = %v, want ErrAbsent", err)
+	}
+	if d.IORetries() != before {
+		t.Fatal("absent slot consumed retry budget")
+	}
+}
+
+func TestReadExhaustionReportsWithoutFreezing(t *testing.T) {
+	// Read failures do not invalidate durability already promised, so
+	// exhaustion reports the error but leaves the directory usable.
+	d := openDir(t, 64)
+	if err := d.WritePage(1, 1, pageOf(5, 64), 3); err != nil {
+		t.Fatal(err)
+	}
+	reg := fault.NewRegistry(4)
+	reg.Arm(fault.Trigger{Point: fault.SegmentRead, Kind: fault.KindError, Times: fault.Forever})
+	restore := fault.Install(reg)
+	_, _, err := d.ReadPage(1, 1)
+	restore()
 	if !errors.Is(err, fault.ErrInjected) {
 		t.Fatalf("err = %v, want injected", err)
 	}
-	// Retryable: works once the registry is gone.
-	if err := d.SyncAll(); err != nil {
-		t.Fatal(err)
+	if d.Frozen() {
+		t.Fatal("read exhaustion must not freeze the directory")
+	}
+	if _, lsn, err := d.ReadPage(1, 1); err != nil || lsn != 3 {
+		t.Fatalf("read after fault cleared: lsn=%d err=%v", lsn, err)
 	}
 }

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// admission implements per-tenant weighted fair queuing over new
+// transactions with token buckets. Each tenant's bucket refills at
+// rate × weight / Σweights — a tenant's admission share is proportional
+// to its weight, and an idle tenant's unused share is bounded by its
+// bucket depth, so a burst after idleness cannot starve the others for
+// longer than one bucket. Admission is charged at Begin only: a
+// transaction that has begun may always run to completion, because
+// shedding a transaction that already holds locks would waste the very
+// capacity shedding is meant to protect.
+type admission struct {
+	mu            sync.Mutex
+	rate          float64 // admissions/sec across all tenants; <= 0 disables
+	burst         float64 // aggregate bucket depth, in admissions
+	defaultWeight float64
+	totalWeight   float64
+	tenants       map[string]*tenantBucket
+}
+
+type tenantBucket struct {
+	weight   float64
+	tokens   float64
+	last     time.Time
+	admitted uint64
+	denied   uint64
+}
+
+func newAdmission(rate, burst float64, weights map[string]float64) *admission {
+	if burst <= 0 {
+		// Default depth: a tenth of a second of the admission rate, at
+		// least one whole admission so a conforming tenant never starves.
+		burst = rate / 10
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	a := &admission{
+		rate:          rate,
+		burst:         burst,
+		defaultWeight: 1,
+		tenants:       make(map[string]*tenantBucket),
+	}
+	now := time.Now()
+	for name, w := range weights {
+		if w <= 0 {
+			w = 1
+		}
+		a.tenants[name] = &tenantBucket{weight: w, last: now}
+		a.totalWeight += w
+	}
+	// Start every preconfigured bucket full so the first transactions
+	// after startup are admitted, same as a lazily-registered tenant.
+	for _, b := range a.tenants {
+		b.tokens = a.burst * b.weight / a.totalWeight
+	}
+	return a
+}
+
+// bucket returns (registering if new) the tenant's bucket. Caller holds
+// a.mu.
+func (a *admission) bucket(tenant string, now time.Time) *tenantBucket {
+	b := a.tenants[tenant]
+	if b == nil {
+		b = &tenantBucket{weight: a.defaultWeight, last: now}
+		a.tenants[tenant] = b
+		a.totalWeight += b.weight
+		// A newly-seen tenant starts with a full share of the burst so
+		// its first transactions are not shed before the bucket has ever
+		// refilled.
+		b.tokens = a.burst * b.weight / a.totalWeight
+	}
+	return b
+}
+
+// admit charges one transaction admission to the tenant. When denied,
+// retryAfter is the time until the bucket holds a whole token — the
+// hint the server sends back with RETRY_AFTER.
+func (a *admission) admit(tenant string) (ok bool, retryAfter time.Duration) {
+	now := time.Now()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := a.bucket(tenant, now)
+	if a.rate <= 0 {
+		b.admitted++
+		return true, 0
+	}
+	share := a.rate * b.weight / a.totalWeight
+	depth := a.burst * b.weight / a.totalWeight
+	if depth < 1 {
+		depth = 1
+	}
+	b.tokens += now.Sub(b.last).Seconds() * share
+	b.last = now
+	if b.tokens > depth {
+		b.tokens = depth
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		b.admitted++
+		return true, 0
+	}
+	b.denied++
+	return false, time.Duration((1 - b.tokens) / share * float64(time.Second))
+}
+
+// TenantStats is one tenant's cumulative admission decision counters.
+type TenantStats struct {
+	Weight   float64 `json:"weight"`
+	Admitted uint64  `json:"admitted"`
+	Denied   uint64  `json:"denied"`
+}
+
+func (a *admission) stats() map[string]TenantStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]TenantStats, len(a.tenants))
+	for name, b := range a.tenants {
+		out[name] = TenantStats{Weight: b.weight, Admitted: b.admitted, Denied: b.denied}
+	}
+	return out
+}
