@@ -12,6 +12,7 @@
 //	reorgbench -bench autopilot         # closed-loop churn→detect→repair run → BENCH_autopilot.json
 //	reorgbench -bench bufferpool        # scan fault rate before/after clustering → BENCH_bufferpool.json
 //	reorgbench -bench netload           # wire-protocol client/server series → BENCH_netload.json
+//	reorgbench -bench queryscan         # operator-pipeline traversal vs clustering + scan interference → BENCH_queryscan.json
 //	reorgbench -bench lockscale -mode hardware   # one trajectory only (fidelity, hardware, or both)
 //	reorgbench -http :6060 -exp fig6    # expose expvar + pprof while running
 //
@@ -77,7 +78,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
-		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool, netload")
+		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool, netload, queryscan")
 		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
 		mode     = flag.String("mode", "both", "execution mode for -bench trajectories: fidelity, hardware, or both")
 		httpAddr = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
@@ -207,8 +208,22 @@ func main() {
 			if *verbose {
 				fmt.Printf("-- netload completed in %s\n", time.Since(start).Round(time.Millisecond))
 			}
+		case "queryscan":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_queryscan.json"
+			}
+			fmt.Printf("== queryscan — cold traversal vs clustering + scan-on/off interference (scale: %s) ==\n", sc.Name)
+			start := time.Now()
+			if err := harness.RunQueryScan(os.Stdout, sc, out); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark queryscan failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- queryscan completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot, bufferpool, netload)\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot, bufferpool, netload, queryscan)\n", *bench)
 			os.Exit(2)
 		}
 		return

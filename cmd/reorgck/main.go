@@ -4,11 +4,17 @@
 // consistency — referential integrity, ERT exactness, reachable-set and
 // payload preservation.
 //
+// The stress run also keeps -scans analytic traversal workers going
+// through the internal/query operator pipeline while the partitions
+// migrate: every committed traversal must return exactly the payload
+// multiset of a quiescent baseline.
+//
 // Usage:
 //
-//	reorgck                       # defaults: IRA, small database
+//	reorgck                       # defaults: IRA, small database, 1 scan worker
 //	reorgck -alg twolock -mpl 20 -objects 2040 -rounds 2
 //	reorgck -workers 4            # reorganize all partitions concurrently
+//	reorgck -scans 0              # disable the analytic traversal workers
 //	reorgck -mode hardware        # bypass the CPU token, group-commit WAL
 //
 // -alg selects the reorganization algorithm (ira, twolock, pqr); -mode
@@ -47,12 +53,15 @@
 package main
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"math/rand"
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -66,6 +75,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/oid"
+	"repro/internal/query"
 	"repro/internal/reorg"
 	"repro/internal/server"
 	"repro/internal/workload"
@@ -81,6 +91,7 @@ func main() {
 		batch      = flag.Int("batch", 1, "object migrations per transaction (ira)")
 		rounds     = flag.Int("rounds", 1, "times to reorganize every partition")
 		workers    = flag.Int("workers", 1, "scheduler worker pool size; >1 reorganizes partitions concurrently")
+		scans      = flag.Int("scans", 1, "analytic traversal workers querying during the stress run (0 disables)")
 		seed       = flag.Int64("seed", 1, "workload seed")
 		torture    = flag.Bool("torture", false, "run the crash-recovery torture sweep instead of the stress check")
 		seeds      = flag.Int("seeds", 24, "torture: number of seeded runs")
@@ -170,10 +181,90 @@ func main() {
 		}
 	}
 
+	// Quiescent baseline for the scan workers: the payload multiset
+	// every committed traversal must reproduce, whatever the addresses
+	// underneath it are doing.
+	traverse := func(budget int) (*query.Result, error) {
+		return query.Run(w.DB, query.Options{MaxRestarts: budget}, func(e *query.Exec) (query.Operator, error) {
+			return query.NewFollowRefs(w.Roots(), -1), nil
+		})
+	}
+	var want map[string]int
+	if *scans > 0 {
+		base, err := traverse(5)
+		if err != nil {
+			fatal(err)
+		}
+		want = query.Multiset(query.Payloads(base.Rows))
+	}
+
 	rec := metrics.NewRecorder()
 	driver := workload.NewDriver(w, rec)
 	rec.StartWindow()
 	driver.Start()
+
+	// A traversal S-locks everything it returns, so the reorganizer's
+	// §4.5 pre-start wait must be able to outlast one (plus lock-queue
+	// time) instead of the default snappy budget.
+	ropts := reorg.Options{Mode: mode, BatchSize: *batch}
+	if *scans > 0 {
+		ropts.WaitTimeout = 5 * time.Second
+	}
+
+	var (
+		scanStop      = make(chan struct{})
+		scanWG        sync.WaitGroup
+		scanCommits   atomic.Int64
+		scanExhausted atomic.Int64
+		scanMu        sync.Mutex
+		scanViolation error
+	)
+	for si := 0; si < *scans; si++ {
+		scanWG.Add(1)
+		go func() {
+			defer scanWG.Done()
+			for {
+				select {
+				case <-scanStop:
+					return
+				default:
+				}
+				res, err := traverse(30)
+				if err != nil {
+					if errors.Is(err, query.ErrRestartsExhausted) {
+						scanExhausted.Add(1)
+						continue
+					}
+					scanMu.Lock()
+					if scanViolation == nil {
+						scanViolation = err
+					}
+					scanMu.Unlock()
+					return
+				}
+				scanCommits.Add(1)
+				got := query.Multiset(query.Payloads(res.Rows))
+				bad := len(got) != len(want)
+				if !bad {
+					for s, n := range want {
+						if got[s] != n {
+							bad = true
+							break
+						}
+					}
+				}
+				if bad {
+					scanMu.Lock()
+					if scanViolation == nil {
+						scanViolation = fmt.Errorf("committed traversal drifted from the baseline payload multiset")
+					}
+					scanMu.Unlock()
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
 
 	for round := 1; round <= *rounds; round++ {
 		if *workers > 1 {
@@ -185,7 +276,7 @@ func main() {
 			}
 			s, err := reorg.NewScheduler(w.DB, parts, reorg.FleetOptions{
 				Workers: *workers,
-				Reorg:   reorg.Options{Mode: mode, BatchSize: *batch},
+				Reorg:   ropts,
 				Fleet:   fleet,
 			})
 			if err != nil {
@@ -200,7 +291,7 @@ func main() {
 			continue
 		}
 		for p := 1; p <= *partitions; p++ {
-			r := reorg.New(w.DB, oid.PartitionID(p), reorg.Options{Mode: mode, BatchSize: *batch})
+			r := reorg.New(w.DB, oid.PartitionID(p), ropts)
 			if err := r.Run(); err != nil {
 				fatal(fmt.Errorf("round %d partition %d: %w", round, p, err))
 			}
@@ -209,9 +300,18 @@ func main() {
 				round, p, mode, st.Migrated, st.ParentsUpdated, st.Retries, st.Duration().Round(1e6))
 		}
 	}
+	close(scanStop)
+	scanWG.Wait()
 	sum := rec.Stop()
 	driver.Stop()
 	fmt.Printf("workload during reorganizations: %s\n", sum)
+	if scanViolation != nil {
+		fatal(fmt.Errorf("QUERY VIOLATION: %w", scanViolation))
+	}
+	if *scans > 0 {
+		fmt.Printf("analytic scans: %d committed traversals, %d exhausted budgets, every committed multiset exact\n",
+			scanCommits.Load(), scanExhausted.Load())
+	}
 
 	rep, err := check.Verify(w.DB, w.Roots())
 	if err != nil {

@@ -446,6 +446,25 @@ func (d *Database) FuzzyReadRefs(o oid.OID) ([]oid.OID, error) {
 // Exists reports whether o addresses a live object.
 func (d *Database) Exists(o oid.OID) bool { return d.store.Exists(o) }
 
+// PartitionOIDs snapshots the addresses of every live object in part,
+// in physical (page, slot) order. The enumeration is atomic — it holds
+// the partition's read latch for one pass and copies only OIDs — but
+// fuzzy: by the time the caller dereferences an address, a concurrent
+// reorganization may have migrated the object away, which surfaces as
+// storage.ErrNoObject on the read. Scan operators treat that as a
+// restart signal rather than an error.
+func (d *Database) PartitionOIDs(part oid.PartitionID) ([]oid.OID, error) {
+	var oids []oid.OID
+	err := d.store.ForEach(part, func(o oid.OID, _ []byte) bool {
+		oids = append(oids, o)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return oids, nil
+}
+
 // Checkpoint captures an action-consistent checkpoint: a deep snapshot of
 // the store plus a checkpoint log record listing active transactions.
 // Restart recovery restores the snapshot and replays the log from the

@@ -40,6 +40,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/oid"
+	"repro/internal/query"
 	"repro/internal/recovery"
 	"repro/internal/reorg"
 	"repro/internal/segment"
@@ -93,6 +94,17 @@ type TortureConfig struct {
 	// paced admissions, exercising the §4.4 resume protocol with the
 	// pacer in the worker loop.
 	AdaptivePace bool
+	// QueryScan adds an analytic query worker to every round: full
+	// reference-path traversals of the tree fixture through the
+	// internal/query operators while the partitions underneath migrate,
+	// crash, and resume. Every traversal that commits must return
+	// exactly the fixture's payload multiset — no dangling refs, no
+	// duplicates (two-lock rounds excepted: a committed in-flight pair
+	// is legitimately alive at two addresses, §4.2), and no missed
+	// committed objects. Failed attempts (crashes, injected faults,
+	// exhausted restart budgets) end silently: liveness is the fleet's
+	// problem, the worker only polices committed results.
+	QueryScan bool
 
 	// FileWAL runs the WAL on a real file device under Dir, so
 	// crashes exercise torn-tail scanning and fsync ordering. Dir is
@@ -161,6 +173,9 @@ type RoundReport struct {
 	// Resumed and Fresh count how the next life's partitions restart.
 	Resumed int
 	Fresh   int
+	// QueryCommits counts the round's committed analytic traversals
+	// (QueryScan runs only).
+	QueryCommits int
 }
 
 // TortureResult summarizes a passed run.
@@ -185,7 +200,10 @@ type tortureWorld struct {
 	ctrRoot   oid.OID
 	allRoots  []oid.OID
 	treeSig   map[string][]string
-	expectObj int
+	// treePayloads is the payload multiset reachable from treeRoots —
+	// the ground truth every committed QueryScan traversal must return.
+	treePayloads map[string]int
+	expectObj    int
 
 	oracle *ctrOracle
 
@@ -357,6 +375,13 @@ func (w *tortureWorld) build() error {
 	}
 	w.allRoots = append(append([]oid.OID(nil), w.treeRoots...), w.ctrRoot)
 	w.expectObj = cfg.Partitions*cfg.ObjectsPerPartition + cfg.Partitions + cfg.Counters + 1
+	w.treePayloads = make(map[string]int)
+	for p := 1; p <= cfg.Partitions; p++ {
+		w.treePayloads[fmt.Sprintf("root-p%d", p)]++
+		for i := 0; i < cfg.ObjectsPerPartition; i++ {
+			w.treePayloads[fmt.Sprintf("p%d-n%d", p, i)]++
+		}
+	}
 	if w.treeSig, err = check.Signature(w.d, w.treeRoots); err != nil {
 		return err
 	}
@@ -448,6 +473,99 @@ func (w *tortureWorld) counterTxn(rng *rand.Rand) {
 	if tx.Commit() == nil {
 		w.oracle.ack(i, next)
 	}
+}
+
+// queryCell collects one round's query-worker observations.
+type queryCell struct {
+	mu        sync.Mutex
+	committed int
+	viol      error
+}
+
+func (c *queryCell) commit() {
+	c.mu.Lock()
+	c.committed++
+	c.mu.Unlock()
+}
+
+func (c *queryCell) fail(err error) {
+	c.mu.Lock()
+	if c.viol == nil {
+		c.viol = err
+	}
+	c.mu.Unlock()
+}
+
+func (c *queryCell) result() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.committed, c.viol
+}
+
+// queryWorker runs full tree traversals through the query operators
+// while the round's fleet migrates the partitions underneath. Errors
+// end the attempt (the crash kills every transaction eventually);
+// committed traversals are held to the fixture's payload multiset.
+// The worker is bounded — a few committed traversals (or attempts, if
+// the round is too contended to commit) cover the racing window, and
+// an unbounded worker would stretch every round: each traversal
+// S-locks the whole tree, so the fleet spends its wait budget against
+// it and a ~0.1s round becomes seconds, multiplied across the sweep.
+func (w *tortureWorld) queryWorker(cell *queryCell, stop <-chan struct{}) {
+	allowDup := w.cfg.Mode == reorg.ModeIRATwoLock
+	commits := 0
+	for attempts := 0; commits < 3 && attempts < 6; attempts++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		res, err := query.Run(w.d, query.Options{MaxRestarts: 8, Backoff: time.Millisecond},
+			func(e *query.Exec) (query.Operator, error) {
+				return query.NewFollowRefs(w.treeRoots, -1), nil
+			})
+		if err != nil {
+			time.Sleep(500 * time.Microsecond)
+			continue
+		}
+		if err := w.checkQueryRows(res.Rows, allowDup); err != nil {
+			cell.fail(err)
+			return
+		}
+		commits++
+		cell.commit()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// checkQueryRows asserts a committed traversal returned exactly the
+// tree payload multiset. allowDup admits one extra copy per payload:
+// the two-lock algorithm commits intermediate states in which a
+// migrating object is legitimately alive at both addresses, and a
+// traversal can reach both through differently-repointed parents.
+func (w *tortureWorld) checkQueryRows(rows []query.Row, allowDup bool) error {
+	got := query.Multiset(query.Payloads(rows))
+	for payload, n := range got {
+		want, ok := w.treePayloads[payload]
+		if !ok {
+			return fmt.Errorf("traversal returned phantom payload %q", payload)
+		}
+		max := want
+		if allowDup {
+			max = want + 1
+		}
+		if n > max {
+			return fmt.Errorf("traversal returned payload %q %d times (want %d, dup allowance %v)",
+				payload, n, want, allowDup)
+		}
+	}
+	for payload, want := range w.treePayloads {
+		if got[payload] < want {
+			return fmt.Errorf("traversal missed committed payload %q (%d of %d)",
+				payload, got[payload], want)
+		}
+	}
+	return nil
 }
 
 // verify asserts every invariant on a quiesced database: zero
@@ -628,6 +746,15 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 			w.counterWorker(cfg.Seed*100+int64(round*cfg.MPL+i), stop)
 		}(i)
 	}
+	var qcell *queryCell
+	if cfg.QueryScan {
+		qcell = &queryCell{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.queryWorker(qcell, stop)
+		}()
+	}
 
 	var pace func() error
 	maxRetries := 50
@@ -705,6 +832,14 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 	}
 	restore()
 
+	if qcell != nil {
+		commits, viol := qcell.result()
+		rep.QueryCommits = commits
+		if viol != nil {
+			return rep, false, w.fail(round, "query worker: %v", viol)
+		}
+	}
+
 	failures := s.Failures()
 	states := s.States()
 
@@ -714,7 +849,12 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 		// database is alive — no recovery, just bookkeeping.
 		if fleetErr != nil {
 			for p, ferr := range failures {
-				if !errors.Is(ferr, lock.ErrTimeout) && !errors.Is(ferr, reorg.ErrQuiesced) {
+				// ErrTxnWaitTimeout joins the tolerated set when analytic
+				// traversals run: the §4.5 pre-start wait can expire against
+				// a query that S-locks the whole tree, and the partition
+				// simply retries next round.
+				if !errors.Is(ferr, lock.ErrTimeout) && !errors.Is(ferr, reorg.ErrQuiesced) &&
+					!(cfg.QueryScan && errors.Is(ferr, db.ErrTxnWaitTimeout)) {
 					return rep, false, w.fail(round, "partition %d failed without a crash: %v", p, ferr)
 				}
 			}
@@ -866,6 +1006,21 @@ func RunTorture(cfg TortureConfig) (*TortureResult, error) {
 	if err := w.verify(-1, "final", nil, 0); err != nil {
 		return res, err
 	}
+	if cfg.QueryScan {
+		// The final database is quiesced and every in-flight pair is
+		// collapsed, so one traversal MUST commit and match exactly —
+		// no two-lock duplicate allowance here.
+		qres, err := query.Run(w.d, query.Options{MaxRestarts: 10},
+			func(e *query.Exec) (query.Operator, error) {
+				return query.NewFollowRefs(w.treeRoots, -1), nil
+			})
+		if err != nil {
+			return res, w.fail(-1, "final traversal failed on a quiesced database: %v", err)
+		}
+		if err := w.checkQueryRows(qres.Rows, false); err != nil {
+			return res, w.fail(-1, "final traversal: %v", err)
+		}
+	}
 	rep, err := check.Verify(w.d, w.allRoots)
 	if err != nil {
 		return res, err
@@ -967,6 +1122,7 @@ func RunTortureSweep(w io.Writer, spec TortureSpec) ([]SweepFailure, error) {
 			CrashDuringRecovery: n%3 == 0,
 			Chaos:               n%2 == 1,
 			AdaptivePace:        n%3 == 1,
+			QueryScan:           n%2 == 0,
 		}
 		res, err := RunTorture(cfg)
 		if err != nil {

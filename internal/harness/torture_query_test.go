@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/reorg"
+)
+
+// TestTortureQueryScan is the scan-under-reorg torture cell: a query
+// worker traverses the migrating partitions through the
+// internal/query operators across crash/recover/resume rounds. Every
+// committed traversal must return exactly the fixture's payload
+// multiset — no dangling refs, no duplicates beyond the two-lock
+// in-flight allowance, no missed committed objects — and a final
+// strict traversal must match on the fully-recovered database. One
+// basic-IRA cell crashes mid-parent-rewrite; one two-lock cell crashes
+// with a committed in-flight pair alive at two addresses.
+func TestTortureQueryScan(t *testing.T) {
+	cells := []struct {
+		name string
+		cfg  TortureConfig
+	}{
+		{"ira-parents-locked", TortureConfig{
+			Seed: 5, Point: "reorg/parents-locked", Mode: reorg.ModeIRA,
+			MaxHit: 60, QueryScan: true,
+		}},
+		{"twolock-parents-done", TortureConfig{
+			Seed: 9, Point: "reorg/twolock-parents-done", Mode: reorg.ModeIRATwoLock,
+			MaxHit: 60, QueryScan: true,
+		}},
+	}
+	if !testing.Short() {
+		cells = append(cells, struct {
+			name string
+			cfg  TortureConfig
+		}{"disk-pool-evict", TortureConfig{
+			Seed: 13, Point: "pool/evict", Mode: reorg.ModeIRA,
+			MaxHit: 4, DiskBacked: true, QueryScan: true, Chaos: true,
+		}})
+	}
+	for _, cell := range cells {
+		cell := cell
+		t.Run(cell.name, func(t *testing.T) {
+			cfg := cell.cfg
+			cfg.Dir = t.TempDir()
+			res, err := RunTorture(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			commits := 0
+			for _, r := range res.Rounds {
+				commits += r.QueryCommits
+			}
+			t.Logf("%s: lives=%d rounds=%d committed traversals=%d",
+				cell.name, res.Lives, len(res.Rounds), commits)
+		})
+	}
+}

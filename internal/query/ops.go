@@ -1,0 +1,174 @@
+package query
+
+import (
+	"sort"
+
+	"repro/internal/oid"
+)
+
+// Filter passes through the rows for which Pred returns true.
+type Filter struct {
+	in   Operator
+	pred func(Row) bool
+}
+
+// NewFilter filters in through pred.
+func NewFilter(in Operator, pred func(Row) bool) *Filter {
+	return &Filter{in: in, pred: pred}
+}
+
+func (f *Filter) Open(e *Exec) error { return f.in.Open(e) }
+
+func (f *Filter) Next() (Row, bool, error) {
+	for {
+		row, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		if f.pred(row) {
+			return row, true, nil
+		}
+	}
+}
+
+func (f *Filter) Close() error { return f.in.Close() }
+
+// Project rewrites each row through fn — typically narrowing the
+// payload to the "columns" downstream operators need.
+type Project struct {
+	in Operator
+	fn func(Row) Row
+}
+
+// NewProject maps in through fn.
+func NewProject(in Operator, fn func(Row) Row) *Project {
+	return &Project{in: in, fn: fn}
+}
+
+func (p *Project) Open(e *Exec) error { return p.in.Open(e) }
+
+func (p *Project) Next() (Row, bool, error) {
+	row, ok, err := p.in.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	return p.fn(row), true, nil
+}
+
+func (p *Project) Close() error { return p.in.Close() }
+
+// JoinRef is the graph join: for every input row it emits one output
+// row per outgoing reference, reading the referenced object through
+// the transaction. Rows without references join to nothing and are
+// dropped. The input row is Shared-locked when its references are
+// chased, so each emitted child was live at a committed address.
+type JoinRef struct {
+	in Operator
+
+	e    *Exec
+	cur  Row
+	refs []oid.OID
+	ri   int
+	have bool
+}
+
+// NewJoinRef joins each row of in with the objects it references.
+func NewJoinRef(in Operator) *JoinRef { return &JoinRef{in: in} }
+
+func (j *JoinRef) Open(e *Exec) error {
+	j.e = e
+	j.have = false
+	return j.in.Open(e)
+}
+
+func (j *JoinRef) Next() (Row, bool, error) {
+	for {
+		for j.have && j.ri < len(j.refs) {
+			c := j.refs[j.ri]
+			j.ri++
+			if c.IsNil() {
+				continue
+			}
+			obj, err := j.e.read(c)
+			if err != nil {
+				return Row{}, false, err
+			}
+			return Row{OID: c, Obj: obj, Depth: j.cur.Depth + 1, Parent: j.cur.OID}, true, nil
+		}
+		row, ok, err := j.in.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		j.cur, j.refs, j.ri, j.have = row, row.Obj.Refs, 0, true
+	}
+}
+
+func (j *JoinRef) Close() error {
+	j.refs, j.e, j.have = nil, nil, false
+	return j.in.Close()
+}
+
+// Aggregate drains its input and emits one row per group, in sorted
+// group-key order: row count, summed payload bytes, and summed
+// reference count. A nil Key puts every row in the single "" group.
+// No input rows means no output rows (even keyless).
+type Aggregate struct {
+	in  Operator
+	key func(Row) string
+
+	groups map[string]*AggValues
+	keys   []string
+	i      int
+	done   bool
+}
+
+// NewAggregate groups in by key (nil = one global group).
+func NewAggregate(in Operator, key func(Row) string) *Aggregate {
+	return &Aggregate{in: in, key: key}
+}
+
+func (a *Aggregate) Open(e *Exec) error {
+	a.groups, a.keys, a.i, a.done = nil, nil, 0, false
+	return a.in.Open(e)
+}
+
+func (a *Aggregate) Next() (Row, bool, error) {
+	if !a.done {
+		a.groups = make(map[string]*AggValues)
+		for {
+			row, ok, err := a.in.Next()
+			if err != nil {
+				return Row{}, false, err
+			}
+			if !ok {
+				break
+			}
+			k := ""
+			if a.key != nil {
+				k = a.key(row)
+			}
+			g := a.groups[k]
+			if g == nil {
+				g = &AggValues{}
+				a.groups[k] = g
+				a.keys = append(a.keys, k)
+			}
+			g.Rows++
+			g.PayloadBytes += int64(len(row.Obj.Payload))
+			g.Refs += int64(len(row.Obj.Refs))
+		}
+		sort.Strings(a.keys)
+		a.done = true
+	}
+	if a.i >= len(a.keys) {
+		return Row{}, false, nil
+	}
+	k := a.keys[a.i]
+	a.i++
+	return Row{Group: k, Agg: a.groups[k]}, true, nil
+}
+
+func (a *Aggregate) Close() error {
+	a.groups, a.keys = nil, nil
+	return a.in.Close()
+}

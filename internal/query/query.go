@@ -1,0 +1,227 @@
+// Package query is a small volcano-style iterator suite over the
+// object graph: partition scan, reference-path traversal, filter,
+// project, join-by-ref, and aggregate operators composed into
+// pipelines and pulled row by row (Open / Next / Close).
+//
+// Every operator reads through the ordinary db.Txn API — Shared locks
+// under strict 2PL, reads through the buffer pool in disk-backed mode
+// — so a query is just another transaction: it runs identically
+// against the in-memory and disk-backed stores and interleaves with
+// live IRA reorganization under the normal lock protocol.
+//
+// Queries and reorganization. This repo uses physical OIDs, so a
+// migration deletes the object at its old address and rewrites the
+// parents (§3 of the paper). A query that has already read an object
+// holds a Shared lock on it, which blocks the migration txn's
+// Exclusive lock — the snapshot a query accumulates cannot be
+// invalidated behind its back. What CAN happen is that the query
+// arrives at an address whose object has been migrated away (a stale
+// scan enumeration entry, or a parent re-read racing a two-lock pass):
+// the read fails with storage.ErrNoObject, or the lock wait times out
+// against the reorganizer. Both are transient, so Run wraps them as
+// ErrRestart and retries the whole pipeline in a fresh transaction —
+// exactly the timeout-and-retry discipline the workload's walkers use.
+// A committed query therefore saw a serializable snapshot: every row
+// it returned was Shared-locked from first read to commit.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/lock"
+	"repro/internal/object"
+	"repro/internal/oid"
+	"repro/internal/storage"
+)
+
+var (
+	// ErrRestart reports that a concurrent reorganization moved an
+	// object out from under the pipeline (or won a lock race against
+	// it); the transaction's snapshot cannot be completed and the whole
+	// query must rerun in a fresh transaction. Run does this itself.
+	ErrRestart = errors.New("query: interleaved reorganization invalidated the scan; restart")
+	// ErrRestartsExhausted reports that the retry budget ran out.
+	ErrRestartsExhausted = errors.New("query: restart budget exhausted")
+)
+
+// Row is the unit flowing between operators.
+type Row struct {
+	// OID is the address the object was read at. Under reorganization
+	// addresses are unstable across queries — payloads are the stable
+	// identity; OIDs are only unique within one committed query.
+	OID oid.OID
+	Obj object.Object
+	// Depth is the row's distance (in reference hops) from the root
+	// set for FollowRefs rows, parent depth +1 for JoinRef rows, and 0
+	// for Scan rows.
+	Depth int
+	// Parent is the OID whose reference produced this row (JoinRef and
+	// FollowRefs; Nil for roots and scans).
+	Parent oid.OID
+	// Group and Agg are set only on Aggregate output rows.
+	Group string
+	Agg   *AggValues
+}
+
+// AggValues is one group's accumulation.
+type AggValues struct {
+	Rows         int64
+	PayloadBytes int64
+	Refs         int64
+}
+
+// Operator is the volcano iterator contract. Open may be called once,
+// then Next until it reports done, then Close exactly once; Close must
+// be idempotent and must propagate to the input even after an error,
+// so a failed pipeline never leaks pinned buffer-pool frames.
+type Operator interface {
+	Open(e *Exec) error
+	Next() (Row, bool, error)
+	Close() error
+}
+
+// Exec is the per-attempt execution context: the transaction the
+// pipeline reads through, shared by every operator in the tree.
+type Exec struct {
+	DB *db.Database
+	Tx *db.Txn
+	// RowsRead counts object reads performed by this attempt.
+	RowsRead int
+}
+
+// read Shared-locks and reads o through the transaction, mapping the
+// two transient outcomes of racing a reorganization to ErrRestart.
+func (e *Exec) read(o oid.OID) (object.Object, error) {
+	obj, err := e.Tx.Read(o)
+	if err != nil {
+		if errors.Is(err, storage.ErrNoObject) || errors.Is(err, lock.ErrTimeout) {
+			return object.Object{}, fmt.Errorf("%w: read %s: %v", ErrRestart, o, err)
+		}
+		return object.Object{}, err
+	}
+	e.RowsRead++
+	return obj, nil
+}
+
+// Options shapes Run's restart loop.
+type Options struct {
+	// MaxRestarts bounds the retries after the first attempt
+	// (default 40). Each retry backs off a little to let the
+	// conflicting reorganization batch commit.
+	MaxRestarts int
+	// Backoff is the per-retry sleep step (default 1ms); retry n
+	// sleeps n*Backoff, capped at 20 steps.
+	Backoff time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.MaxRestarts <= 0 {
+		o.MaxRestarts = 40
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = time.Millisecond
+	}
+}
+
+// Result is one committed query.
+type Result struct {
+	Rows []Row
+	// Attempts is the number of transactions run (1 = no restart).
+	Attempts int
+	// RowsRead counts object reads of the committed attempt only.
+	RowsRead int
+}
+
+// Run executes a pipeline to completion: it begins a transaction,
+// builds the operator tree against it (build is called once per
+// attempt, so operators are single-use), drains it, and commits. If
+// the attempt dies with ErrRestart — a concurrent reorganization moved
+// an object the pipeline needed — the transaction is aborted and the
+// query reruns from scratch, up to the restart budget.
+func Run(d *db.Database, opts Options, build func(e *Exec) (Operator, error)) (*Result, error) {
+	opts.defaults()
+	var lastErr error
+	for attempt := 0; attempt <= opts.MaxRestarts; attempt++ {
+		if attempt > 0 {
+			step := attempt
+			if step > 20 {
+				step = 20
+			}
+			time.Sleep(time.Duration(step) * opts.Backoff)
+		}
+		rows, rowsRead, err := runOnce(d, build)
+		if err == nil {
+			return &Result{Rows: rows, Attempts: attempt + 1, RowsRead: rowsRead}, nil
+		}
+		if !errors.Is(err, ErrRestart) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrRestartsExhausted, opts.MaxRestarts+1, lastErr)
+}
+
+// runOnce is one transactional attempt.
+func runOnce(d *db.Database, build func(e *Exec) (Operator, error)) (rows []Row, rowsRead int, err error) {
+	tx, err := d.Begin()
+	if err != nil {
+		return nil, 0, err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			tx.Abort()
+		}
+	}()
+	e := &Exec{DB: d, Tx: tx}
+	op, err := build(e)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Close before the commit/abort decision: operators may pin pool
+	// frames only between Open and Close, never across txn end.
+	defer op.Close()
+	if err := op.Open(e); err != nil {
+		return nil, 0, err
+	}
+	for {
+		row, ok, err := op.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		rows = append(rows, row)
+	}
+	if err := op.Close(); err != nil {
+		return nil, 0, err
+	}
+	if err := tx.Commit(); err != nil {
+		return nil, 0, err
+	}
+	committed = true
+	return rows, e.RowsRead, nil
+}
+
+// Payloads projects the rows' payloads as strings — the
+// address-independent identity used by every equivalence check.
+func Payloads(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(r.Obj.Payload)
+	}
+	return out
+}
+
+// Multiset counts occurrences, for order-independent comparison.
+func Multiset(items []string) map[string]int {
+	m := make(map[string]int, len(items))
+	for _, s := range items {
+		m[s]++
+	}
+	return m
+}

@@ -1,0 +1,135 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/oid"
+)
+
+// Scan reads every live object of one partition. Open snapshots the
+// partition's address list in one latched pass; Next then Shared-locks
+// and reads each address through the transaction. An address whose
+// object a reorganization migrated away between the two steps reads as
+// storage.ErrNoObject and restarts the query — the migrated copy's new
+// address is NOT in the snapshot, so a consistent scan cannot be
+// salvaged by skipping the hole. Objects created after the snapshot
+// are not observed (the scan is read-only and claims no phantom
+// protection).
+type Scan struct {
+	part oid.PartitionID
+
+	e    *Exec
+	oids []oid.OID
+	i    int
+}
+
+// NewScan scans part.
+func NewScan(part oid.PartitionID) *Scan { return &Scan{part: part} }
+
+func (s *Scan) Open(e *Exec) error {
+	s.e = e
+	oids, err := e.DB.PartitionOIDs(s.part)
+	if err != nil {
+		return err
+	}
+	s.oids, s.i = oids, 0
+	return nil
+}
+
+func (s *Scan) Next() (Row, bool, error) {
+	if s.e == nil {
+		return Row{}, false, fmt.Errorf("query: Scan.Next before Open")
+	}
+	if s.i >= len(s.oids) {
+		return Row{}, false, nil
+	}
+	o := s.oids[s.i]
+	s.i++
+	obj, err := s.e.read(o)
+	if err != nil {
+		return Row{}, false, err
+	}
+	return Row{OID: o, Obj: obj}, true, nil
+}
+
+func (s *Scan) Close() error {
+	s.oids, s.e = nil, nil
+	return nil
+}
+
+// FollowRefs traverses reference paths breadth-first from a root OID
+// set: the roots are depth 0, every object reachable through one
+// reference is depth 1, and so on up to Hops (Hops < 0 means
+// unbounded; Hops == 0 returns just the roots). Each object is
+// emitted once — a visited set makes cycles in the reference graph
+// terminate — at the depth it was first reached.
+//
+// Roots should be stable anchors (objects of a partition that is not
+// being reorganized, e.g. the partition-0 root table): a root that is
+// itself migrated away restarts the query and its old address never
+// resolves again. Interior objects are safe at any address — the
+// parent that supplied the reference is Shared-locked when the child
+// is read, so the reference is either live or the read restarts.
+type FollowRefs struct {
+	roots []oid.OID
+	hops  int
+
+	e       *Exec
+	queue   []frontierEntry
+	visited map[oid.OID]bool
+}
+
+type frontierEntry struct {
+	o      oid.OID
+	parent oid.OID
+	depth  int
+}
+
+// NewFollowRefs traverses up to hops references from roots.
+func NewFollowRefs(roots []oid.OID, hops int) *FollowRefs {
+	return &FollowRefs{roots: append([]oid.OID(nil), roots...), hops: hops}
+}
+
+func (f *FollowRefs) Open(e *Exec) error {
+	f.e = e
+	f.visited = make(map[oid.OID]bool, len(f.roots))
+	f.queue = f.queue[:0]
+	for _, r := range f.roots {
+		if r.IsNil() || f.visited[r] {
+			continue
+		}
+		f.visited[r] = true
+		f.queue = append(f.queue, frontierEntry{o: r, parent: oid.Nil, depth: 0})
+	}
+	return nil
+}
+
+func (f *FollowRefs) Next() (Row, bool, error) {
+	if f.e == nil {
+		return Row{}, false, fmt.Errorf("query: FollowRefs.Next before Open")
+	}
+	if len(f.queue) == 0 {
+		return Row{}, false, nil
+	}
+	cur := f.queue[0]
+	f.queue = f.queue[1:]
+	obj, err := f.e.read(cur.o)
+	if err != nil {
+		return Row{}, false, err
+	}
+	if f.hops < 0 || cur.depth < f.hops {
+		for _, c := range obj.Refs {
+			if c.IsNil() || f.visited[c] {
+				continue
+			}
+			f.visited[c] = true
+			f.queue = append(f.queue, frontierEntry{o: c, parent: cur.o, depth: cur.depth + 1})
+		}
+	}
+	return Row{OID: cur.o, Obj: obj, Depth: cur.depth, Parent: cur.parent}, true, nil
+}
+
+func (f *FollowRefs) Close() error {
+	f.queue, f.visited, f.e = nil, nil, nil
+	return nil
+}
