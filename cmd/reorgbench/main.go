@@ -13,6 +13,7 @@
 //	reorgbench -bench bufferpool        # scan fault rate before/after clustering → BENCH_bufferpool.json
 //	reorgbench -bench netload           # wire-protocol client/server series → BENCH_netload.json
 //	reorgbench -bench queryscan         # operator-pipeline traversal vs clustering + scan interference → BENCH_queryscan.json
+//	reorgbench -bench oidmode           # physical vs logical-OID paired migration cells → BENCH_oidmode.json
 //	reorgbench -bench lockscale -mode hardware   # one trajectory only (fidelity, hardware, or both)
 //	reorgbench -http :6060 -exp fig6    # expose expvar + pprof while running
 //
@@ -78,7 +79,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available experiments")
 		seed     = flag.Int64("seed", 1, "workload random seed")
 		verbose  = flag.Bool("v", false, "print per-experiment timing")
-		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool, netload, queryscan")
+		bench    = flag.String("bench", "", "benchmark id: lockscale, torture, interference, autopilot, bufferpool, netload, queryscan, oidmode")
 		benchout = flag.String("benchout", "", "JSON report path for -bench (default BENCH_<id>.json)")
 		mode     = flag.String("mode", "both", "execution mode for -bench trajectories: fidelity, hardware, or both")
 		httpAddr = flag.String("http", "", "serve expvar + pprof on this address (e.g. :6060)")
@@ -222,8 +223,22 @@ func main() {
 			if *verbose {
 				fmt.Printf("-- queryscan completed in %s\n", time.Since(start).Round(time.Millisecond))
 			}
+		case "oidmode":
+			out := *benchout
+			if out == "" {
+				out = "BENCH_oidmode.json"
+			}
+			fmt.Printf("== oidmode — physical vs logical-OID paired migration cells (scale: %s) ==\n", sc.Name)
+			start := time.Now()
+			if err := harness.RunOIDMode(os.Stdout, sc, out); err != nil {
+				fmt.Fprintf(os.Stderr, "benchmark oidmode failed: %v\n", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("-- oidmode completed in %s\n", time.Since(start).Round(time.Millisecond))
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot, bufferpool, netload, queryscan)\n", *bench)
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q (lockscale, torture, interference, autopilot, bufferpool, netload, queryscan, oidmode)\n", *bench)
 			os.Exit(2)
 		}
 		return

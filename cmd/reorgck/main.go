@@ -563,6 +563,7 @@ func runTorture(seeds int, seedbase int64, pointsCSV string) int {
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "%v\n  %s\n", f.Err, f.ReplayLine())
+			f.DumpTrace(os.Stderr, "  ")
 		}
 		fmt.Fprintf(os.Stderr, "torture: %d of %d seeds FAILED\n", len(failures), seeds)
 		return 1

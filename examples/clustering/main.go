@@ -22,6 +22,10 @@ import (
 func main() {
 	cfg := db.DefaultConfig()
 	cfg.PageSize = 1024 // small pages make locality visible
+	// The filler sweep below records physical store addresses as
+	// references; pin physical addressing so REORG_LOGICAL_OID cannot
+	// reinterpret them as logical identities.
+	cfg.PhysicalOIDs = true
 	d := db.Open(cfg)
 	defer d.Close()
 	must(d.CreatePartition(0))

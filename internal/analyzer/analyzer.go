@@ -132,18 +132,26 @@ func (a *Analyzer) noteChurn(r *wal.Record) {
 	}
 	switch r.Type {
 	case wal.RecCreate:
-		c.NoteCreate(r.OID.Partition())
+		c.NoteCreate(r.Identity().Partition())
 	case wal.RecDelete:
-		c.NoteDelete(r.OID.Partition())
+		c.NoteDelete(r.Identity().Partition())
 	case wal.RecUpdate:
-		c.NoteUpdate(r.OID.Partition())
+		c.NoteUpdate(r.Identity().Partition())
 	case wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
-		c.NoteRefChurn(r.OID.Partition(), 1)
+		c.NoteRefChurn(r.Identity().Partition(), 1)
 	}
 }
 
 // Observe processes one log record. It is registered as the WAL observer
 // and therefore runs synchronously with Append, in LSN order.
+//
+// Parent identity is r.Identity(): the logical OID in logical-OID mode,
+// else the physical address. Reference lists inside images are already
+// in identity space (logical mode stores logical refs), so child and
+// parent always compare in the same namespace. RecPhysAlloc, RecPhysFree
+// and RecMapSet fall through untouched by design — a relocation changes
+// an object's placement, not its identity or its edges, which is exactly
+// why logical mode needs no ERT/TRT work per migration.
 func (a *Analyzer) Observe(r *wal.Record) {
 	a.noteChurn(r)
 	switch r.Type {
@@ -152,29 +160,30 @@ func (a *Analyzer) Observe(r *wal.Record) {
 		// parent; and a creation inside a partition under reorganization
 		// is noted so the late-creation pass (paper footnote 6 /
 		// [LRSS99]) can migrate the object too.
+		parent := r.Identity()
 		if obj, err := object.Decode(r.After); err == nil {
 			for _, c := range obj.Refs {
-				a.noteInsert(c, r.OID, r.Txn)
+				a.noteInsert(c, parent, r.Txn)
 			}
 		}
 		if !r.CLR {
 			a.mu.RLock()
-			t := a.trts[r.OID.Partition()]
+			t := a.trts[parent.Partition()]
 			a.mu.RUnlock()
 			if t != nil {
-				t.LogCreation(r.OID)
+				t.LogCreation(parent)
 			}
 		}
 	case wal.RecDelete:
 		if obj, err := object.Decode(r.Before); err == nil {
 			for _, c := range obj.Refs {
-				a.noteDelete(c, r.OID, r.Txn)
+				a.noteDelete(c, r.Identity(), r.Txn)
 			}
 		}
 	case wal.RecRefInsert:
-		a.noteInsert(r.Child, r.OID, r.Txn)
+		a.noteInsert(r.Child, r.Identity(), r.Txn)
 	case wal.RecRefDelete:
-		a.noteDelete(r.Child, r.OID, r.Txn)
+		a.noteDelete(r.Child, r.Identity(), r.Txn)
 	case wal.RecRefUpdate:
 		// Every occurrence of Child in the before-image was retargeted
 		// to Child2.
@@ -185,8 +194,8 @@ func (a *Analyzer) Observe(r *wal.Record) {
 			}
 		}
 		for i := 0; i < n; i++ {
-			a.noteDelete(r.Child, r.OID, r.Txn)
-			a.noteInsert(r.Child2, r.OID, r.Txn)
+			a.noteDelete(r.Child, r.Identity(), r.Txn)
+			a.noteInsert(r.Child2, r.Identity(), r.Txn)
 		}
 	case wal.RecCommit:
 		a.txnComplete(r.Txn, true)

@@ -82,6 +82,7 @@ type Autopilot struct {
 	mu          sync.Mutex
 	lastPass    map[oid.PartitionID]time.Time
 	churnAtPass map[oid.PartitionID]int64
+	poolAtPass  map[oid.PartitionID]poolBaseline
 	lastScores  []PartitionScore
 	rrNext      int
 	passes      int64
@@ -127,6 +128,7 @@ func New(d *db.Database, cfg Config) (*Autopilot, error) {
 		pacer:       NewPacer(cfg.Pacer),
 		lastPass:    make(map[oid.PartitionID]time.Time),
 		churnAtPass: make(map[oid.PartitionID]int64),
+		poolAtPass:  make(map[oid.PartitionID]poolBaseline),
 		probeSeed:   cfg.Seed,
 	}, nil
 }
@@ -140,12 +142,32 @@ func (a *Autopilot) Collector() *stats.Collector { return a.col }
 // Policy returns the configured policy kind.
 func (a *Autopilot) Policy() PolicyKind { return a.cfg.Policy }
 
+// poolBaseline remembers a partition's buffer-pool counters at its last
+// pass, so the fault-rate score term measures decay since the repair
+// rather than lifetime history.
+type poolBaseline struct {
+	hits, faults int64
+}
+
 // declusterScore combines the decay components under the configured
-// weights: low locality, high fragmentation, and a tombstone-heavy slot
-// directory all argue for reorganizing.
-func (a *Autopilot) declusterScore(locality, frag, deadSlotRatio float64) float64 {
+// weights: low locality, high fragmentation, a tombstone-heavy slot
+// directory, and a fault-heavy buffer pool all argue for reorganizing.
+func (a *Autopilot) declusterScore(locality, frag, deadSlotRatio, poolFaultRate float64) float64 {
 	w := a.cfg.Weights
-	return w.Locality*(1-locality) + w.Fragmentation*frag + w.DeadSlots*deadSlotRatio
+	return w.Locality*(1-locality) + w.Fragmentation*frag + w.DeadSlots*deadSlotRatio +
+		w.PoolFaults*poolFaultRate
+}
+
+// poolFaultRateSince computes part's fault fraction of page accesses
+// since its recorded baseline. Caller holds a.mu.
+func (a *Autopilot) poolFaultRateSince(part oid.PartitionID, ps stats.PartStats) float64 {
+	base := a.poolAtPass[part]
+	hits := ps.PoolHits - base.hits
+	faults := ps.PoolFaults - base.faults
+	if total := hits + faults; total > 0 {
+		return float64(faults) / float64(total)
+	}
+	return 0
 }
 
 // scoreOne computes one partition's score from the incremental counters
@@ -163,7 +185,8 @@ func (a *Autopilot) scoreOne(part oid.PartitionID) PartitionScore {
 	a.probeSeed = a.probeSeed*6364136223846793005 + 1442695040888963407
 	s.Locality, s.SampledEdges = SampleLocality(a.d, part, a.cfg.SampleSize, a.probeSeed)
 	s.ChurnSincePass = ps.Churn() - a.churnAtPass[part]
-	s.Decluster = a.declusterScore(s.Locality, s.Fragmentation, s.DeadSlotRatio)
+	s.PoolFaultRate = a.poolFaultRateSince(part, ps)
+	s.Decluster = a.declusterScore(s.Locality, s.Fragmentation, s.DeadSlotRatio, s.PoolFaultRate)
 	if t, passed := a.lastPass[part]; passed {
 		churnWarm := float64(s.ChurnSincePass) / float64(a.cfg.CooldownChurn)
 		timeWarm := time.Since(t).Seconds() / a.cfg.CooldownTime.Seconds()
@@ -264,6 +287,7 @@ func (a *Autopilot) RunPass() (*PassReport, error) {
 		a.lastPass[part] = now
 		if ps, ok := a.col.Partition(part); ok {
 			a.churnAtPass[part] = ps.Churn()
+			a.poolAtPass[part] = poolBaseline{hits: ps.PoolHits, faults: ps.PoolFaults}
 		}
 	}
 	a.passes++
@@ -342,7 +366,14 @@ func (a *Autopilot) ExactScore(part oid.PartitionID) (float64, ExactStats, error
 	if total := ex.Objects + ex.DeadSlots; total > 0 {
 		deadSlotRatio = float64(ex.DeadSlots) / float64(total)
 	}
-	return a.declusterScore(ex.Locality, frag, deadSlotRatio), ex, nil
+	// The fault rate has no exact-scan analog — it is inherently an
+	// observation of the pool — so the exact score reuses the same
+	// windowed counters the incremental score does.
+	a.mu.Lock()
+	ps, _ := a.col.Partition(part)
+	faultRate := a.poolFaultRateSince(part, ps)
+	a.mu.Unlock()
+	return a.declusterScore(ex.Locality, frag, deadSlotRatio, faultRate), ex, nil
 }
 
 // VerifyCounters compares the collector's incremental space counters

@@ -297,3 +297,55 @@ func TestAutopilotRaceStress(t *testing.T) {
 		t.Fatalf("invariants violated: %v", err)
 	}
 }
+
+// TestPoolFaultRateScoring: a fault-heavy partition outranks its
+// otherwise-identical peers, and a pass resets the fault-rate window so
+// the repaired partition stops scoring on stale faults. The pool
+// traffic is injected straight into the collector — the storage-level
+// attribution of real pool traffic is covered in internal/storage.
+func TestPoolFaultRateScoring(t *testing.T) {
+	w, err := workload.Build(testConfig(), testParams(4, 170, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.DB.Close()
+
+	ap, err := New(w.DB, Config{Partitions: []oid.PartitionID{1, 2, 3, 4}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := ap.Collector()
+	for i := 0; i < 900; i++ {
+		col.NotePoolFault(3)
+	}
+	for i := 0; i < 100; i++ {
+		col.NotePoolHit(3)
+	}
+	for _, part := range []oid.PartitionID{1, 2, 4} {
+		for i := 0; i < 1000; i++ {
+			col.NotePoolHit(part)
+		}
+	}
+	selected, scores := ap.SelectPartitions()
+	if len(selected) == 0 || selected[0] != 3 {
+		t.Fatalf("greedy selected %v, want [3]; scores %+v", selected, scores)
+	}
+	for _, s := range scores {
+		if s.Partition == 3 {
+			if s.PoolFaultRate < 0.85 || s.PoolFaultRate > 0.95 {
+				t.Fatalf("partition 3 fault rate %.3f, want ~0.9", s.PoolFaultRate)
+			}
+		} else if s.PoolFaultRate != 0 {
+			t.Fatalf("partition %d fault rate %.3f, want 0", s.Partition, s.PoolFaultRate)
+		}
+	}
+	if _, err := ap.RunPass(); err != nil {
+		t.Fatal(err)
+	}
+	_, after := ap.SelectPartitions()
+	for _, s := range after {
+		if s.Partition == 3 && s.PoolFaultRate != 0 {
+			t.Fatalf("pass did not reset partition 3's fault window: %.3f", s.PoolFaultRate)
+		}
+	}
+}

@@ -58,12 +58,18 @@ type ScoreWeights struct {
 	Locality      float64 `json:"locality"`
 	Fragmentation float64 `json:"fragmentation"`
 	DeadSlots     float64 `json:"dead_slots"`
+	// PoolFaults weights the buffer-pool fault rate accumulated since
+	// the partition's last pass — the disk-side clustering signal. The
+	// term is identically zero on a memory-resident store.
+	PoolFaults float64 `json:"pool_faults"`
 }
 
 // DefaultScoreWeights emphasize clustering decay — the paper's headline
-// reason to reorganize — over space reclamation.
+// reason to reorganize — over space reclamation. The sampled locality
+// probe and the pool fault rate measure the same decay from opposite
+// sides (reference graph vs page residency), so they share its weight.
 func DefaultScoreWeights() ScoreWeights {
-	return ScoreWeights{Locality: 0.6, Fragmentation: 0.3, DeadSlots: 0.1}
+	return ScoreWeights{Locality: 0.6, Fragmentation: 0.3, DeadSlots: 0.1, PoolFaults: 0.3}
 }
 
 // PartitionScore is one partition's ranking inputs and result.
@@ -81,6 +87,10 @@ type PartitionScore struct {
 	// ChurnSincePass is the update churn accumulated since this
 	// partition's last autopilot pass (or ever, if never passed).
 	ChurnSincePass int64 `json:"churn_since_pass"`
+	// PoolFaultRate is the buffer-pool fault fraction of this
+	// partition's page accesses since its last pass (0 on a
+	// memory-resident store, or when no pages were touched).
+	PoolFaultRate float64 `json:"pool_fault_rate"`
 	// Decluster is the weighted decay score; Cooldown is the churn-
 	// cooldown factor in [0,1]; Benefit = Decluster × Cooldown is what
 	// the policies rank.

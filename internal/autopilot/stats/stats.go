@@ -16,7 +16,10 @@
 //     per partition — maintained by the log analyzer, which already sees
 //     every record synchronously in LSN order;
 //   - migrations in/out — noted by the reorganizer as objects commit at
-//     their new addresses.
+//     their new addresses;
+//   - buffer-pool hits and faults — noted by a disk-backed store's pool
+//     on its fetch path, the on-disk symptom of clustering decay that
+//     feeds the autopilot's fault-rate score term.
 //
 // The storage layer and log analyzer each hold an atomic pointer to the
 // collector; with no collector installed the entire instrumentation path
@@ -56,6 +59,13 @@ type PartStats struct {
 	// Migration counters (monotone, maintained by the reorganizer).
 	MigratedIn  int64 `json:"migrated_in"`
 	MigratedOut int64 `json:"migrated_out"`
+
+	// Buffer-pool counters (monotone, maintained by the pool's fetch
+	// path of a disk-backed store; always zero memory-resident). A
+	// fault is a page read that missed the pool — the disk-side symptom
+	// of clustering decay the space counters cannot see.
+	PoolHits   int64 `json:"pool_hits"`
+	PoolFaults int64 `json:"pool_faults"`
 }
 
 // Churn returns the total update-churn operations: the quantity the
@@ -63,6 +73,17 @@ type PartStats struct {
 // reorganizer's own work must not rewarm the partition it just cleaned.
 func (p PartStats) Churn() int64 {
 	return p.Creates + p.Deletes + p.Updates + p.RefChurn
+}
+
+// PoolFaultRate returns buffer-pool faults as a fraction of all page
+// accesses in this snapshot (0 when the partition saw none — memory-
+// resident partitions always report 0).
+func (p PartStats) PoolFaultRate() float64 {
+	total := p.PoolHits + p.PoolFaults
+	if total == 0 {
+		return 0
+	}
+	return float64(p.PoolFaults) / float64(total)
 }
 
 // DeadSlotRatio returns dead slots as a fraction of all slots.
@@ -80,6 +101,7 @@ type counters struct {
 	creates, deletes, updates         atomic.Int64
 	refChurn                          atomic.Int64
 	migratedIn, migratedOut           atomic.Int64
+	poolHits, poolFaults              atomic.Int64
 }
 
 func (c *counters) snapshot() PartStats {
@@ -94,6 +116,8 @@ func (c *counters) snapshot() PartStats {
 		RefChurn:    c.refChurn.Load(),
 		MigratedIn:  c.migratedIn.Load(),
 		MigratedOut: c.migratedOut.Load(),
+		PoolHits:    c.poolHits.Load(),
+		PoolFaults:  c.poolFaults.Load(),
 	}
 }
 
@@ -162,6 +186,13 @@ func (c *Collector) NoteUpdate(part oid.PartitionID) { c.get(part).updates.Add(1
 func (c *Collector) NoteRefChurn(part oid.PartitionID, n int) {
 	c.get(part).refChurn.Add(int64(n))
 }
+
+// NotePoolHit counts one buffer-pool hit on a page of part.
+func (c *Collector) NotePoolHit(part oid.PartitionID) { c.get(part).poolHits.Add(1) }
+
+// NotePoolFault counts one buffer-pool miss (a page faulted in from the
+// segment file) on a page of part.
+func (c *Collector) NotePoolFault(part oid.PartitionID) { c.get(part).poolFaults.Add(1) }
 
 // NoteMigrate counts one committed object migration from partition from
 // to partition to.

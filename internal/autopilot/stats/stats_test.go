@@ -16,6 +16,10 @@ func testConfig() db.Config {
 	cfg := db.DefaultConfig()
 	cfg.FlushLatency = 0
 	cfg.LockTimeout = 100 * time.Millisecond
+	// The oracle rebuilds its world from physical store scans after each
+	// reorg pass; pin physical so the REORG_LOGICAL_OID lane cannot
+	// reinterpret those addresses as identities.
+	cfg.PhysicalOIDs = true
 	return cfg
 }
 

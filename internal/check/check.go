@@ -52,17 +52,33 @@ type Report struct {
 	GarbageDangling []Edge
 	Unreachable     []oid.OID // live objects not reachable from the roots
 	Reachable       int
+	// MapViolations are logical-OID indirection-table inconsistencies:
+	// an entry resolving to no live body, two entries sharing one
+	// physical slot, or a live slot no identity is bound to (leaked
+	// space). Always empty outside logical-OID mode.
+	MapViolations []string
 }
 
 // Err returns a descriptive error if the report contains violations
 // (unreachable objects are not violations).
 func (r *Report) Err() error {
-	if len(r.Dangling) == 0 && len(r.ERTMissing) == 0 && len(r.ERTStale) == 0 {
+	if len(r.Dangling) == 0 && len(r.ERTMissing) == 0 && len(r.ERTStale) == 0 &&
+		len(r.MapViolations) == 0 {
 		return nil
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "check: %d dangling refs, %d ERT-missing, %d ERT-stale",
 		len(r.Dangling), len(r.ERTMissing), len(r.ERTStale))
+	if len(r.MapViolations) > 0 {
+		fmt.Fprintf(&b, ", %d OID-map violations", len(r.MapViolations))
+		for i, v := range r.MapViolations {
+			if i == 4 {
+				b.WriteString(" ...")
+				break
+			}
+			fmt.Fprintf(&b, "; map %s", v)
+		}
+	}
 	for i, e := range r.Dangling {
 		if i == 4 {
 			b.WriteString(" ...")
@@ -95,42 +111,52 @@ func Verify(d *db.Database, roots []oid.OID) (*Report, error) {
 	actual := make(map[oid.OID]map[oid.OID]int)
 	adj := make(map[oid.OID][]oid.OID)
 
-	for _, part := range d.Partitions() {
-		var scanErr error
-		err := d.Store().ForEach(part, func(parent oid.OID, data []byte) bool {
-			refs, err := object.DecodeRefs(data)
-			if err != nil {
-				scanErr = fmt.Errorf("check: object %s: %w", parent, err)
-				return false
+	record := func(parent oid.OID, refs []oid.OID) {
+		rep.Objects++
+		adj[parent] = refs
+		for _, child := range refs {
+			rep.Refs++
+			if !d.Exists(child) {
+				continue // classified after reachability below
 			}
-			rep.Objects++
-			adj[parent] = refs
-			for _, child := range refs {
-				rep.Refs++
-				if !d.Exists(child) {
-					continue // classified after reachability below
+			if child.Partition() != parent.Partition() {
+				m := actual[child]
+				if m == nil {
+					m = make(map[oid.OID]int)
+					actual[child] = m
 				}
-				if child.Partition() != parent.Partition() {
-					m := actual[child]
-					if m == nil {
-						m = make(map[oid.OID]int)
-						actual[child] = m
-					}
-					m[parent]++
-				}
+				m[parent]++
 			}
-			return true
-		})
-		if err != nil {
+		}
+	}
+
+	if d.OIDMap() != nil {
+		if err := scanLogical(d, rep, record); err != nil {
 			return nil, err
 		}
-		if scanErr != nil {
-			return nil, scanErr
+	} else {
+		for _, part := range d.Partitions() {
+			var scanErr error
+			err := d.Store().ForEach(part, func(parent oid.OID, data []byte) bool {
+				refs, err := object.DecodeRefs(data)
+				if err != nil {
+					scanErr = fmt.Errorf("check: object %s: %w", parent, err)
+					return false
+				}
+				record(parent, refs)
+				return true
+			})
+			if err != nil {
+				return nil, err
+			}
+			if scanErr != nil {
+				return nil, scanErr
+			}
 		}
 	}
 
 	// ERT exactness, both directions.
-	for _, part := range d.Partitions() {
+	for _, part := range allPartitions(d) {
 		e := d.ERT(part)
 		ertCounts := make(map[Edge]int)
 		e.Range(func(child, parent oid.OID, count int) bool {
@@ -210,6 +236,72 @@ func Verify(d *db.Database, roots []oid.OID) (*Report, error) {
 		}
 	}
 	return rep, nil
+}
+
+// scanLogical enumerates the database through the logical-OID
+// indirection table — the namespace references and ERTs are keyed in
+// when the database runs logical — and checks the map's own invariants:
+// every entry resolves to a live body, no physical slot is bound twice,
+// and every live slot is bound (an orphan body is leaked space no
+// identity can ever reach).
+func scanLogical(d *db.Database, rep *Report, record func(oid.OID, []oid.OID)) error {
+	type entry struct{ l, p oid.OID }
+	var entries []entry
+	d.OIDMap().ForEach(func(l, p oid.OID) bool {
+		entries = append(entries, entry{l, p})
+		return true
+	})
+	sort.Slice(entries, func(i, j int) bool { return entries[i].l < entries[j].l })
+	bound := make(map[oid.OID]oid.OID, len(entries))
+	for _, e := range entries {
+		if prev, dup := bound[e.p]; dup {
+			rep.MapViolations = append(rep.MapViolations,
+				fmt.Sprintf("physical %s bound by both %s and %s", e.p, prev, e.l))
+		}
+		bound[e.p] = e.l
+		obj, err := d.FuzzyRead(e.l)
+		if err != nil {
+			rep.MapViolations = append(rep.MapViolations,
+				fmt.Sprintf("entry %s->%s resolves to no object: %v", e.l, e.p, err))
+			continue
+		}
+		record(e.l, obj.Refs)
+	}
+	for _, part := range d.Partitions() {
+		if err := d.Store().ForEach(part, func(p oid.OID, _ []byte) bool {
+			if _, ok := bound[p]; !ok {
+				rep.MapViolations = append(rep.MapViolations,
+					fmt.Sprintf("live slot %s bound by no identity", p))
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allPartitions returns the partitions the ERT pass must visit: the
+// store's, plus — in logical mode — every partition with bound
+// identities, which after a cross-store move may no longer have a store
+// partition at all.
+func allPartitions(d *db.Database) []oid.PartitionID {
+	parts := d.Partitions()
+	m := d.OIDMap()
+	if m == nil {
+		return parts
+	}
+	seen := make(map[oid.PartitionID]bool, len(parts))
+	for _, p := range parts {
+		seen[p] = true
+	}
+	for _, p := range m.Partitions() {
+		if !seen[p] {
+			parts = append(parts, p)
+		}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	return parts
 }
 
 // Signature computes a canonical, address-independent description of the

@@ -26,6 +26,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/obs"
 	"repro/internal/oid"
+	"repro/internal/oidmap"
 	"repro/internal/storage"
 	"repro/internal/trt"
 	"repro/internal/wal"
@@ -81,6 +82,22 @@ type Config struct {
 	// latch stripes (see internal/shard). 0 selects 1 in fidelity mode
 	// and the host's shard count under REORG_MODE=hardware.
 	ReaderShards int
+	// LogicalOIDs interposes a logical→physical indirection table
+	// (internal/oidmap) between object identities and their storage
+	// addresses. References then hold logical OIDs that survive
+	// relocation, so a reorganization updates one map entry per migrated
+	// object instead of rewriting every parent; every dereference pays
+	// one sharded map probe. Setting REORG_LOGICAL_OID=1 in the
+	// environment forces the mode on; explicit config always wins.
+	LogicalOIDs bool
+	// PhysicalOIDs pins direct physical addressing, overriding
+	// REORG_LOGICAL_OID. Address-sensitive code — tests that assert
+	// objects move, benchmarks pairing a physical baseline against a
+	// logical cell — sets it so the environment's mode sweep cannot
+	// change its semantics. Ignored when LogicalOIDs is set explicitly
+	// or when a recovered indirection map is supplied: a database that
+	// has a map is logical, full stop.
+	PhysicalOIDs bool
 }
 
 // DefaultConfig returns the configuration used by the experiments unless
@@ -107,6 +124,11 @@ type Database struct {
 	an      *analyzer.Analyzer
 	logDev  *wal.FileDevice // non-nil when the WAL is file-backed
 
+	// oidmap is the logical→physical indirection table; nil unless
+	// Config.LogicalOIDs. Its presence is the mode switch every
+	// identity-sensitive path branches on.
+	oidmap *oidmap.Map
+
 	// ownsDataDir marks a temporary segment directory created by Open
 	// (DiskBacked with empty DataDir); Close removes it.
 	ownsDataDir bool
@@ -128,13 +150,20 @@ type Database struct {
 }
 
 // Open creates an empty database.
-func Open(cfg Config) *Database { return openDB(cfg, nil) }
+func Open(cfg Config) *Database { return openDB(cfg, nil, nil) }
 
 // OpenWithStore builds a Database around an existing store. Restart
 // recovery uses it after rebuilding the store image from a checkpoint
 // snapshot plus the log; callers should normally follow with RebuildERTs.
 func OpenWithStore(cfg Config, st *storage.Store) *Database {
-	return openDB(cfg, st)
+	return openDB(cfg, st, nil)
+}
+
+// OpenWithState is OpenWithStore plus a recovered OID indirection map.
+// Restart recovery in logical-OID mode passes the map it rebuilt from
+// the checkpoint snapshot and the log suffix.
+func OpenWithState(cfg Config, st *storage.Store, m *oidmap.Map) *Database {
+	return openDB(cfg, st, m)
 }
 
 // envDiskBacked reports whether REORG_DISK_BACKED requests disk mode.
@@ -143,7 +172,14 @@ func envDiskBacked() bool {
 	return v != "" && v != "0" && !strings.EqualFold(v, "false")
 }
 
-func openDB(cfg Config, st *storage.Store) *Database {
+// envLogicalOIDs reports whether REORG_LOGICAL_OID requests logical-OID
+// mode.
+func envLogicalOIDs() bool {
+	v := os.Getenv("REORG_LOGICAL_OID")
+	return v != "" && v != "0" && !strings.EqualFold(v, "false")
+}
+
+func openDB(cfg Config, st *storage.Store, m *oidmap.Map) *Database {
 	def := DefaultConfig()
 	if cfg.PageSize == 0 {
 		cfg.PageSize = def.PageSize
@@ -169,6 +205,9 @@ func openDB(cfg Config, st *storage.Store) *Database {
 		} else {
 			cfg.ReaderShards = 1
 		}
+	}
+	if !cfg.LogicalOIDs && (m != nil || (envLogicalOIDs() && !cfg.PhysicalOIDs)) {
+		cfg.LogicalOIDs = true
 	}
 	ownsDataDir := false
 	if st == nil {
@@ -199,9 +238,13 @@ func openDB(cfg Config, st *storage.Store) *Database {
 		// Keep cfg truthful for recovery and stats consumers.
 		cfg.DiskBacked = st.DiskBacked()
 	}
+	if cfg.LogicalOIDs && m == nil {
+		m = oidmap.New()
+	}
 	d := &Database{
 		cfg:         cfg,
 		store:       st,
+		oidmap:      m,
 		ownsDataDir: ownsDataDir,
 		locks:       lock.NewManager(lock.WithTimeout(cfg.LockTimeout), lock.WithHistory(!cfg.Strict2PL)),
 		latches:     latch.NewSharded(cfg.LatchStripes, cfg.ReaderShards),
@@ -279,25 +322,95 @@ func (d *Database) Latches() *latch.Table { return d.latches }
 // Analyzer exposes the log analyzer.
 func (d *Database) Analyzer() *analyzer.Analyzer { return d.an }
 
+// OIDMap exposes the logical→physical indirection table (nil unless the
+// database runs with Config.LogicalOIDs).
+func (d *Database) OIDMap() *oidmap.Map { return d.oidmap }
+
+// resolve maps an identity to its physical address: through the
+// indirection table in logical-OID mode, the identity itself otherwise.
+// An unbound identity surfaces as storage.ErrNoObject, the same error a
+// dangling physical address produces.
+func (d *Database) resolve(o oid.OID) (oid.OID, error) {
+	if d.oidmap == nil {
+		return o, nil
+	}
+	if p, ok := d.oidmap.Resolve(o); ok {
+		return p, nil
+	}
+	return oid.Nil, fmt.Errorf("%w: %s", storage.ErrNoObject, o)
+}
+
 // ERT returns the External Reference Table of part.
 func (d *Database) ERT(part oid.PartitionID) *ert.Table { return d.an.ERT(part) }
 
-// CreatePartition adds an empty partition (with its ERT).
+// CreatePartition adds an empty partition (with its ERT) using the
+// database's default backing.
 func (d *Database) CreatePartition(part oid.PartitionID) error {
-	if err := d.store.CreatePartition(part); err != nil {
+	return d.createPartition(part, d.cfg.DiskBacked)
+}
+
+// CreatePartitionBacked adds an empty partition with an explicit
+// backing: toDisk puts its pages behind the buffer pool (requires a
+// disk-backed database); otherwise the partition stays memory-resident
+// and is durable through checkpoints plus the WAL alone.
+func (d *Database) CreatePartitionBacked(part oid.PartitionID, toDisk bool) error {
+	if toDisk && !d.cfg.DiskBacked {
+		return fmt.Errorf("db: partition %d: disk backing requires a disk-backed database", part)
+	}
+	return d.createPartition(part, toDisk)
+}
+
+// createPartition performs the store create and logs the redo-only
+// (transaction-less) lifecycle record under the checkpoint gate, so
+// recovery replays partition creates that postdate the checkpoint with
+// their backing policy intact (Child != 0 marks a memory-resident
+// partition of a disk-backed store).
+func (d *Database) createPartition(part oid.PartitionID, toDisk bool) error {
+	d.ckptGate.RLock()
+	defer d.ckptGate.RUnlock()
+	if err := d.store.CreatePartitionBacked(part, !toDisk); err != nil {
+		return err
+	}
+	rec := &wal.Record{Type: wal.RecPartCreate, OID: oid.New(part, 0, 0)}
+	if !toDisk {
+		rec.Child = 1
+	}
+	if _, err := d.log.Append(rec); err != nil {
 		return err
 	}
 	d.an.ERT(part)
 	return nil
 }
 
-// DropPartition removes an empty (fully evacuated) partition.
+// DropPartition removes an empty (fully evacuated) partition and its ERT.
 func (d *Database) DropPartition(part oid.PartitionID) error {
-	if err := d.store.DropPartition(part); err != nil {
+	if err := d.dropStorePartition(part); err != nil {
 		return err
 	}
 	d.an.DropERT(part)
 	return nil
+}
+
+// DropStorePartition removes a partition from the store but keeps its
+// ERT. Logical-mode store moves use it: the evacuated partition's
+// bodies live elsewhere, but its logical identities — and therefore the
+// external references the ERT tracks — live on.
+func (d *Database) DropStorePartition(part oid.PartitionID) error {
+	return d.dropStorePartition(part)
+}
+
+func (d *Database) dropStorePartition(part oid.PartitionID) error {
+	d.ckptGate.RLock()
+	defer d.ckptGate.RUnlock()
+	if !d.store.HasPartition(part) {
+		return fmt.Errorf("%w: %d", storage.ErrNoPartition, part)
+	}
+	// Log first: redo re-drops tolerantly, so a crash between the two
+	// steps still converges on the dropped state.
+	if _, err := d.log.Append(&wal.Record{Type: wal.RecPartDrop, OID: oid.New(part, 0, 0)}); err != nil {
+		return err
+	}
+	return d.store.DropPartition(part)
 }
 
 // Partitions lists partition ids.
@@ -414,13 +527,19 @@ func (d *Database) StopReorgTRT(part oid.PartitionID) {
 
 // FuzzyRead reads an object without any locks — only a latch for physical
 // consistency. This is the read primitive of the fuzzy traversal (§3.4).
+// The latch is taken on the identity, so in logical-OID mode the
+// resolve-then-view pair is atomic against a concurrent relocation's
+// free of the old slot (which write-latches the same identity).
 func (d *Database) FuzzyRead(o oid.OID) (object.Object, error) {
 	var obj object.Object
 	var derr error
 	tok := d.latches.RLatch(o)
-	err := d.store.View(o, func(data []byte) {
-		obj, derr = object.Decode(data)
-	})
+	phys, err := d.resolve(o)
+	if err == nil {
+		err = d.store.View(phys, func(data []byte) {
+			obj, derr = object.Decode(data)
+		})
+	}
 	d.latches.RUnlatch(o, tok)
 	if err != nil {
 		return object.Object{}, err
@@ -433,9 +552,12 @@ func (d *Database) FuzzyReadRefs(o oid.OID) ([]oid.OID, error) {
 	var refs []oid.OID
 	var derr error
 	tok := d.latches.RLatch(o)
-	err := d.store.View(o, func(data []byte) {
-		refs, derr = object.DecodeRefs(data)
-	})
+	phys, err := d.resolve(o)
+	if err == nil {
+		err = d.store.View(phys, func(data []byte) {
+			refs, derr = object.DecodeRefs(data)
+		})
+	}
 	d.latches.RUnlatch(o, tok)
 	if err != nil {
 		return nil, err
@@ -443,8 +565,15 @@ func (d *Database) FuzzyReadRefs(o oid.OID) ([]oid.OID, error) {
 	return refs, derr
 }
 
-// Exists reports whether o addresses a live object.
-func (d *Database) Exists(o oid.OID) bool { return d.store.Exists(o) }
+// Exists reports whether o names a live object (a bound identity in
+// logical-OID mode, a live physical address otherwise).
+func (d *Database) Exists(o oid.OID) bool {
+	phys, err := d.resolve(o)
+	if err != nil {
+		return false
+	}
+	return d.store.Exists(phys)
+}
 
 // PartitionOIDs snapshots the addresses of every live object in part,
 // in physical (page, slot) order. The enumeration is atomic — it holds
@@ -454,6 +583,16 @@ func (d *Database) Exists(o oid.OID) bool { return d.store.Exists(o) }
 // storage.ErrNoObject on the read. Scan operators treat that as a
 // restart signal rather than an error.
 func (d *Database) PartitionOIDs(part oid.PartitionID) ([]oid.OID, error) {
+	if d.oidmap != nil {
+		// Logical mode: the map is the authority — an object's logical
+		// partition is fixed at creation even after its body migrates to
+		// another store partition.
+		oids := d.oidmap.PartitionOIDs(part)
+		if len(oids) == 0 && !d.store.HasPartition(part) {
+			return nil, fmt.Errorf("%w: %d", storage.ErrNoPartition, part)
+		}
+		return oids, nil
+	}
 	var oids []oid.OID
 	err := d.store.ForEach(part, func(o oid.OID, _ []byte) bool {
 		oids = append(oids, o)
@@ -471,8 +610,12 @@ func (d *Database) PartitionOIDs(part oid.PartitionID) ([]oid.OID, error) {
 // checkpoint record onward.
 type Checkpoint struct {
 	Snap *storage.Snapshot
-	LSN  wal.LSN
-	Cfg  Config
+	// Map is the OID indirection table's snapshot; nil outside
+	// logical-OID mode. It is taken under the same gate as Snap, so the
+	// pair is mutually consistent at the checkpoint record's LSN.
+	Map *oidmap.Snapshot
+	LSN wal.LSN
+	Cfg Config
 }
 
 // Checkpoint performs a checkpoint. It briefly blocks logged mutations
@@ -489,6 +632,10 @@ func (d *Database) Checkpoint() (*Checkpoint, error) {
 	snap, err := d.store.Snapshot()
 	if err != nil {
 		return nil, err
+	}
+	var msnap *oidmap.Snapshot
+	if d.oidmap != nil {
+		msnap = d.oidmap.Snapshot()
 	}
 	active := d.ActiveTxnIDs()
 	rec := &wal.Record{Type: wal.RecCheckpoint}
@@ -507,7 +654,7 @@ func (d *Database) Checkpoint() (*Checkpoint, error) {
 	if err := d.log.FlushWait(lsn); err != nil {
 		return nil, err
 	}
-	return &Checkpoint{Snap: snap, LSN: lsn, Cfg: d.cfg}, nil
+	return &Checkpoint{Snap: snap, Map: msnap, LSN: lsn, Cfg: d.cfg}, nil
 }
 
 // Close shuts the database down. Outstanding transactions become invalid.
@@ -531,7 +678,14 @@ func (d *Database) LogDevice() *wal.FileDevice { return d.logDev }
 // RebuildERTs reconstructs every partition's ERT by a full scan of the
 // database — the paper's fallback when ERT updates are not logged ("we
 // would then have to reconstruct the ERT at restart recovery", §4.4).
+// In logical-OID mode the scan walks the indirection map: references
+// and parent identities are logical, and an object's logical partition
+// (not the store partition its body happens to occupy) is what the ERT
+// is keyed by.
 func (d *Database) RebuildERTs() error {
+	if d.oidmap != nil {
+		return d.rebuildERTsLogical()
+	}
 	for _, part := range d.store.Partitions() {
 		d.an.ERT(part).Clear()
 	}
@@ -559,4 +713,40 @@ func (d *Database) RebuildERTs() error {
 		}
 	}
 	return nil
+}
+
+func (d *Database) rebuildERTsLogical() error {
+	for part := range d.an.ERTs() {
+		d.an.ERT(part).Clear()
+	}
+	for _, part := range d.store.Partitions() {
+		d.an.ERT(part).Clear()
+	}
+	for _, part := range d.oidmap.Partitions() {
+		d.an.ERT(part).Clear()
+	}
+	var walkErr error
+	d.oidmap.ForEach(func(parent, phys oid.OID) bool {
+		var refs []oid.OID
+		var derr error
+		err := d.store.View(phys, func(data []byte) {
+			refs, derr = object.DecodeRefs(data)
+		})
+		if err != nil {
+			walkErr = fmt.Errorf("db: object %s at %s: %w", parent, phys, err)
+			return false
+		}
+		if derr != nil {
+			walkErr = fmt.Errorf("db: object %s: %w", parent, derr)
+			return false
+		}
+		for _, child := range refs {
+			if child.IsNil() || child.Partition() == parent.Partition() {
+				continue
+			}
+			d.an.ERT(child.Partition()).AddRef(child, parent)
+		}
+		return true
+	})
+	return walkErr
 }

@@ -29,7 +29,18 @@ func (m modelObj) clone() modelObj {
 // exact agreement with the committed database state after every
 // transaction.
 func TestTransactionModelEquivalence(t *testing.T) {
-	d := openTestDB(t, 3)
+	// The model keys committed state by the addresses a physical store
+	// scan yields; pin physical so the REORG_LOGICAL_OID lane keeps the
+	// comparison exact.
+	cfg := testConfig()
+	cfg.PhysicalOIDs = true
+	d := Open(cfg)
+	for i := 0; i < 3; i++ {
+		if err := d.CreatePartition(oid.PartitionID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(d.Close)
 	rng := rand.New(rand.NewSource(20260705))
 
 	committed := map[oid.OID]modelObj{}

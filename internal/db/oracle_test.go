@@ -15,14 +15,21 @@ import (
 	"repro/internal/reorg"
 )
 
-// The equivalence oracle: the in-memory and disk-backed stores must be
-// observationally identical. Both modes share every layout decision
-// (first-fit cursor, dense floor, page extension), and the buffer pool
-// only decides residency, never placement — so replaying one schedule of
-// operations, aborts, and a mid-stream reorganization against both modes
-// must produce identical OIDs, identical read results, and identical
-// reachability signatures, even with a frame budget tiny enough that the
-// disk store evicts on nearly every access.
+// The equivalence oracle, over the four cells of the
+// {memory, disk} × {physical, logical} grid. Within one addressing
+// mode the in-memory and disk-backed stores must be observationally
+// identical: both share every layout decision (first-fit cursor, dense
+// floor, page extension), and the buffer pool only decides residency,
+// never placement — so replaying one schedule of operations, aborts,
+// and a mid-stream reorganization must produce identical OIDs,
+// identical read results, and identical reachability signatures, even
+// with a frame budget tiny enough that the disk store evicts on nearly
+// every access. Across addressing modes the OIDs legitimately differ
+// (logical OIDs come from the per-partition sequence, and survive
+// migration), so the grid compares the address-free projection instead:
+// per-node payloads and the reference graph over abstract node ids.
+// Logical cells additionally assert the tentpole's identity-stability
+// claim — a reorganization pass changes no OID the root hands out.
 
 // oracleOp is one step of an abstract schedule. Object identity is the
 // abstract node index, so the schedule can be interpreted against either
@@ -237,9 +244,44 @@ func (w *oracleWorld) reorgPass(t *testing.T) error {
 		return fmt.Errorf("root holds %d refs, want %d", len(refs), len(ids))
 	}
 	for i, id := range ids {
+		if w.d.OIDMap() != nil && refs[i] != w.nodes[id] {
+			// The logical cells' identity-stability claim: migration may
+			// move a body anywhere, but the OID a parent holds never
+			// changes.
+			return fmt.Errorf("reorg changed node %d's logical OID: %s -> %s", id, w.nodes[id], refs[i])
+		}
 		w.nodes[id] = refs[i]
 	}
 	return nil
+}
+
+// abstract is the address-free projection of the world: per live node,
+// its payload and outgoing references as abstract node ids, in stored
+// order. This is what must agree across addressing modes, where the
+// OIDs themselves cannot.
+func (w *oracleWorld) abstract(t *testing.T) map[int]string {
+	t.Helper()
+	rev := make(map[oid.OID]int, len(w.nodes))
+	for id, o := range w.nodes {
+		rev[o] = id
+	}
+	out := make(map[int]string, len(w.nodes))
+	for id, o := range w.nodes {
+		obj, err := w.d.FuzzyRead(o)
+		if err != nil {
+			t.Fatalf("read node %d (%s): %v", id, o, err)
+		}
+		refIDs := make([]int, 0, len(obj.Refs))
+		for _, c := range obj.Refs {
+			cid, ok := rev[c]
+			if !ok {
+				t.Fatalf("node %d references %s, which is no live node", id, c)
+			}
+			refIDs = append(refIDs, cid)
+		}
+		out[id] = fmt.Sprintf("payload=%x refs=%v", obj.Payload, refIDs)
+	}
+	return out
 }
 
 // snapshot reads back every live node (payload and refs) plus the
@@ -287,10 +329,19 @@ func oracleSchedule(seed int64, n int) []oracleOp {
 	return ops
 }
 
-// runOracle replays one schedule against a database and returns the
-// per-op results plus the final snapshot (taken after a mid-stream and a
-// final reorganization pass).
-func runOracle(t *testing.T, d *db.Database, ops []oracleOp) ([]string, map[int]string, map[string][]string) {
+// oracleRun is everything one grid cell produced: the per-op results
+// and final snapshot (address-bearing, compared within one addressing
+// mode) plus the abstract projection (compared across modes).
+type oracleRun struct {
+	results  []string
+	reads    map[int]string
+	sig      map[string][]string
+	abstract map[int]string
+}
+
+// runOracle replays one schedule against a database, with a mid-stream
+// and a final reorganization pass.
+func runOracle(t *testing.T, d *db.Database, ops []oracleOp) oracleRun {
 	t.Helper()
 	w := newOracleWorld(t, d)
 	results := make([]string, 0, len(ops))
@@ -321,10 +372,10 @@ func runOracle(t *testing.T, d *db.Database, ops []oracleOp) ([]string, map[int]
 		t.Fatalf("consistency: %v", err)
 	}
 	reads, sig := w.snapshot(t)
-	return results, reads, sig
+	return oracleRun{results: results, reads: reads, sig: sig, abstract: w.abstract(t)}
 }
 
-func oracleConfig(diskDir string) db.Config {
+func oracleConfig(diskDir string, logical bool) db.Config {
 	cfg := db.DefaultConfig()
 	cfg.PageSize = 1024 // small pages: more eviction traffic per op
 	cfg.FlushLatency = 0
@@ -334,48 +385,85 @@ func oracleConfig(diskDir string) db.Config {
 		cfg.DataDir = diskDir
 		cfg.PoolFrames = 4 // far below the working set: evict constantly
 	}
+	// Pin the addressing mode explicitly so the grid stays a grid under
+	// the REORG_LOGICAL_OID=1 CI lane.
+	if logical {
+		cfg.LogicalOIDs = true
+	} else {
+		cfg.PhysicalOIDs = true
+	}
 	return cfg
 }
 
+// sameCell asserts exact observational equality between the memory and
+// disk runs of one addressing mode.
+func sameCell(t *testing.T, seed int64, mode string, mem, dsk oracleRun) bool {
+	t.Helper()
+	if !reflect.DeepEqual(mem.results, dsk.results) {
+		t.Errorf("seed %d (%s): op results diverge", seed, mode)
+		for i := range mem.results {
+			if mem.results[i] != dsk.results[i] {
+				t.Errorf("  op %d: mem=%q disk=%q", i, mem.results[i], dsk.results[i])
+				break
+			}
+		}
+		return false
+	}
+	if !reflect.DeepEqual(mem.reads, dsk.reads) {
+		t.Errorf("seed %d (%s): read-back diverges (mem %d nodes, disk %d nodes)",
+			seed, mode, len(mem.reads), len(dsk.reads))
+		return false
+	}
+	if !reflect.DeepEqual(mem.sig, dsk.sig) {
+		t.Errorf("seed %d (%s): reachability signatures diverge", seed, mode)
+		return false
+	}
+	return true
+}
+
 // TestDiskMemoryEquivalence is the oracle proper, driven by
-// testing/quick over schedule seeds.
+// testing/quick over schedule seeds: one schedule replayed against all
+// four {memory, disk} × {physical, logical} cells.
 func TestDiskMemoryEquivalence(t *testing.T) {
 	nOps := 120
-	maxCount := 6
+	maxCount := 5
 	if testing.Short() {
-		nOps, maxCount = 60, 3
+		nOps, maxCount = 60, 2
 	}
 	f := func(seed int64) bool {
-		mem := db.Open(oracleConfig(""))
-		defer mem.Close()
-		dsk := db.Open(oracleConfig(t.TempDir()))
-		defer dsk.Close()
-
 		ops := oracleSchedule(seed, nOps)
-		memRes, memReads, memSig := runOracle(t, mem, ops)
-		dskRes, dskReads, dskSig := runOracle(t, dsk, ops)
+		runs := make(map[string]oracleRun, 4)
+		for _, cell := range []struct {
+			name    string
+			logical bool
+		}{{"physical", false}, {"logical", true}} {
+			mem := db.Open(oracleConfig("", cell.logical))
+			memRun := runOracle(t, mem, ops)
+			mem.Close()
 
-		if dsk.Store().PoolStats().Pinned != 0 {
-			t.Errorf("seed %d: %d frames left pinned", seed, dsk.Store().PoolStats().Pinned)
-			return false
-		}
-		if !reflect.DeepEqual(memRes, dskRes) {
-			t.Errorf("seed %d: op results diverge", seed)
-			for i := range memRes {
-				if memRes[i] != dskRes[i] {
-					t.Errorf("  op %d: mem=%q disk=%q", i, memRes[i], dskRes[i])
-					break
-				}
+			dsk := db.Open(oracleConfig(t.TempDir(), cell.logical))
+			dskRun := runOracle(t, dsk, ops)
+			if pinned := dsk.Store().PoolStats().Pinned; pinned != 0 {
+				t.Errorf("seed %d (%s): %d frames left pinned", seed, cell.name, pinned)
+				return false
 			}
-			return false
+			dsk.Close()
+
+			if !sameCell(t, seed, cell.name, memRun, dskRun) {
+				return false
+			}
+			runs["mem-"+cell.name] = memRun
+			runs["disk-"+cell.name] = dskRun
 		}
-		if !reflect.DeepEqual(memReads, dskReads) {
-			t.Errorf("seed %d: read-back diverges (mem %d nodes, disk %d nodes)", seed, len(memReads), len(dskReads))
-			return false
-		}
-		if !reflect.DeepEqual(memSig, dskSig) {
-			t.Errorf("seed %d: reachability signatures diverge", seed)
-			return false
+		// Across addressing modes the OIDs differ by design; the
+		// address-free projection must not.
+		want := runs["mem-physical"].abstract
+		for name, run := range runs {
+			if !reflect.DeepEqual(run.abstract, want) {
+				t.Errorf("seed %d: %s abstract graph diverges from mem-physical (%d vs %d nodes)",
+					seed, name, len(run.abstract), len(want))
+				return false
+			}
 		}
 		return true
 	}

@@ -14,10 +14,14 @@ import (
 	"repro/internal/wal"
 )
 
-// Fault points on the transaction durability path.
+// Fault points on the transaction durability path. The map-set point
+// keeps its reorg/ prefix deliberately: Relocate is the reorganizer's
+// migration primitive, and the torture harness targets the window where
+// the indirection entry has swung but the old slot is not yet freed.
 var (
 	fpDBCommit     = fault.Point(fault.DBCommit)
 	fpDBCheckpoint = fault.Point(fault.DBCheckpoint)
+	fpReorgMapSet  = fault.Point(fault.ReorgMapSet)
 )
 
 // Txn is a transaction. A transaction must be driven by one goroutine and
@@ -77,17 +81,34 @@ func (t *Txn) ensure(o oid.OID, mode lock.Mode) error {
 	return t.db.locks.Lock(t.id, o, mode)
 }
 
-// readImage fetches and decodes o, which must already be locked.
-func (t *Txn) readImage(o oid.OID) (object.Object, []byte, error) {
+// readImage resolves o's physical address and fetches and decodes its
+// image; o must already be locked. The returned address is where the
+// body currently lives — in logical-OID mode the exclusive lock on the
+// identity is what keeps it from moving under the transaction.
+func (t *Txn) readImage(o oid.OID) (object.Object, []byte, oid.OID, error) {
+	phys, err := t.db.resolve(o)
+	if err != nil {
+		return object.Object{}, nil, oid.Nil, err
+	}
 	var raw []byte
-	err := t.db.store.View(o, func(data []byte) {
+	err = t.db.store.View(phys, func(data []byte) {
 		raw = append([]byte(nil), data...)
 	})
 	if err != nil {
-		return object.Object{}, nil, err
+		return object.Object{}, nil, oid.Nil, err
 	}
 	obj, err := object.Decode(raw)
-	return obj, raw, err
+	return obj, raw, phys, err
+}
+
+// ident stamps a mutation record with the logical identity when the
+// database runs in logical-OID mode; physical-mode records leave Obj
+// zero so Identity() falls back to the address.
+func (t *Txn) ident(rec *wal.Record, o oid.OID) *wal.Record {
+	if t.db.oidmap != nil {
+		rec.Obj = o
+	}
+	return rec
 }
 
 // Read returns the object at o under a shared lock.
@@ -98,7 +119,7 @@ func (t *Txn) Read(o oid.OID) (object.Object, error) {
 	if err := t.ensure(o, lock.Shared); err != nil {
 		return object.Object{}, err
 	}
-	obj, _, err := t.readImage(o)
+	obj, _, _, err := t.readImage(o)
 	return obj, err
 }
 
@@ -156,6 +177,9 @@ func (t *Txn) create(part oid.PartitionID, payload []byte, refs []oid.OID, dense
 		return oid.Nil, ErrTxnDone
 	}
 	img := object.Encode(object.Object{Refs: refs, Payload: payload})
+	if t.db.oidmap != nil {
+		return t.createLogical(part, img, dense)
+	}
 	t.db.ckptGate.RLock()
 	defer t.db.ckptGate.RUnlock()
 	// The Create record can only be written once the address is known,
@@ -190,6 +214,33 @@ func (t *Txn) create(part oid.PartitionID, payload []byte, refs []oid.OID, dense
 	return o, nil
 }
 
+// createLogical is create in logical-OID mode: mint the identity, lock
+// it, allocate the body, then publish the binding. Locking before the
+// allocation closes the fuzzy-visibility window physical mode tolerates
+// — the identity is unresolvable until the map entry lands, so no
+// reader can observe the object before its creator holds the lock.
+func (t *Txn) createLogical(part oid.PartitionID, img []byte, dense bool) (oid.OID, error) {
+	l := t.db.oidmap.NextID(part)
+	if err := t.db.locks.Lock(t.id, l, lock.Exclusive); err != nil {
+		return oid.Nil, err
+	}
+	t.db.ckptGate.RLock()
+	defer t.db.ckptGate.RUnlock()
+	phys, err := t.db.store.AllocateLogged(part, img, dense, func(o oid.OID) (wal.LSN, error) {
+		rec := &wal.Record{Type: wal.RecCreate, Txn: wal.TxnID(t.id), Prev: t.lastLSN, OID: o, Obj: l, After: img}
+		lsn, aerr := t.db.log.Append(rec)
+		if aerr == nil {
+			t.lastLSN = lsn
+		}
+		return lsn, aerr
+	})
+	if err != nil {
+		return oid.Nil, err
+	}
+	t.db.oidmap.Set(l, phys)
+	return l, nil
+}
+
 // UpdatePayload rewrites o's payload under an exclusive lock, preserving
 // its references.
 func (t *Txn) UpdatePayload(o oid.OID, payload []byte) error {
@@ -199,14 +250,14 @@ func (t *Txn) UpdatePayload(o oid.OID, payload []byte) error {
 	if err := t.ensure(o, lock.Exclusive); err != nil {
 		return err
 	}
-	obj, before, err := t.readImage(o)
+	obj, before, phys, err := t.readImage(o)
 	if err != nil {
 		return err
 	}
 	obj.Payload = payload
 	after := object.Encode(obj)
-	return t.logApply(&wal.Record{Type: wal.RecUpdate, OID: o, Before: before, After: after},
-		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
+	return t.logApply(t.ident(&wal.Record{Type: wal.RecUpdate, OID: phys, Before: before, After: after}, o),
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(phys, after, logFn) })
 }
 
 // InsertRef stores a reference to child into o (the transaction must have
@@ -222,14 +273,14 @@ func (t *Txn) InsertRef(o, child oid.OID) error {
 	if err := t.ensure(o, lock.Exclusive); err != nil {
 		return err
 	}
-	obj, before, err := t.readImage(o)
+	obj, before, phys, err := t.readImage(o)
 	if err != nil {
 		return err
 	}
 	obj.Refs = append(obj.Refs, child)
 	after := object.Encode(obj)
-	return t.logApply(&wal.Record{Type: wal.RecRefInsert, OID: o, Child: child, Before: before, After: after},
-		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
+	return t.logApply(t.ident(&wal.Record{Type: wal.RecRefInsert, OID: phys, Child: child, Before: before, After: after}, o),
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(phys, after, logFn) })
 }
 
 // DeleteRef removes one occurrence of the reference to child from o. Note
@@ -242,7 +293,7 @@ func (t *Txn) DeleteRef(o, child oid.OID) error {
 	if err := t.ensure(o, lock.Exclusive); err != nil {
 		return err
 	}
-	obj, before, err := t.readImage(o)
+	obj, before, phys, err := t.readImage(o)
 	if err != nil {
 		return err
 	}
@@ -250,8 +301,8 @@ func (t *Txn) DeleteRef(o, child oid.OID) error {
 		return fmt.Errorf("%w: %s -> %s", ErrNoRef, o, child)
 	}
 	after := object.Encode(obj)
-	return t.logApply(&wal.Record{Type: wal.RecRefDelete, OID: o, Child: child, Before: before, After: after},
-		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
+	return t.logApply(t.ident(&wal.Record{Type: wal.RecRefDelete, OID: phys, Child: child, Before: before, After: after}, o),
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(phys, after, logFn) })
 }
 
 // RetargetRef replaces every occurrence of from with to in o's reference
@@ -264,7 +315,7 @@ func (t *Txn) RetargetRef(o, from, to oid.OID) error {
 	if err := t.ensure(o, lock.Exclusive); err != nil {
 		return err
 	}
-	obj, before, err := t.readImage(o)
+	obj, before, phys, err := t.readImage(o)
 	if err != nil {
 		return err
 	}
@@ -272,8 +323,8 @@ func (t *Txn) RetargetRef(o, from, to oid.OID) error {
 		return fmt.Errorf("%w: %s -> %s", ErrNoRef, o, from)
 	}
 	after := object.Encode(obj)
-	return t.logApply(&wal.Record{Type: wal.RecRefUpdate, OID: o, Child: from, Child2: to, Before: before, After: after},
-		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(o, after, logFn) })
+	return t.logApply(t.ident(&wal.Record{Type: wal.RecRefUpdate, OID: phys, Child: from, Child2: to, Before: before, After: after}, o),
+		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.UpdateLogged(phys, after, logFn) })
 }
 
 // Delete removes the object at o under an exclusive lock.
@@ -284,12 +335,82 @@ func (t *Txn) Delete(o oid.OID) error {
 	if err := t.ensure(o, lock.Exclusive); err != nil {
 		return err
 	}
-	_, before, err := t.readImage(o)
+	_, before, phys, err := t.readImage(o)
 	if err != nil {
 		return err
 	}
-	return t.logApply(&wal.Record{Type: wal.RecDelete, OID: o, Before: before},
-		o, func(logFn func() (wal.LSN, error)) error { return t.db.store.FreeLogged(o, logFn) })
+	return t.logApply(t.ident(&wal.Record{Type: wal.RecDelete, OID: phys, Before: before}, o),
+		o, func(logFn func() (wal.LSN, error)) error {
+			if err := t.db.store.FreeLogged(phys, logFn); err != nil {
+				return err
+			}
+			if t.db.oidmap != nil {
+				t.db.oidmap.Delete(o)
+			}
+			return nil
+		})
+}
+
+// Relocate moves o's body to a fresh slot in the target store partition
+// (tail-allocated when dense), swings the indirection entry, and frees
+// the old slot — all in this transaction, each step WAL-logged, so a
+// crash anywhere rolls the migration back as a unit. The identity o is
+// untouched: parents keep their references, which is the entire point
+// of logical-OID mode. transform, if non-nil, rewrites the payload in
+// flight. Logical-OID mode only.
+func (t *Txn) Relocate(o oid.OID, target oid.PartitionID, dense bool, transform func([]byte) []byte) error {
+	if t.ended {
+		return ErrTxnDone
+	}
+	if t.db.oidmap == nil {
+		return errors.New("db: Relocate requires logical-OID mode")
+	}
+	if err := t.ensure(o, lock.Exclusive); err != nil {
+		return err
+	}
+	obj, before, oldPhys, err := t.readImage(o)
+	if err != nil {
+		return err
+	}
+	if transform != nil {
+		obj.Payload = transform(obj.Payload)
+	}
+	img := object.Encode(obj)
+	// Step 1: copy the body. RecPhysAlloc is placement-only — the
+	// analyzer ignores it, because no identity or edge changes.
+	t.db.ckptGate.RLock()
+	newPhys, err := t.db.store.AllocateLogged(target, img, dense, func(n oid.OID) (wal.LSN, error) {
+		rec := &wal.Record{Type: wal.RecPhysAlloc, Txn: wal.TxnID(t.id), Prev: t.lastLSN, OID: n, Obj: o, After: img}
+		lsn, aerr := t.db.log.Append(rec)
+		if aerr == nil {
+			t.lastLSN = lsn
+		}
+		return lsn, aerr
+	})
+	t.db.ckptGate.RUnlock()
+	if err != nil {
+		return err
+	}
+	// Step 2: swing the map entry — the migration's atomic instant.
+	err = t.logApply(&wal.Record{Type: wal.RecMapSet, Obj: o, Child: oldPhys, Child2: newPhys}, o,
+		func(logFn func() (wal.LSN, error)) error {
+			if _, lerr := logFn(); lerr != nil {
+				return lerr
+			}
+			t.db.oidmap.Set(o, newPhys)
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	if ferr := fpReorgMapSet.Maybe(); ferr != nil {
+		return fmt.Errorf("db: relocate interrupted: %w", ferr)
+	}
+	// Step 3: free the old slot. The latch key is the identity, so a
+	// fuzzy reader that resolved o before the swing cannot be mid-View
+	// on the old slot while it is freed.
+	return t.logApply(&wal.Record{Type: wal.RecPhysFree, OID: oldPhys, Obj: o, Before: before}, o,
+		func(logFn func() (wal.LSN, error)) error { return t.db.store.FreeLogged(oldPhys, logFn) })
 }
 
 // Savepoint marks the transaction's current position in its undo chain.
@@ -391,7 +512,8 @@ func (t *Txn) rollbackTo(limit wal.LSN) error {
 		switch rec.Type {
 		case wal.RecBegin:
 			return nil
-		case wal.RecUpdate, wal.RecCreate, wal.RecDelete, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
+		case wal.RecUpdate, wal.RecCreate, wal.RecDelete, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate,
+			wal.RecPhysAlloc, wal.RecPhysFree, wal.RecMapSet:
 			if err := t.compensate(rec); err != nil {
 				return err
 			}
@@ -401,9 +523,11 @@ func (t *Txn) rollbackTo(limit wal.LSN) error {
 	return nil
 }
 
-// compensate writes the typed CLR for rec and applies the undo.
+// compensate writes the typed CLR for rec and applies the undo. The CLR
+// inherits rec's identity (Obj), and undoing a create or delete in
+// logical-OID mode restores the indirection entry alongside the slot.
 func (t *Txn) compensate(rec *wal.Record) error {
-	clr := &wal.Record{CLR: true, OID: rec.OID, UndoNxt: rec.Prev, Before: nil}
+	clr := &wal.Record{CLR: true, OID: rec.OID, Obj: rec.Obj, UndoNxt: rec.Prev, Before: nil}
 	var apply func(logFn func() (wal.LSN, error)) error
 	switch rec.Type {
 	case wal.RecUpdate:
@@ -413,12 +537,46 @@ func (t *Txn) compensate(rec *wal.Record) error {
 	case wal.RecCreate:
 		clr.Type = wal.RecDelete
 		clr.Before = rec.After
-		apply = func(logFn func() (wal.LSN, error)) error { return t.db.store.FreeLogged(rec.OID, logFn) }
+		apply = func(logFn func() (wal.LSN, error)) error {
+			if err := t.db.store.FreeLogged(rec.OID, logFn); err != nil {
+				return err
+			}
+			if t.db.oidmap != nil && !rec.Obj.IsNil() {
+				t.db.oidmap.Delete(rec.Obj)
+			}
+			return nil
+		}
 	case wal.RecDelete:
 		clr.Type = wal.RecCreate
 		clr.After = rec.Before
 		apply = func(logFn func() (wal.LSN, error)) error {
+			if err := t.db.store.AllocateAtLogged(rec.OID, rec.Before, logFn); err != nil {
+				return err
+			}
+			if t.db.oidmap != nil && !rec.Obj.IsNil() {
+				t.db.oidmap.Set(rec.Obj, rec.OID)
+			}
+			return nil
+		}
+	case wal.RecPhysAlloc:
+		clr.Type = wal.RecPhysFree
+		clr.Before = rec.After
+		apply = func(logFn func() (wal.LSN, error)) error { return t.db.store.FreeLogged(rec.OID, logFn) }
+	case wal.RecPhysFree:
+		clr.Type = wal.RecPhysAlloc
+		clr.After = rec.Before
+		apply = func(logFn func() (wal.LSN, error)) error {
 			return t.db.store.AllocateAtLogged(rec.OID, rec.Before, logFn)
+		}
+	case wal.RecMapSet:
+		clr.Type = wal.RecMapSet
+		clr.Child, clr.Child2 = rec.Child2, rec.Child
+		apply = func(logFn func() (wal.LSN, error)) error {
+			if _, lerr := logFn(); lerr != nil {
+				return lerr
+			}
+			t.db.oidmap.Set(rec.Obj, rec.Child)
+			return nil
 		}
 	case wal.RecRefInsert:
 		clr.Type = wal.RecRefDelete
@@ -442,7 +600,7 @@ func (t *Txn) compensate(rec *wal.Record) error {
 	default:
 		return fmt.Errorf("db: cannot compensate %v record", rec.Type)
 	}
-	return t.logApply(clr, rec.OID, func(logFn func() (wal.LSN, error)) error {
+	return t.logApply(clr, rec.Identity(), func(logFn func() (wal.LSN, error)) error {
 		err := apply(logFn)
 		// Undoing an update whose partition vanished (dropped) is the
 		// only legitimate failure; surface everything else. The store

@@ -49,6 +49,8 @@ const (
 	SegmentWrite     = "segment/write"     // segment page write; a crash tears the page
 	SegmentSync      = "segment/sync"      // segment fsync error or crash
 	PoolEvict        = "pool/evict"        // buffer pool mid-eviction, before the flush
+	ReorgMapSet      = "reorg/map-set"     // logical relocation: map swung, old slot not yet freed
+	ReorgStoreMove   = "reorg/store-move"  // cross-store move: evacuated, source not yet dropped
 	NetAccept        = "net/accept"        // server accept-loop failure for one connection
 	NetRead          = "net/read"          // server-side frame read error (connection dies)
 	NetWrite         = "net/write"         // server-side frame write error (connection dies)

@@ -20,9 +20,14 @@ func tinyInterferenceConfig() InterferenceConfig {
 	p.NumPartitions = 2
 	p.ObjectsPerPartition = 64
 	p.MPL = 4
+	// The step-digest assertions name the physical IRA steps
+	// (s1-lock-parents etc.), which logical relocation skips; pin
+	// physical so they hold under the REORG_LOGICAL_OID lane.
+	dcfg := db.DefaultConfig()
+	dcfg.PhysicalOIDs = true
 	return InterferenceConfig{
 		Params:         p,
-		DB:             db.DefaultConfig(),
+		DB:             dcfg,
 		Mode:           reorg.ModeIRA,
 		ReorgPartition: 1,
 		Window:         25 * time.Millisecond,

@@ -38,6 +38,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/db"
 	"repro/internal/fault"
+	"repro/internal/interleave"
 	"repro/internal/lock"
 	"repro/internal/oid"
 	"repro/internal/query"
@@ -111,6 +112,19 @@ type TortureConfig struct {
 	// required when FileWAL is set.
 	FileWAL bool
 	Dir     string
+
+	// LogicalOIDs runs the database behind the logical→physical
+	// indirection table (db.Config.LogicalOIDs): migrations swing map
+	// entries instead of rewriting parents, and every crash must
+	// recover the map exactly alongside the store.
+	LogicalOIDs bool
+	// StoreMove replaces the round's compaction fleet with cross-store
+	// partition moves (reorg.MigrateStore): each remaining partition's
+	// bodies are evacuated into a fresh store partition — alternating
+	// backing in disk-backed runs — and the emptied sources dropped,
+	// under the same crash schedule and resume protocol. Requires
+	// LogicalOIDs.
+	StoreMove bool
 
 	// DiskBacked puts the object store on segment files under Dir with
 	// a deliberately tiny buffer pool and small pages, so evictions
@@ -210,6 +224,12 @@ type tortureWorld struct {
 	remaining []oid.PartitionID
 	resume    map[oid.PartitionID]*reorg.State
 	records   []*wal.Record
+
+	// Store-move bookkeeping: fresh target partitions are allocated from
+	// a counter so no two moves (across rounds and lives) ever collide,
+	// and the backing alternates per move in disk-backed runs.
+	nextTarget oid.PartitionID
+	moveCount  int
 }
 
 func (w *tortureWorld) fail(round int, format string, args ...any) error {
@@ -226,6 +246,7 @@ func (w *tortureWorld) dbConfig() db.Config {
 		cfg.LogDir = filepath.Join(w.cfg.Dir, fmt.Sprintf("life-%d", w.life))
 		cfg.LogSegmentBytes = 4096 // small segments: crashes land near rotation too
 	}
+	cfg.LogicalOIDs = w.cfg.LogicalOIDs
 	if w.cfg.DiskBacked {
 		cfg.DiskBacked = true
 		cfg.DataDir = filepath.Join(w.cfg.Dir, "segments")
@@ -388,7 +409,67 @@ func (w *tortureWorld) build() error {
 	for p := 1; p <= cfg.Partitions; p++ {
 		w.remaining = append(w.remaining, oid.PartitionID(p))
 	}
+	w.nextTarget = oid.PartitionID(cfg.Partitions + 100)
 	return nil
+}
+
+// storeMoveFleet is the round driver for StoreMove runs: one
+// cross-store move per remaining partition, sequentially — the moves
+// share the map and the WAL, so the concurrency under test is against
+// the workload, not between moves. Partitions with a checkpointed move
+// resume it; the rest start a fresh move to a fresh target. Returns
+// per-partition failures and last checkpointed states, mirroring the
+// scheduler's contract, plus the joined failure for round bookkeeping.
+func (w *tortureWorld) storeMoveFleet(crashC <-chan struct{}) (map[oid.PartitionID]error, map[oid.PartitionID]*reorg.State, error) {
+	failures := make(map[oid.PartitionID]error)
+	states := make(map[oid.PartitionID]*reorg.State)
+	stopped := func() error {
+		select {
+		case <-crashC:
+			return reorg.ErrStopped
+		default:
+			return nil
+		}
+	}
+	var errs []error
+	for _, p := range w.remaining {
+		if stopped() != nil {
+			failures[p] = reorg.ErrStopped
+			if st := w.resume[p]; st != nil {
+				states[p] = st
+			}
+			continue
+		}
+		part := p
+		opts := reorg.Options{
+			Mode:            w.cfg.Mode,
+			BatchSize:       w.cfg.BatchSize,
+			MaxRetries:      50,
+			WaitTimeout:     500 * time.Millisecond,
+			CheckpointEvery: 1,
+			OnCheckpoint:    func(s *reorg.State) { states[part] = s },
+			Stopped:         stopped,
+			Gate:            stopped,
+		}
+		var err error
+		if st := w.resume[p]; st != nil && st.StoreMove != nil {
+			states[p] = st
+			_, err = reorg.ResumeMigrateStore(w.d, st, w.records, opts)
+		} else {
+			w.moveCount++
+			toDisk := w.cfg.DiskBacked && w.moveCount%2 == 1
+			target := w.nextTarget
+			w.nextTarget++
+			_, err = reorg.MigrateStore(w.d, p, target, toDisk, opts)
+		}
+		if err != nil {
+			failures[p] = err
+			errs = append(errs, fmt.Errorf("partition %d: %w", p, err))
+			continue
+		}
+		delete(states, p)
+	}
+	return failures, states, errors.Join(errs...)
 }
 
 // readCounters walks the counter root fuzzily (the database must be
@@ -771,26 +852,38 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 		// hiccup, not a round failure.
 		maxRetries = 250
 	}
-	s, err := reorg.NewScheduler(w.d, w.remaining, reorg.FleetOptions{
-		Workers: cfg.Workers,
-		Reorg: reorg.Options{
-			Mode:            cfg.Mode,
-			BatchSize:       cfg.BatchSize,
-			MaxRetries:      maxRetries,
-			WaitTimeout:     500 * time.Millisecond,
-			CheckpointEvery: 1,
-		},
-		Pace:         pace,
-		ResumeStates: w.resume,
-		Records:      w.records,
-	})
-	if err != nil {
-		close(stop)
-		wg.Wait()
-		return rep, false, w.fail(round, "scheduler: %v", err)
-	}
+	var s *reorg.Scheduler
+	var mvFailures map[oid.PartitionID]error
+	var mvStates map[oid.PartitionID]*reorg.State
 	fleetDone := make(chan error, 1)
-	go func() { fleetDone <- s.Run() }()
+	if cfg.StoreMove {
+		go func() {
+			var ferr error
+			mvFailures, mvStates, ferr = w.storeMoveFleet(reg.CrashC())
+			fleetDone <- ferr
+		}()
+	} else {
+		var serr error
+		s, serr = reorg.NewScheduler(w.d, w.remaining, reorg.FleetOptions{
+			Workers: cfg.Workers,
+			Reorg: reorg.Options{
+				Mode:            cfg.Mode,
+				BatchSize:       cfg.BatchSize,
+				MaxRetries:      maxRetries,
+				WaitTimeout:     500 * time.Millisecond,
+				CheckpointEvery: 1,
+			},
+			Pace:         pace,
+			ResumeStates: w.resume,
+			Records:      w.records,
+		})
+		if serr != nil {
+			close(stop)
+			wg.Wait()
+			return rep, false, w.fail(round, "scheduler: %v", serr)
+		}
+		go func() { fleetDone <- s.Run() }()
+	}
 
 	timeout := time.NewTimer(cfg.RoundTimeout)
 	defer timeout.Stop()
@@ -809,7 +902,9 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 		rep.Crashed = true
 		// The process is "dead": the log is frozen, so the fleet and
 		// workload can only fail their way out. Let them unwind.
-		s.Stop()
+		if s != nil {
+			s.Stop()
+		}
 		select {
 		case fleetErr = <-fleetDone:
 		case <-timeout.C:
@@ -840,8 +935,12 @@ func (w *tortureWorld) round(round int) (rep RoundReport, done bool, err error) 
 		}
 	}
 
-	failures := s.Failures()
-	states := s.States()
+	failures := mvFailures
+	states := mvStates
+	if s != nil {
+		failures = s.Failures()
+		states = s.States()
+	}
 
 	if !rep.Crashed {
 		// The armed hit was never reached. The fleet either finished
@@ -946,6 +1045,9 @@ func RunTorture(cfg TortureConfig) (*TortureResult, error) {
 	if (cfg.FileWAL || cfg.DiskBacked) && cfg.Dir == "" {
 		return nil, fmt.Errorf("torture: FileWAL and DiskBacked require Dir")
 	}
+	if cfg.StoreMove && !cfg.LogicalOIDs {
+		return nil, fmt.Errorf("torture: StoreMove requires LogicalOIDs")
+	}
 	tortureMu.Lock()
 	defer tortureMu.Unlock()
 	if fault.Enabled() {
@@ -979,7 +1081,11 @@ func RunTorture(cfg TortureConfig) (*TortureResult, error) {
 
 	// Final life: finish whatever is left with no faults armed, then
 	// hold the world to the full invariant set one last time.
-	if len(w.remaining) > 0 {
+	if len(w.remaining) > 0 && cfg.StoreMove {
+		if _, _, err := w.storeMoveFleet(nil); err != nil {
+			return res, w.fail(-1, "final store moves failed: %v", err)
+		}
+	} else if len(w.remaining) > 0 {
 		s, err := reorg.NewScheduler(w.d, w.remaining, reorg.FleetOptions{
 			Workers: cfg.Workers,
 			// Same retry budget as the crash rounds: two workers can
@@ -1038,7 +1144,12 @@ type TorturePoint struct {
 	Mode       reorg.Mode
 	FileWAL    bool
 	DiskBacked bool
-	MaxHit     int
+	// Logical runs the cell behind the OID indirection table; StoreMove
+	// additionally swaps the compaction fleet for cross-store partition
+	// moves (implies Logical).
+	Logical   bool
+	StoreMove bool
+	MaxHit    int
 }
 
 // DefaultTorturePoints is the crash-point taxonomy: the WAL append
@@ -1064,6 +1175,17 @@ func DefaultTorturePoints() []TorturePoint {
 		{Point: "reorg/twolock-inflight", Mode: reorg.ModeIRATwoLock, MaxHit: 60},
 		{Point: "reorg/twolock-parent-locked", Mode: reorg.ModeIRATwoLock, MaxHit: 90},
 		{Point: "reorg/twolock-parents-done", Mode: reorg.ModeIRATwoLock, MaxHit: 60},
+		// Logical-OID cells: crashes inside the relocate window (map
+		// swung, old slot not yet freed), on the commit path, in both
+		// algorithms, and under the buffer pool; store-move cells crash
+		// between evacuation and source drop, across backings.
+		{Point: fault.ReorgMapSet, Mode: reorg.ModeIRA, Logical: true, MaxHit: 40},
+		{Point: fault.DBCommit, Mode: reorg.ModeIRA, Logical: true, MaxHit: 40},
+		{Point: "reorg/batch-done", Mode: reorg.ModeIRATwoLock, Logical: true, MaxHit: 20},
+		{Point: fault.PoolEvict, Mode: reorg.ModeIRA, Logical: true, DiskBacked: true, MaxHit: 4},
+		{Point: fault.ReorgStoreMove, Mode: reorg.ModeIRA, Logical: true, StoreMove: true, MaxHit: 3},
+		{Point: fault.ReorgMapSet, Mode: reorg.ModeIRA, Logical: true, StoreMove: true, DiskBacked: true, MaxHit: 40},
+		{Point: fault.ReorgStoreMove, Mode: reorg.ModeIRA, Logical: true, StoreMove: true, DiskBacked: true, FileWAL: true, MaxHit: 3},
 	}
 }
 
@@ -1081,12 +1203,30 @@ type SweepFailure struct {
 	Seed  int64
 	Point string
 	Err   error
+	// Trace is the tail of the (append, apply, evict, flush)
+	// interleaving captured around the failing run — the ordering
+	// context the load-sensitive failures lose by the time the checker
+	// reports them.
+	Trace []interleave.Event
 }
 
 // ReplayLine is the deterministic reproduction recipe for a failure.
 func (f SweepFailure) ReplayLine() string {
 	return fmt.Sprintf("replay: seed=%d point=%s (reorgck -torture -seeds 1 -seedbase %d -points %s)",
 		f.Seed, f.Point, f.Seed, f.Point)
+}
+
+// DumpTrace writes the captured interleaving tail to w, one event per
+// line under the given prefix.
+func (f SweepFailure) DumpTrace(w io.Writer, prefix string) {
+	if len(f.Trace) == 0 {
+		fmt.Fprintf(w, "%sinterleave: no events captured\n", prefix)
+		return
+	}
+	fmt.Fprintf(w, "%sinterleave tail: %d events (append|apply|evict|flush)\n", prefix, len(f.Trace))
+	for _, e := range f.Trace {
+		fmt.Fprintf(w, "%s  %s\n", prefix, e)
+	}
 }
 
 // RunTortureSweep runs the seed matrix. Every third run interrupts
@@ -1118,17 +1258,29 @@ func RunTortureSweep(w io.Writer, spec TortureSpec) ([]SweepFailure, error) {
 			MaxHit:              pt.MaxHit,
 			FileWAL:             pt.FileWAL,
 			DiskBacked:          pt.DiskBacked,
+			LogicalOIDs:         pt.Logical || pt.StoreMove,
+			StoreMove:           pt.StoreMove,
 			Dir:                 runDir,
 			CrashDuringRecovery: n%3 == 0,
 			Chaos:               n%2 == 1,
 			AdaptivePace:        n%3 == 1,
 			QueryScan:           n%2 == 0,
 		}
+		// A fresh interleaving ring per run: on failure its tail shows
+		// the (append, apply, evict, flush) ordering that led up to the
+		// violation, which the deterministic replay alone cannot — the
+		// rare failures at pool/evict and segment/write are
+		// load-sensitive.
+		ring := interleave.NewRing(interleave.DefaultCap)
+		restoreRing := interleave.Install(ring)
 		res, err := RunTorture(cfg)
+		restoreRing()
 		if err != nil {
-			failures = append(failures, SweepFailure{Seed: seed, Point: pt.Point, Err: err})
+			f := SweepFailure{Seed: seed, Point: pt.Point, Err: err, Trace: ring.Events()}
+			failures = append(failures, f)
 			if w != nil {
-				fmt.Fprintf(w, "FAIL seed=%d point=%s: %v\n", seed, pt.Point, err)
+				fmt.Fprintf(w, "FAIL seed=%d point=%s: %v\n  %s\n", seed, pt.Point, err, f.ReplayLine())
+				f.DumpTrace(w, "  ")
 			}
 			continue
 		}

@@ -42,6 +42,45 @@ func TestTortureSingleRunFileWAL(t *testing.T) {
 	}
 }
 
+// TestTortureSingleRunLogical crashes inside the relocate window — map
+// swung to the new body, old slot not yet freed — and demands recovery
+// plus §4.4 resume converge with zero parent rewrites to verify.
+func TestTortureSingleRunLogical(t *testing.T) {
+	res, err := RunTorture(TortureConfig{
+		Seed:        13,
+		Point:       fault.ReorgMapSet,
+		Mode:        reorg.ModeIRA,
+		MaxHit:      40,
+		LogicalOIDs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lives < 1 {
+		t.Fatalf("lives = %d", res.Lives)
+	}
+}
+
+// TestTortureSingleRunStoreMove swaps the compaction fleet for
+// cross-store partition moves and crashes between the evacuation and
+// the source drop.
+func TestTortureSingleRunStoreMove(t *testing.T) {
+	res, err := RunTorture(TortureConfig{
+		Seed:        5,
+		Point:       fault.ReorgStoreMove,
+		Mode:        reorg.ModeIRA,
+		MaxHit:      3,
+		LogicalOIDs: true,
+		StoreMove:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lives < 1 {
+		t.Fatalf("lives = %d", res.Lives)
+	}
+}
+
 func TestTortureCrashDuringRecovery(t *testing.T) {
 	res, err := RunTorture(TortureConfig{
 		Seed:                3,

@@ -1,0 +1,177 @@
+// Package interleave is a bounded, process-wide ring buffer recording
+// the interleaving of the four low-level events that surround the
+// buffer pool's eviction window and the segment write path: WAL
+// appends, page applies, evictions, and flushes.
+//
+// The rare torture-sweep failures are load-sensitive — a crash landing
+// inside the pool/evict or segment/write fault windows only violates an
+// invariant under one particular ordering of appends, applies and
+// flushes, and by the time the checker reports the violation that
+// ordering is gone. The ring keeps the tail of it: each run of the
+// torture sweep installs a fresh ring, and on failure the sweep dumps
+// the captured tail next to the deterministic replay command, so the
+// interleaving that produced the violation travels with the recipe to
+// reproduce it.
+//
+// Like internal/fault, the registry is process-wide behind one atomic
+// pointer: with no ring installed, Note is a single atomic load, so the
+// emit sites can sit on the WAL append and page flush paths
+// permanently. Unlike fault, nothing here affects execution — the ring
+// only observes.
+package interleave
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/oid"
+)
+
+// Kind classifies one traced event.
+type Kind uint8
+
+// The traced event kinds, in rough pipeline order: a WAL record is
+// appended, its mutation is applied to a pooled page, the page is
+// chosen for eviction, and its content is flushed to the segment file.
+const (
+	Append Kind = iota // WAL record assigned an LSN
+	Apply              // pooled page dirtied by a mutation
+	Evict              // eviction victim chosen (pool/evict window)
+	Flush              // page written to its segment file (segment/write)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Append:
+		return "append"
+	case Apply:
+		return "apply"
+	case Evict:
+		return "evict"
+	case Flush:
+		return "flush"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one traced occurrence. Seq is a per-ring monotone sequence
+// number, so gaps in a dumped tail reveal how much history the ring
+// capacity discarded.
+type Event struct {
+	Seq  uint64          `json:"seq"`
+	Kind Kind            `json:"kind"`
+	Part oid.PartitionID `json:"part"`
+	Page int             `json:"page"`
+	LSN  uint64          `json:"lsn"`
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("#%-6d %-6s part=%d page=%d lsn=%d", e.Seq, e.Kind, e.Part, e.Page, e.LSN)
+}
+
+// DefaultCap is the ring capacity the torture sweep installs: enough to
+// span several eviction/flush cycles either side of a crash without
+// flooding a failure report.
+const DefaultCap = 256
+
+// Ring is a fixed-capacity event buffer; writers overwrite the oldest
+// entry once full. All methods are safe for concurrent use.
+type Ring struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64 // events ever noted; buf holds the last min(seq, cap)
+}
+
+// NewRing returns an empty ring holding the last capacity events
+// (DefaultCap if capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCap
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+func (r *Ring) note(e Event) {
+	r.mu.Lock()
+	e.Seq = r.seq
+	r.seq++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[e.Seq%uint64(cap(r.buf))] = e
+	}
+	r.mu.Unlock()
+}
+
+// Len returns how many events the ring currently holds.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Noted returns how many events have ever been noted (≥ Len once the
+// ring has wrapped).
+func (r *Ring) Noted() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// Events returns the retained tail, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.seq % uint64(cap(r.buf))
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// Dump writes the retained tail to w, one event per line with the
+// given prefix, preceded by a header noting how much history the
+// capacity discarded.
+func (r *Ring) Dump(w io.Writer, prefix string) {
+	events := r.Events()
+	r.mu.Lock()
+	total := r.seq
+	r.mu.Unlock()
+	if len(events) == 0 {
+		fmt.Fprintf(w, "%sinterleave: no events recorded\n", prefix)
+		return
+	}
+	fmt.Fprintf(w, "%sinterleave tail: last %d of %d events (append|apply|evict|flush)\n",
+		prefix, len(events), total)
+	for _, e := range events {
+		fmt.Fprintf(w, "%s  %s\n", prefix, e)
+	}
+}
+
+// global is the process-wide active ring; nil when disabled.
+var global atomic.Pointer[Ring]
+
+// Install makes r the process-wide ring and returns a restore function
+// reinstating the previous one (usually nil). Like fault.Install,
+// installers must be serialized against each other.
+func Install(r *Ring) (restore func()) {
+	prev := global.Swap(r)
+	return func() { global.Store(prev) }
+}
+
+// Active returns the installed ring, or nil.
+func Active() *Ring { return global.Load() }
+
+// Note records one event on the installed ring. With no ring installed
+// it is a single atomic load.
+func Note(k Kind, part oid.PartitionID, page int, lsn uint64) {
+	r := global.Load()
+	if r == nil {
+		return
+	}
+	r.note(Event{Kind: k, Part: part, Page: page, LSN: lsn})
+}

@@ -1,0 +1,145 @@
+package interleave
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRingBoundedAndOrdered: the ring keeps exactly the last cap events
+// oldest-first, with sequence numbers revealing the discarded prefix.
+func TestRingBoundedAndOrdered(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 20; i++ {
+		r.note(Event{Kind: Kind(uint8(i) % 4), Part: 1, Page: i, LSN: uint64(i)})
+	}
+	if r.Len() != 8 {
+		t.Fatalf("ring holds %d events, want 8", r.Len())
+	}
+	if r.Noted() != 20 {
+		t.Fatalf("ring noted %d events, want 20", r.Noted())
+	}
+	events := r.Events()
+	for i, e := range events {
+		if want := uint64(12 + i); e.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d (tail of 20 with cap 8)", i, e.Seq, want)
+		}
+		if e.Page != int(e.Seq) || e.LSN != e.Seq {
+			t.Fatalf("event payload scrambled: %+v", e)
+		}
+	}
+}
+
+// TestRingPartialFill: before wrapping, Events returns everything noted.
+func TestRingPartialFill(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 3; i++ {
+		r.note(Event{Kind: Flush, Part: 2, Page: i})
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+// TestNoteDisabled: with no ring installed, Note is a no-op (and must
+// not panic on the nil pointer).
+func TestNoteDisabled(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("a ring is installed at test start")
+	}
+	Note(Append, 1, 1, 1)
+}
+
+// TestInstallRestore: Note lands on the installed ring; restore
+// reinstates the previous one.
+func TestInstallRestore(t *testing.T) {
+	r := NewRing(4)
+	restore := Install(r)
+	Note(Evict, 3, 7, 42)
+	restore()
+	Note(Append, 1, 1, 1) // after restore: dropped
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("ring holds %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Kind != Evict || e.Part != 3 || e.Page != 7 || e.LSN != 42 {
+		t.Fatalf("wrong event captured: %+v", e)
+	}
+}
+
+// TestDumpFormat: the dump names every kind and reports the discarded
+// history.
+func TestDumpFormat(t *testing.T) {
+	r := NewRing(2)
+	for _, k := range []Kind{Append, Apply, Evict, Flush} {
+		r.note(Event{Kind: k, Part: 1})
+	}
+	var buf bytes.Buffer
+	r.Dump(&buf, ">> ")
+	out := buf.String()
+	if !strings.Contains(out, "last 2 of 4 events") {
+		t.Fatalf("dump header missing discard count:\n%s", out)
+	}
+	for _, want := range []string{"evict", "flush"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing retained %q event:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, ">> ") {
+			t.Fatalf("dump line missing prefix: %q", line)
+		}
+	}
+
+	var empty bytes.Buffer
+	NewRing(2).Dump(&empty, "")
+	if !strings.Contains(empty.String(), "no events") {
+		t.Fatalf("empty dump: %q", empty.String())
+	}
+}
+
+// TestRingConcurrent is the -race cell: concurrent writers against a
+// reader draining Events. Sequence numbers must stay unique.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	restore := Install(r)
+	defer restore()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				Note(Kind(uint8(i)%4), 1, g, uint64(i))
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			r.Events()
+			r.Len()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if r.Noted() != 2000 {
+		t.Fatalf("noted %d events, want 2000", r.Noted())
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range r.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}

@@ -23,6 +23,7 @@
 package recovery
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/fault"
 	"repro/internal/oid"
+	"repro/internal/oidmap"
 	"repro/internal/segment"
 	"repro/internal/storage"
 	"repro/internal/wal"
@@ -97,6 +99,18 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 	}
 	st := storage.RestoreSnapshot(img.Ckpt.Snap)
 
+	// Restore the OID indirection map in logical-OID mode. The map has
+	// no page LSNs: it is rebuilt exactly by replaying every record past
+	// the checkpoint (all map effects are idempotent), then corrected by
+	// the undo pass for losers.
+	var m *oidmap.Map
+	if img.Ckpt.Map != nil || cfg.LogicalOIDs {
+		m = oidmap.New()
+		if img.Ckpt.Map != nil {
+			m.Restore(img.Ckpt.Map)
+		}
+	}
+
 	// Overlay the durable segment pages. pageLSNs records, per page, the
 	// highest LSN whose effect the page already carries; redo skips
 	// records at or below it (their effects reached disk before the
@@ -148,7 +162,7 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 		if r.LSN <= img.Ckpt.LSN {
 			continue
 		}
-		if err := redo(st, r, pageLSNs); err != nil {
+		if err := redo(st, m, r, pageLSNs); err != nil {
 			return nil, fmt.Errorf("recovery: redo LSN %d (%v): %w", r.LSN, r.Type, err)
 		}
 	}
@@ -158,7 +172,7 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 
 	// Undo losers.
 	for _, t := range losers {
-		if err := undoTxn(st, byLSN, lastLSN[t]); err != nil {
+		if err := undoTxn(st, m, byLSN, lastLSN[t]); err != nil {
 			return nil, fmt.Errorf("recovery: undo txn %d: %w", t, err)
 		}
 	}
@@ -182,7 +196,7 @@ func Recover(img *Image, cfg db.Config) (*db.Database, error) {
 		st = dst
 	}
 
-	d := db.OpenWithStore(cfg, st)
+	d := db.OpenWithState(cfg, st, m)
 	if err := d.RebuildERTs(); err != nil {
 		d.Close()
 		return nil, err
@@ -241,12 +255,30 @@ func overlaySegments(st *storage.Store, dataDir string, ckptLSN wal.LSN, pageLSN
 }
 
 // redo reinstalls the after-image of r unless the overlaid page already
-// carries it (pageLSN at or past r.LSN).
-func redo(st *storage.Store, r *wal.Record, pageLSNs map[pageKey]wal.LSN) error {
+// carries it (pageLSN at or past r.LSN). Map effects are replayed
+// unconditionally — the map is never flushed page-wise, only rebuilt
+// from the checkpoint snapshot plus the record stream.
+func redo(st *storage.Store, m *oidmap.Map, r *wal.Record, pageLSNs map[pageKey]wal.LSN) error {
+	oidmap.Apply(m, r)
 	switch r.Type {
-	case wal.RecCreate, wal.RecDelete, wal.RecUpdate, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate:
+	case wal.RecPartCreate:
+		// Redo-only partition lifecycle record; Child != 0 marks a
+		// memory-resident partition of a disk-backed store.
+		err := st.CreatePartitionBacked(r.OID.Partition(), r.Child != 0)
+		if err != nil && !errors.Is(err, storage.ErrPartitionExists) {
+			return err
+		}
+		return nil
+	case wal.RecPartDrop:
+		err := st.DropPartition(r.OID.Partition())
+		if err != nil && !errors.Is(err, storage.ErrNoPartition) {
+			return err
+		}
+		return nil
+	case wal.RecCreate, wal.RecDelete, wal.RecUpdate, wal.RecRefInsert, wal.RecRefDelete, wal.RecRefUpdate,
+		wal.RecPhysAlloc, wal.RecPhysFree:
 	default:
-		return nil // Begin/Commit/Abort/Checkpoint need no redo
+		return nil // Begin/Commit/Abort/Checkpoint/MapSet need no page redo
 	}
 	key := pageKey{r.OID.Partition(), int(r.OID.Page())}
 	if pageLSNs[key] >= r.LSN {
@@ -254,9 +286,9 @@ func redo(st *storage.Store, r *wal.Record, pageLSNs map[pageKey]wal.LSN) error 
 	}
 	var err error
 	switch r.Type {
-	case wal.RecCreate:
+	case wal.RecCreate, wal.RecPhysAlloc:
 		err = st.AllocateAt(r.OID, r.After)
-	case wal.RecDelete:
+	case wal.RecDelete, wal.RecPhysFree:
 		err = st.Free(r.OID)
 	default:
 		err = st.Update(r.OID, r.After)
@@ -270,7 +302,7 @@ func redo(st *storage.Store, r *wal.Record, pageLSNs map[pageKey]wal.LSN) error 
 // undoTxn walks a loser's chain backwards from last, installing before-
 // images. CLRs are never undone; their UndoNxt pointer skips the portion
 // of the chain a prior (interrupted) rollback already compensated.
-func undoTxn(st *storage.Store, byLSN map[wal.LSN]*wal.Record, last wal.LSN) error {
+func undoTxn(st *storage.Store, m *oidmap.Map, byLSN map[wal.LSN]*wal.Record, last wal.LSN) error {
 	cur := last
 	for cur != 0 {
 		r, ok := byLSN[cur]
@@ -284,11 +316,11 @@ func undoTxn(st *storage.Store, byLSN map[wal.LSN]*wal.Record, last wal.LSN) err
 		switch r.Type {
 		case wal.RecBegin:
 			return nil
-		case wal.RecCreate:
+		case wal.RecCreate, wal.RecPhysAlloc:
 			if err := st.Free(r.OID); err != nil {
 				return err
 			}
-		case wal.RecDelete:
+		case wal.RecDelete, wal.RecPhysFree:
 			if err := st.AllocateAt(r.OID, r.Before); err != nil {
 				return err
 			}
@@ -297,23 +329,40 @@ func undoTxn(st *storage.Store, byLSN map[wal.LSN]*wal.Record, last wal.LSN) err
 				return err
 			}
 		}
+		oidmap.Undo(m, r)
 		cur = r.Prev
 	}
 	return nil
 }
 
-// SaveCheckpoint persists a checkpoint to a file: the LSN followed by the
-// serialized store snapshot. Together with the WAL segment files this is
-// the complete durable state of the database.
+// SaveCheckpoint persists a checkpoint to a file: the LSN, a
+// length-prefixed OID-map snapshot (length zero outside logical-OID
+// mode), then the serialized store snapshot. The map blob precedes the
+// store snapshot because storage.ReadSnapshot buffers its reader and may
+// consume past the snapshot's end — trailing data would be unreliable.
+// Together with the WAL segment files this is the complete durable state
+// of the database.
 func SaveCheckpoint(path string, ckpt *db.Checkpoint) error {
 	f, err := os.CreateTemp(filepath.Dir(path), ".ckpt-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(f.Name())
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(ckpt.LSN))
+	var mapBuf bytes.Buffer
+	if ckpt.Map != nil {
+		if _, err := ckpt.Map.WriteTo(&mapBuf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint64(hdr[:8], uint64(ckpt.LSN))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(mapBuf.Len()))
 	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(mapBuf.Bytes()); err != nil {
 		f.Close()
 		return err
 	}
@@ -340,15 +389,26 @@ func LoadCheckpoint(path string) (*db.Checkpoint, error) {
 		return nil, err
 	}
 	defer f.Close()
-	var hdr [8]byte
+	var hdr [12]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		return nil, fmt.Errorf("recovery: checkpoint header: %w", err)
+	}
+	var msnap *oidmap.Snapshot
+	if mapLen := binary.LittleEndian.Uint32(hdr[8:]); mapLen > 0 {
+		blob := make([]byte, mapLen)
+		if _, err := io.ReadFull(f, blob); err != nil {
+			return nil, fmt.Errorf("recovery: checkpoint map blob: %w", err)
+		}
+		msnap, err = oidmap.ReadSnapshot(bytes.NewReader(blob))
+		if err != nil {
+			return nil, err
+		}
 	}
 	snap, err := storage.ReadSnapshot(f)
 	if err != nil {
 		return nil, err
 	}
-	return &db.Checkpoint{LSN: wal.LSN(binary.LittleEndian.Uint64(hdr[:])), Snap: snap}, nil
+	return &db.Checkpoint{LSN: wal.LSN(binary.LittleEndian.Uint64(hdr[:8])), Map: msnap, Snap: snap}, nil
 }
 
 // LoadRecords reads the durable log records from a WAL segment directory.

@@ -17,7 +17,14 @@ import (
 // last checkpoint, and verifies full consistency and graph preservation.
 func crashHarness(t *testing.T, mode Mode, crashAt string, batch int) {
 	t.Helper()
-	f := buildFixture(t, testConfig(), 2, 25)
+	cfg := testConfig()
+	if mode == ModeIRATwoLock {
+		// The two-lock failpoints live on the dual-copy path, which
+		// logical mode replaces with single-copy relocation; pin
+		// physical so they fire under the REORG_LOGICAL_OID lane.
+		cfg.PhysicalOIDs = true
+	}
+	f := buildFixture(t, cfg, 2, 25)
 	sig := f.signature(t)
 
 	// Durable base image: checkpoint before the reorganization starts.
@@ -49,10 +56,12 @@ func crashHarness(t *testing.T, mode Mode, crashAt string, batch int) {
 		t.Fatalf("Run() = %v, want ErrCrash", err)
 	}
 
-	// Crash: capture the durable image, discard the database, recover.
+	// Crash: capture the durable image, discard the database, recover
+	// with the same config the crashed instance ran (the mode pin must
+	// survive the restart).
 	img := recovery.CaptureImage(f.d, ckpt)
 	f.d.Close()
-	d2, err := recovery.Recover(img, testConfig())
+	d2, err := recovery.Recover(img, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +263,11 @@ func fleetCrashHarness(t *testing.T, mode Mode, crashAt string, batch int) {
 	t.Helper()
 	const parts, clusterSize = 5, 25
 	victim := oid.PartitionID(3)
-	f := buildFixture(t, testConfig(), parts, clusterSize)
+	cfg := testConfig()
+	if mode == ModeIRATwoLock {
+		cfg.PhysicalOIDs = true // see crashHarness
+	}
+	f := buildFixture(t, cfg, parts, clusterSize)
 	sig := f.signature(t)
 	ckpt, err := f.d.Checkpoint()
 	if err != nil {
@@ -320,7 +333,7 @@ func fleetCrashHarness(t *testing.T, mode Mode, crashAt string, batch int) {
 	// exactly the unfinished partitions, resuming from their checkpoints.
 	img := recovery.CaptureImage(f.d, ckpt)
 	f.d.Close()
-	d2, err := recovery.Recover(img, testConfig())
+	d2, err := recovery.Recover(img, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

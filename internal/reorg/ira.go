@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/fault"
 	"repro/internal/lock"
 	"repro/internal/object"
 	"repro/internal/obs"
@@ -50,11 +51,19 @@ func (r *Reorganizer) runIRA() error {
 	}
 	r.checkpoint()
 
-	if r.opts.Mode == ModeIRATwoLock {
+	if r.opts.Mode == ModeIRATwoLock && !r.logical() {
 		if err := r.migrateAllTwoLock(); err != nil {
 			return err
 		}
 	} else {
+		// In logical-OID mode the two-lock extension is moot — a
+		// migration touches no parent, so even the basic path holds
+		// exactly one lock (the object's identity). Both modes take
+		// the batch loop; two-lock keeps its one-object-per-transaction
+		// contract via the batch size.
+		if r.opts.Mode == ModeIRATwoLock {
+			r.opts.BatchSize = 1
+		}
 		if err := r.migrateAllBasic(); err != nil {
 			return err
 		}
@@ -151,7 +160,13 @@ func (r *Reorganizer) migrateBatch(batch []oid.OID) (err error) {
 		if !r.wantsMigration(o) {
 			continue
 		}
-		st, merr := r.migrateOne(txn, o, &taken)
+		var st stagedMigration
+		var merr error
+		if r.logical() {
+			st, merr = r.migrateOneLogical(txn, o)
+		} else {
+			st, merr = r.migrateOne(txn, o, &taken)
+		}
 		if errors.Is(merr, errObjectGone) {
 			continue
 		}
@@ -293,6 +308,50 @@ func (r *Reorganizer) migrateOne(txn *db.Txn, oldO oid.OID, taken *[]trt.Tuple) 
 	return stagedMigration{old: oldO, new: newO, refs: img.Refs, parentsUpdated: updated}, nil
 }
 
+// migrateOneLogical migrates one object in logical-OID mode: lock the
+// identity, relocate the body behind the indirection table. The entire
+// Find_Exact_Parents machinery — parent locks, TRT drain — vanishes,
+// because no parent reference changes: that asymmetry is what the
+// oidmode benchmark quantifies. The TRT stays attached anyway; the
+// traversal needs its children for Lemma 3.1 and MigrateCreations needs
+// its creation list, but per-object tuples are simply never consumed.
+func (r *Reorganizer) migrateOneLogical(txn *db.Txn, o oid.OID) (stagedMigration, error) {
+	none := stagedMigration{}
+	// S0: lock the identity. Everything a physical migration needs
+	// parent locks for is covered by this one lock plus the identity
+	// latch Relocate's steps take.
+	sp := r.startStep(obs.StepIRALockObject, o)
+	if err := r.lockParentSpanned(sp, txn.ID(), o); err != nil {
+		sp.End(err)
+		return none, err
+	}
+	sp.End(nil)
+	r.noteLocks(1)
+	if err := r.fail("parents-locked"); err != nil {
+		return none, err
+	}
+
+	sp = r.startStep(obs.StepIRAMove, o)
+	r.chargeWorkSpanned(sp)
+	err := txn.Relocate(o, r.plan.Target(o), r.plan.Dense, r.transformFn(o))
+	sp.End(err)
+	if err != nil {
+		if errors.Is(err, storage.ErrNoObject) {
+			// Deleted by a concurrent transaction after traversal.
+			return none, errObjectGone
+		}
+		if fault.IsCrash(err) {
+			// The reorg/map-set fault point fires inside Relocate; a
+			// crash-kind firing must surface as ErrCrash so no cleanup
+			// (abort, TRT restore) runs, exactly as a real crash.
+			return none, fmt.Errorf("%w: %v", ErrCrash, err)
+		}
+		return none, err
+	}
+	// The identity is unchanged: old == new, no refs to fix up.
+	return stagedMigration{old: o, new: o}, nil
+}
+
 // moveObject implements Move_Object_And_Update_Refs: copy the object to
 // its planned location, repoint every parent, and delete the old copy.
 // ERT maintenance is automatic: the log analyzer observes the Create,
@@ -411,11 +470,23 @@ func (r *Reorganizer) isMigrationTarget(o oid.OID) bool {
 // garbage points into consistent.
 func (r *Reorganizer) collectGarbage() error {
 	var garbage []oid.OID
-	err := r.d.Store().ForEach(r.part, func(o oid.OID, _ []byte) bool {
+	if r.logical() {
+		// Bodies migrate between store partitions but identities keep
+		// their logical partition, so "still stored there" translates to
+		// "bound in the map under this partition and not traversed".
+		traversed := make(map[oid.OID]bool, len(r.objects))
+		for _, o := range r.objects {
+			traversed[o] = true
+		}
+		for _, o := range r.d.OIDMap().PartitionOIDs(r.part) {
+			if !traversed[o] {
+				garbage = append(garbage, o)
+			}
+		}
+	} else if err := r.d.Store().ForEach(r.part, func(o oid.OID, _ []byte) bool {
 		garbage = append(garbage, o)
 		return true
-	})
-	if err != nil {
+	}); err != nil {
 		return err
 	}
 	for _, o := range garbage {

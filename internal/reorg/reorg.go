@@ -443,6 +443,22 @@ func (r *Reorganizer) transformPayload(o oid.OID, payload []byte) []byte {
 	return r.opts.Transform(o, payload)
 }
 
+// transformFn curries the configured transform for one object, in the
+// shape db.Txn.Relocate expects; nil when no transform is configured.
+func (r *Reorganizer) transformFn(o oid.OID) func([]byte) []byte {
+	if r.opts.Transform == nil {
+		return nil
+	}
+	return func(p []byte) []byte { return r.opts.Transform(o, p) }
+}
+
+// logical reports whether the database runs in logical-OID mode, where
+// a migration relocates the object's body behind the indirection table
+// and parent references never change.
+func (r *Reorganizer) logical() bool {
+	return r.d.OIDMap() != nil
+}
+
 // wantsMigration reports whether o is in scope for this run.
 func (r *Reorganizer) wantsMigration(o oid.OID) bool {
 	return r.opts.Filter == nil || r.opts.Filter(o)

@@ -23,6 +23,17 @@ func testConfig() db.Config {
 	return cfg
 }
 
+// physicalConfig pins direct physical addressing for tests whose
+// assertions are address-sensitive — objects must move, parents must be
+// rewritten, two-lock failpoints must fire — so the REORG_LOGICAL_OID
+// CI lane cannot change their semantics. Everything else runs testConfig
+// and is exercised in both modes.
+func physicalConfig() db.Config {
+	cfg := testConfig()
+	cfg.PhysicalOIDs = true
+	return cfg
+}
+
 // fixture is a small multi-partition object graph:
 //
 //	partition 0 holds per-cluster root objects (the persistent roots);
@@ -439,7 +450,7 @@ func TestRelaxed2PLWaitsForEverLockers(t *testing.T) {
 }
 
 func TestSelfReferenceAndCycle(t *testing.T) {
-	d := db.Open(testConfig())
+	d := db.Open(physicalConfig())
 	defer d.Close()
 	d.CreatePartition(0)
 	d.CreatePartition(1)
@@ -601,7 +612,7 @@ func TestEvacuatePlanMovesAcrossPartitions(t *testing.T) {
 }
 
 func TestStatsPopulated(t *testing.T) {
-	f := buildFixture(t, testConfig(), 1, 10)
+	f := buildFixture(t, physicalConfig(), 1, 10)
 	r := New(f.d, 1, Options{Mode: ModeIRA})
 	if err := r.Run(); err != nil {
 		t.Fatal(err)
@@ -755,7 +766,7 @@ func TestConcurrentReorgOfTwoPartitions(t *testing.T) {
 }
 
 func TestTransformRewritesPayloadsDuringMigration(t *testing.T) {
-	f := buildFixture(t, testConfig(), 1, 15)
+	f := buildFixture(t, physicalConfig(), 1, 15)
 	r := New(f.d, 1, Options{
 		Mode: ModeIRA,
 		Transform: func(o oid.OID, payload []byte) []byte {
@@ -794,7 +805,7 @@ func TestTransformRewritesPayloadsDuringMigration(t *testing.T) {
 }
 
 func TestTransformTwoLock(t *testing.T) {
-	f := buildFixture(t, testConfig(), 1, 10)
+	f := buildFixture(t, physicalConfig(), 1, 10)
 	r := New(f.d, 1, Options{
 		Mode:      ModeIRATwoLock,
 		Transform: func(o oid.OID, payload []byte) []byte { return append(payload, '!') },
@@ -970,7 +981,24 @@ func TestMigrateLateCreations(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		if enabled {
+		if enabled && f.d.OIDMap() != nil {
+			// Logical mode: the identity survives, its BODY must have
+			// moved into the evacuation target's store partition.
+			if !f.d.Exists(late) {
+				t.Fatal("late-created identity died during logical migration")
+			}
+			p, ok := f.d.OIDMap().Resolve(late)
+			if !ok || p.Partition() != 9 {
+				t.Fatalf("late-created body at %v (ok=%v), want store partition 9", p, ok)
+			}
+			obj, err := f.d.FuzzyRead(lateParent)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj.Refs[0] != late {
+				t.Fatalf("late parent's reference changed to %v; logical identities must be stable", obj.Refs[0])
+			}
+		} else if enabled {
 			if f.d.Exists(late) {
 				t.Fatal("late-created object not migrated with MigrateCreations on")
 			}

@@ -28,6 +28,11 @@ type State struct {
 	Parents  map[oid.OID][]oid.OID
 	Migrated map[oid.OID]oid.OID
 	InFlight *InFlight
+	// StoreMove, when non-nil, marks this reorganization as the
+	// evacuation phase of a cross-store partition move (MigrateStore);
+	// a crash resume must go through ResumeMigrateStore so the
+	// post-evacuation drop of the source partition still happens.
+	StoreMove *StoreMove
 }
 
 // checkpoint emits a state snapshot to the configured sink. A snapshot
@@ -164,6 +169,17 @@ func Resume(d *db.Database, s *State, records []*wal.Record, opts Options) (*Reo
 	// its new copy alive; recovery may have rolled back an in-flight
 	// batch whose state checkpoint raced the crash.
 	for o, n := range r.migrated {
+		if n == o {
+			// Logical-mode relocation: the identity never changes, so
+			// old-alive/new-alive can't distinguish done from undone.
+			// It doesn't have to — the entry was recorded only after
+			// its transaction committed durably, so it stands unless a
+			// later transaction deleted the object outright.
+			if !d.Exists(o) {
+				delete(r.migrated, o)
+			}
+			continue
+		}
 		if !d.Exists(n) || d.Exists(o) {
 			delete(r.migrated, o)
 		}
@@ -192,24 +208,28 @@ func (r *Reorganizer) compensate(rec *wal.Record) {
 		}
 		r.trt.Log(child, parent, trt.TxnID(rec.Txn), trt.Delete)
 	}
+	// Identity() is the logical OID in logical mode and the physical
+	// address otherwise — either way, the namespace the TRT and parent
+	// lists are keyed in.
+	parent := rec.Identity()
 	switch rec.Type {
 	case wal.RecRefInsert:
-		revoke(rec.Child, rec.OID)
+		revoke(rec.Child, parent)
 	case wal.RecRefDelete:
-		restore(rec.Child, rec.OID)
+		restore(rec.Child, parent)
 	case wal.RecRefUpdate:
-		restore(rec.Child, rec.OID)
-		revoke(rec.Child2, rec.OID)
+		restore(rec.Child, parent)
+		revoke(rec.Child2, parent)
 	case wal.RecCreate:
 		if obj, err := object.Decode(rec.After); err == nil {
 			for _, c := range obj.Refs {
-				revoke(c, rec.OID)
+				revoke(c, parent)
 			}
 		}
 	case wal.RecDelete:
 		if obj, err := object.Decode(rec.Before); err == nil {
 			for _, c := range obj.Refs {
-				restore(c, rec.OID)
+				restore(c, parent)
 			}
 		}
 	}
@@ -256,7 +276,14 @@ func CollectPartition(d *db.Database, from, to oid.PartitionID, opts Options) (S
 	if st.Objects != 0 {
 		return r.Stats(), fmt.Errorf("reorg: %d objects left in evacuated partition %d", st.Objects, from)
 	}
-	if err := d.DropPartition(from); err != nil {
+	// In logical-OID mode only the store partition goes: the evacuated
+	// identities keep their logical partition, so its ERT lives on.
+	if d.OIDMap() != nil {
+		err = d.DropStorePartition(from)
+	} else {
+		err = d.DropPartition(from)
+	}
+	if err != nil {
 		return r.Stats(), err
 	}
 	return r.Stats(), nil

@@ -1,0 +1,165 @@
+package reorg
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/oid"
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+// StoreMove names an in-progress cross-store partition move: every live
+// object of Part is relocated into partition To (created with the given
+// backing if absent), and Part's store partition is dropped once empty.
+// Logical-OID mode only — the move is invisible to clients because
+// identities never change; only the indirection table's targets do.
+//
+// The struct rides reorganizer checkpoints (State.StoreMove) so a crash
+// anywhere in the move — mid-evacuation, or between the evacuation and
+// the source drop — resumes through ResumeMigrateStore and still
+// converges on the moved state.
+type StoreMove struct {
+	Part   oid.PartitionID
+	To     oid.PartitionID
+	ToDisk bool
+	// Sources are the store partitions that held Part's bodies when the
+	// move started — Part itself on a first move, earlier move targets
+	// afterwards (a body's store partition diverges from its logical
+	// partition as soon as it migrates). They are recorded up front and
+	// carried through checkpoints because a partially evacuated source
+	// can no longer be discovered from the map after a crash.
+	Sources []oid.PartitionID
+}
+
+// MigrateStore moves partition part's bodies online into partition to,
+// backed per toDisk (pool-managed pages vs memory-resident), and drops
+// part's store partition when it is empty. The evacuation is a normal
+// incremental reorganization — same lock protocol, same fault points,
+// same checkpoint/resume machinery — so concurrent transactions run
+// throughout. part's logical identities (and its ERT) survive: readers
+// holding OIDs into part never notice the move.
+func MigrateStore(d *db.Database, part, to oid.PartitionID, toDisk bool, opts Options) (Stats, error) {
+	if d.OIDMap() == nil {
+		return Stats{}, errors.New("reorg: MigrateStore requires logical-OID mode")
+	}
+	if part == to {
+		return Stats{}, fmt.Errorf("reorg: cannot move partition %d into itself", part)
+	}
+	mv := &StoreMove{Part: part, To: to, ToDisk: toDisk}
+	seen := map[oid.PartitionID]bool{to: true}
+	if d.Store().HasPartition(part) {
+		mv.Sources = append(mv.Sources, part)
+		seen[part] = true
+	}
+	m := d.OIDMap()
+	for _, l := range m.PartitionOIDs(part) {
+		if p, ok := m.Resolve(l); ok && !seen[p.Partition()] {
+			seen[p.Partition()] = true
+			mv.Sources = append(mv.Sources, p.Partition())
+		}
+	}
+	sort.Slice(mv.Sources, func(i, j int) bool { return mv.Sources[i] < mv.Sources[j] })
+	stampStoreMove(&opts, mv)
+	if !d.Store().HasPartition(to) {
+		if err := d.CreatePartitionBacked(to, toDisk); err != nil {
+			return Stats{}, err
+		}
+	}
+	plan := EvacuatePlan(to)
+	opts.Plan = &plan
+	opts.CollectGarbage = true
+	r := New(d, part, opts)
+	if err := r.Run(); err != nil {
+		return r.Stats(), err
+	}
+	return finishStoreMove(d, r, mv)
+}
+
+// ResumeMigrateStore continues a crashed store move from its checkpoint,
+// after restart recovery. It recreates the target partition if the crash
+// predates its creation becoming durable, resumes the evacuation, and
+// performs (or re-verifies) the source drop.
+func ResumeMigrateStore(d *db.Database, s *State, records []*wal.Record, opts Options) (Stats, error) {
+	if s == nil || s.StoreMove == nil {
+		return Stats{}, errors.New("reorg: state does not describe a store move")
+	}
+	if d.OIDMap() == nil {
+		return Stats{}, errors.New("reorg: MigrateStore requires logical-OID mode")
+	}
+	mv := s.StoreMove
+	stampStoreMove(&opts, mv)
+	if !d.Store().HasPartition(mv.To) {
+		if err := d.CreatePartitionBacked(mv.To, mv.ToDisk); err != nil {
+			return Stats{}, err
+		}
+	}
+	plan := EvacuatePlan(mv.To)
+	opts.Plan = &plan
+	opts.CollectGarbage = true
+	r, err := Resume(d, s, records, opts)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := r.Run(); err != nil {
+		return r.Stats(), err
+	}
+	return finishStoreMove(d, r, mv)
+}
+
+// stampStoreMove wraps the checkpoint sink so every emitted state names
+// the move it belongs to.
+func stampStoreMove(opts *Options, mv *StoreMove) {
+	inner := opts.OnCheckpoint
+	if inner == nil {
+		return
+	}
+	opts.OnCheckpoint = func(s *State) {
+		c := *mv
+		s.StoreMove = &c
+		inner(s)
+	}
+}
+
+// finishStoreMove drops the evacuated source store partitions. The
+// reorg/store-move fault point sits between the evacuation and the
+// drops — the window a crash leaves empty-but-present source
+// partitions, which the resume path re-verifies and re-drops. A source
+// that is already gone means a prior life completed its drop; a source
+// still holding objects hosts other logical partitions' bodies and is
+// left alone.
+func finishStoreMove(d *db.Database, r *Reorganizer, mv *StoreMove) (Stats, error) {
+	if err := r.fail("store-move"); err != nil {
+		return r.Stats(), err
+	}
+	// Completion criterion: no body of the moved logical partition may
+	// remain outside the target.
+	m := d.OIDMap()
+	for _, l := range m.PartitionOIDs(mv.Part) {
+		if p, ok := m.Resolve(l); ok && p.Partition() != mv.To {
+			return r.Stats(), fmt.Errorf("reorg: body of %s still in store partition %d after move to %d",
+				l, p.Partition(), mv.To)
+		}
+	}
+	for _, s := range mv.Sources {
+		if s == mv.To || !d.Store().HasPartition(s) {
+			continue
+		}
+		st, err := d.Store().PartitionStats(s)
+		if err != nil {
+			if errors.Is(err, storage.ErrNoPartition) {
+				continue
+			}
+			return r.Stats(), err
+		}
+		if st.Objects != 0 {
+			continue
+		}
+		if err := d.DropStorePartition(s); err != nil {
+			return r.Stats(), err
+		}
+	}
+	return r.Stats(), nil
+}

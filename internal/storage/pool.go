@@ -6,7 +6,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	apstats "repro/internal/autopilot/stats"
 	"repro/internal/fault"
+	"repro/internal/interleave"
 	"repro/internal/oid"
 	"repro/internal/page"
 	"repro/internal/segment"
@@ -54,6 +56,10 @@ type frame struct {
 type pool struct {
 	seg    *segment.Dir
 	budget int
+	// stats aliases the owning Store's collector pointer so the fetch
+	// path can attribute hits and faults to partitions without a
+	// back-reference to the store.
+	stats *atomic.Pointer[apstats.Collector]
 
 	mu       sync.Mutex
 	wal      WAL
@@ -105,12 +111,18 @@ func (pl *pool) fetch(p *partition, pn int) (*page.Page, error) {
 	}
 	if f := p.frames[pn]; f != nil {
 		pl.hits.Add(1)
+		if c := pl.stats.Load(); c != nil {
+			c.NotePoolHit(p.id)
+		}
 		f.ref = true
 		f.pin++
 		pl.pinned.Add(1)
 		return f.pg, nil
 	}
 	pl.misses.Add(1)
+	if c := pl.stats.Load(); c != nil {
+		c.NotePoolFault(p.id)
+	}
 	data, _, err := pl.seg.ReadPage(p.id, pn)
 	if err != nil {
 		// Present in the page table but unreadable: an I/O fault (or,
@@ -152,6 +164,7 @@ func (pl *pool) markDirty(p *partition, pn int, lsn wal.LSN) {
 		}
 	}
 	pl.mu.Unlock()
+	interleave.Note(interleave.Apply, p.id, pn, uint64(lsn))
 }
 
 // install registers a brand-new page (already filled by the caller) as
@@ -237,6 +250,7 @@ func (pl *pool) makeRoom() error {
 			pl.overBudget.Add(1)
 			return nil
 		}
+		interleave.Note(interleave.Evict, f.part.id, f.pn, uint64(f.pageLSN))
 		if f.dirty {
 			if err := fpPoolEvict.Maybe(); err != nil {
 				return err
@@ -304,6 +318,7 @@ func (pl *pool) flushLocked(f *frame) error {
 			return err
 		}
 	}
+	interleave.Note(interleave.Flush, f.part.id, f.pn, uint64(f.pageLSN))
 	if err := pl.seg.WritePage(f.part.id, f.pn, f.pg.Bytes(), uint64(f.pageLSN)); err != nil {
 		return err
 	}
@@ -365,7 +380,7 @@ func NewDiskBacked(dir string, frames int, opts ...Option) (*Store, error) {
 	if frames <= 0 {
 		frames = DefaultPoolFrames
 	}
-	s.pool = &pool{seg: seg, budget: frames}
+	s.pool = &pool{seg: seg, budget: frames, stats: &s.stats}
 	if err := s.loadLayout(); err != nil {
 		seg.Close()
 		return nil, err
@@ -431,7 +446,7 @@ func MaterializeDiskBacked(src *Store, dir string, frames int) (*Store, error) {
 		frames = DefaultPoolFrames
 	}
 	dst := New(WithPageSize(src.pageSize), WithFillFactor(src.fillFactor))
-	dst.pool = &pool{seg: seg, budget: frames}
+	dst.pool = &pool{seg: seg, budget: frames, stats: &dst.stats}
 	src.mu.RLock()
 	defer src.mu.RUnlock()
 	for id, p := range src.parts {
@@ -439,28 +454,39 @@ func MaterializeDiskBacked(src *Store, dir string, frames int) (*Store, error) {
 		np := &partition{
 			id:         id,
 			mu:         shard.New(dst.readerShards),
+			mem:        p.mem,
 			nLive:      p.nLive,
 			cursor:     p.cursor,
 			denseFloor: p.denseFloor,
 			pages:      make([]*page.Page, len(p.pages)),
-			present:    make([]bool, len(p.pages)),
-			frames:     make([]*frame, len(p.pages)),
 		}
 		if np.cursor < 1 {
 			np.cursor = 1
 		}
 		var werr error
-		for pn := 1; pn < len(p.pages); pn++ {
-			if p.pages[pn] == nil {
-				if werr = seg.WriteAbsent(id, pn, 0); werr != nil {
+		if p.mem {
+			// Mem-policy partition: stays memory-resident in the disk
+			// store — deep-copy the pages, write nothing to segments.
+			for pn := 1; pn < len(p.pages); pn++ {
+				if p.pages[pn] != nil {
+					np.pages[pn] = page.Wrap(append([]byte(nil), p.pages[pn].Bytes()...))
+				}
+			}
+		} else {
+			np.present = make([]bool, len(p.pages))
+			np.frames = make([]*frame, len(p.pages))
+			for pn := 1; pn < len(p.pages); pn++ {
+				if p.pages[pn] == nil {
+					if werr = seg.WriteAbsent(id, pn, 0); werr != nil {
+						break
+					}
+					continue
+				}
+				if werr = seg.WritePage(id, pn, p.pages[pn].Bytes(), 0); werr != nil {
 					break
 				}
-				continue
+				np.present[pn] = true
 			}
-			if werr = seg.WritePage(id, pn, p.pages[pn].Bytes(), 0); werr != nil {
-				break
-			}
-			np.present[pn] = true
 		}
 		p.mu.RUnlock(tok)
 		if werr != nil {
@@ -581,14 +607,19 @@ func (s *Store) Close() error {
 // --- internal page access helpers ---------------------------------------
 //
 // Every storage method reaches page content through fetchPage/releasePage
-// so the memory-resident and disk-backed modes share one code path. In
-// memory mode fetchPage is a slice lookup and releasePage a no-op.
+// so the memory-resident and disk-backed modes share one code path. The
+// split is per partition (onDisk), not per store: a disk-backed store may
+// host mem partitions whose pages never touch the pool or segment files.
+
+// onDisk reports whether p's pages live behind the buffer pool. False in
+// a pool-less store and for mem-policy partitions of a disk-backed one.
+func (s *Store) onDisk(p *partition) bool { return s.pool != nil && !p.mem }
 
 // fetchPage returns the page at (p, pn), or (nil, nil) if there is no
 // such page. In disk mode the page comes back pinned; the caller must
 // call releasePage when done. Caller holds p.mu.
 func (s *Store) fetchPage(p *partition, pn int) (*page.Page, error) {
-	if s.pool == nil {
+	if !s.onDisk(p) {
 		if pn < 1 || pn >= len(p.pages) {
 			return nil, nil
 		}
@@ -599,7 +630,7 @@ func (s *Store) fetchPage(p *partition, pn int) (*page.Page, error) {
 
 // releasePage drops the pin fetchPage took. Caller holds p.mu.
 func (s *Store) releasePage(p *partition, pn int) {
-	if s.pool != nil {
+	if s.onDisk(p) {
 		s.pool.release(p, pn)
 	}
 }
@@ -608,7 +639,7 @@ func (s *Store) releasePage(p *partition, pn int) {
 // the log record that produced it (zero when unlogged). Caller holds
 // p.mu in write mode and the page pinned.
 func (s *Store) notePageDirty(p *partition, pn int, lsn wal.LSN) {
-	if s.pool != nil {
+	if s.onDisk(p) {
 		s.pool.markDirty(p, pn, lsn)
 	}
 }
@@ -616,7 +647,7 @@ func (s *Store) notePageDirty(p *partition, pn int, lsn wal.LSN) {
 // installNewPage appends pg (already filled) as the partition's new
 // tail page and returns its page number. Caller holds p.mu (W).
 func (s *Store) installNewPage(p *partition, pg *page.Page, lsn wal.LSN) (int, error) {
-	if s.pool == nil {
+	if !s.onDisk(p) {
 		pn := len(p.pages)
 		p.pages = append(p.pages, pg)
 		return pn, nil
@@ -628,7 +659,7 @@ func (s *Store) installNewPage(p *partition, pg *page.Page, lsn wal.LSN) (int, e
 // pinned, for callers that must log the page's first insert before an
 // eviction may flush it. The caller releases the pin with releasePage.
 func (s *Store) installNewPagePinned(p *partition, pg *page.Page) (int, error) {
-	if s.pool == nil {
+	if !s.onDisk(p) {
 		pn := len(p.pages)
 		p.pages = append(p.pages, pg)
 		return pn, nil
@@ -639,17 +670,24 @@ func (s *Store) installNewPagePinned(p *partition, pg *page.Page) (int, error) {
 // dropPageAt removes the (empty) page at pn. Caller holds p.mu (W) with
 // no pin on pn.
 func (s *Store) dropPageAt(p *partition, pn int) error {
-	if s.pool == nil {
+	if !s.onDisk(p) {
 		p.pages[pn] = nil
 		return nil
 	}
 	return s.pool.dropPage(p, pn)
 }
 
-// newPartition builds an empty partition shaped for the store's mode.
+// newPartition builds an empty partition with the store's default
+// backing (disk behind the pool when there is one).
 func (s *Store) newPartition(id oid.PartitionID) *partition {
-	p := &partition{id: id, mu: shard.New(s.readerShards), pages: []*page.Page{nil}, cursor: 1}
-	if s.pool != nil {
+	return s.newPartitionBacked(id, false)
+}
+
+// newPartitionBacked builds an empty partition with an explicit backing
+// policy. Caller inserts it into s.parts under s.mu.
+func (s *Store) newPartitionBacked(id oid.PartitionID, mem bool) *partition {
+	p := &partition{id: id, mu: shard.New(s.readerShards), pages: []*page.Page{nil}, cursor: 1, mem: mem}
+	if s.pool != nil && !mem {
 		p.present = []bool{false}
 		p.frames = []*frame{nil}
 	}

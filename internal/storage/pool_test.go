@@ -1,11 +1,14 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
+	apstats "repro/internal/autopilot/stats"
+	"repro/internal/interleave"
 	"repro/internal/oid"
 )
 
@@ -267,5 +270,182 @@ func TestPoolStressRace(t *testing.T) {
 	}
 	if st.Evictions == 0 {
 		t.Fatal("stress run caused no evictions; pool too large for the workload")
+	}
+}
+
+// TestMemPartitionInDiskStore exercises per-partition backing: a
+// mem-policy partition inside a disk-backed store must never touch the
+// buffer pool or grow a segment file, while its disk siblings behave as
+// before; the policy must survive snapshot serialization and a
+// materialize round trip.
+func TestMemPartitionInDiskStore(t *testing.T) {
+	s := newPoolStore(t, 4, WithPageSize(1024))
+	if err := s.CreatePartition(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreatePartitionBacked(2, true); err != nil {
+		t.Fatal(err)
+	}
+	if mem, _ := s.MemResident(1); mem {
+		t.Fatalf("partition 1 reports mem-resident")
+	}
+	if mem, _ := s.MemResident(2); !mem {
+		t.Fatalf("partition 2 reports disk-backed")
+	}
+
+	data := make([]byte, 300)
+	var diskOIDs, memOIDs []oid.OID
+	for i := 0; i < 20; i++ {
+		o, err := s.Allocate(1, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diskOIDs = append(diskOIDs, o)
+	}
+	before := s.PoolStats()
+	for i := 0; i < 20; i++ {
+		o, err := s.Allocate(2, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		memOIDs = append(memOIDs, o)
+		if _, err := s.Read(o, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := s.PoolStats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("mem partition touched the pool: %+v -> %+v", before, after)
+	}
+	if err := s.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.Segments().Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == 2 {
+			t.Fatalf("mem partition grew a segment file")
+		}
+	}
+
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := snap.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := RestoreSnapshot(snap2)
+	dst, err := MaterializeDiskBacked(restored, t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if mem, _ := dst.MemResident(2); !mem {
+		t.Fatalf("materialize lost the mem policy")
+	}
+	if mem, _ := dst.MemResident(1); mem {
+		t.Fatalf("materialize lost the disk policy")
+	}
+	for _, o := range append(append([]oid.OID(nil), diskOIDs...), memOIDs...) {
+		got, err := dst.Read(o, nil)
+		if err != nil {
+			t.Fatalf("read %s after materialize: %v", o, err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("read %s: %d bytes", o, len(got))
+		}
+	}
+	mids, err := dst.Segments().Partitions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range mids {
+		if id == 2 {
+			t.Fatalf("materialize wrote segments for the mem partition")
+		}
+	}
+}
+
+// TestPoolStatsCollectorAttribution checks the pool's collector hook:
+// hits and faults land on the partition whose page was fetched, so the
+// autopilot can score on-disk clustering decay per partition.
+func TestPoolStatsCollectorAttribution(t *testing.T) {
+	s := newPoolStore(t, 64, WithPageSize(1024))
+	col := apstats.New()
+	s.SetStatsCollector(col)
+	oids1 := fillPages(t, s, 1, 4)
+	fillPages(t, s, 2, 4)
+
+	if err := s.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	base, _ := col.Partition(1)
+	for _, o := range oids1 {
+		if _, err := s.Read(o, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cold, _ := col.Partition(1)
+	if faults := cold.PoolFaults - base.PoolFaults; faults == 0 {
+		t.Fatal("cold scan of partition 1 noted no faults")
+	}
+	other, _ := col.Partition(2)
+	if other.PoolFaults != 0 {
+		t.Fatalf("partition 2 charged %d faults for partition 1's scan", other.PoolFaults)
+	}
+	// Warm re-scan: all hits, no new faults.
+	for _, o := range oids1 {
+		if _, err := s.Read(o, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm, _ := col.Partition(1)
+	if warm.PoolFaults != cold.PoolFaults {
+		t.Fatalf("warm re-scan faulted: %d -> %d", cold.PoolFaults, warm.PoolFaults)
+	}
+	if warm.PoolHits <= cold.PoolHits {
+		t.Fatalf("warm re-scan noted no hits: %d -> %d", cold.PoolHits, warm.PoolHits)
+	}
+	if r := warm.PoolFaultRate(); r <= 0 || r >= 1 {
+		t.Fatalf("fault rate %v outside (0,1)", r)
+	}
+}
+
+// TestPoolInterleaveTrace checks the interleave emit sites around the
+// pool: dirtying a page notes an apply, and pushing a tiny pool over
+// budget notes evict and flush events attributed to the right pages.
+func TestPoolInterleaveTrace(t *testing.T) {
+	ring := interleave.NewRing(256)
+	restore := interleave.Install(ring)
+	defer restore()
+
+	s := newPoolStore(t, 2, WithPageSize(1024))
+	oids := fillPages(t, s, 1, 6) // 6 pages through a 2-frame pool: must evict
+	if err := s.Update(oids[0], []byte("dirty")); err != nil {
+		t.Fatal(err)
+	}
+	var kinds [4]int
+	for _, e := range ring.Events() {
+		if e.Part != 1 {
+			t.Fatalf("event charged to partition %d: %+v", e.Part, e)
+		}
+		kinds[e.Kind]++
+	}
+	if kinds[interleave.Apply] == 0 {
+		t.Fatal("no apply events from page mutations")
+	}
+	if kinds[interleave.Evict] == 0 {
+		t.Fatal("no evict events from an over-budget pool")
+	}
+	if kinds[interleave.Flush] == 0 {
+		t.Fatal("no flush events from dirty evictions")
 	}
 }

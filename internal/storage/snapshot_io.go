@@ -16,7 +16,8 @@ import (
 //
 //	magic u32 | pageSize u32 | fillFactor f64bits u64 | nParts u32
 //	per partition: id u32 | nLive u64 | cursor u64 | denseFloor u64 |
-//	               nPages u64 | per page: present u8 [+ len u32 + bytes]
+//	               mem u8 | nPages u64 |
+//	               per page: present u8 [+ len u32 + bytes]
 const snapMagic = 0x53524f47 // "GORS"
 
 // ErrBadSnapshot reports a malformed serialized snapshot.
@@ -56,6 +57,13 @@ func (s *Snapshot) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := write(uint64(ps.denseFloor)); err != nil {
+			return n, err
+		}
+		var mem uint8
+		if ps.mem {
+			mem = 1
+		}
+		if err := write(mem); err != nil {
 			return n, err
 		}
 		if err := write(uint64(len(ps.pages))); err != nil {
@@ -122,6 +130,10 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 		if err := read(&denseFloor); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
+		var mem uint8
+		if err := read(&mem); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
 		if err := read(&nPages); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 		}
@@ -132,6 +144,7 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 			nLive:      int(nLive),
 			cursor:     int(cursor),
 			denseFloor: int(denseFloor),
+			mem:        mem != 0,
 			pages:      make([][]byte, nPages),
 		}
 		for i := uint64(0); i < nPages; i++ {

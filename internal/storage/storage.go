@@ -96,6 +96,15 @@ type Store struct {
 type partition struct {
 	id oid.PartitionID
 
+	// mem is the backing policy: a mem partition keeps its pages in the
+	// pages slice even inside a disk-backed store (no segment file, no
+	// buffer-pool frames — durability comes from checkpoints plus the WAL
+	// alone, exactly like memory mode). In a pool-less store the flag is
+	// recorded but moot: everything is memory-resident anyway. The flag
+	// survives snapshots so recovery's replay store can materialize each
+	// partition with its original backing.
+	mem bool
+
 	// mu serializes structural changes against reads. Read acquisition
 	// returns a shard token that the matching RUnlock must receive.
 	mu     shard.RWMutex
@@ -203,6 +212,32 @@ func (s *Store) CreatePartition(id oid.PartitionID) error {
 	return nil
 }
 
+// CreatePartitionBacked adds an empty partition with an explicit backing
+// policy: mem keeps the partition memory-resident even in a disk-backed
+// store (its durability then rests on checkpoints plus the WAL, exactly
+// as in memory mode). In a pool-less store the policy is recorded but
+// has no runtime effect — recovery's replay store uses that to carry
+// each partition's original backing through to materialization.
+func (s *Store) CreatePartitionBacked(id oid.PartitionID, mem bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.parts[id]; ok {
+		return fmt.Errorf("%w: %d", ErrPartitionExists, id)
+	}
+	s.parts[id] = s.newPartitionBacked(id, mem)
+	return nil
+}
+
+// MemResident reports whether partition id runs memory-resident —
+// because of its backing policy, or because the whole store does.
+func (s *Store) MemResident(id oid.PartitionID) (bool, error) {
+	p, err := s.part(id)
+	if err != nil {
+		return false, err
+	}
+	return s.pool == nil || p.mem, nil
+}
+
 // DropPartition removes a partition and all objects in it. Used by the
 // copying collector after evacuating live objects. In disk-backed mode
 // the partition's segment file is deleted with it.
@@ -214,7 +249,7 @@ func (s *Store) DropPartition(id oid.PartitionID) error {
 		return fmt.Errorf("%w: %d", ErrNoPartition, id)
 	}
 	delete(s.parts, id)
-	if s.pool != nil {
+	if s.onDisk(p) {
 		if err := s.pool.dropPartition(p); err != nil {
 			return err
 		}
@@ -511,7 +546,7 @@ func (s *Store) placeAt(p *partition, o oid.OID, data []byte, lsn wal.LSN) error
 // slot. In disk mode the page comes back pinned. Caller holds p.mu (W).
 func (s *Store) revivePageAt(p *partition, pn int, lsn wal.LSN) (*page.Page, error) {
 	pg := page.New(s.pageSize)
-	if s.pool == nil {
+	if !s.onDisk(p) {
 		p.pages[pn] = pg
 		return pg, nil
 	}
@@ -945,6 +980,7 @@ type partSnap struct {
 	nLive      int
 	cursor     int
 	denseFloor int
+	mem        bool // backing policy, preserved across restore/materialize
 }
 
 // Snapshot deep-copies the store. In disk-backed mode non-resident
@@ -959,7 +995,7 @@ func (s *Store) Snapshot() (*Snapshot, error) {
 	}
 	for id, p := range s.parts {
 		tok := p.mu.RLock()
-		ps := &partSnap{nLive: p.nLive, cursor: p.cursor, denseFloor: p.denseFloor, pages: make([][]byte, len(p.pages))}
+		ps := &partSnap{nLive: p.nLive, cursor: p.cursor, denseFloor: p.denseFloor, mem: p.mem, pages: make([][]byte, len(p.pages))}
 		for i := 1; i < len(p.pages); i++ {
 			pg, err := s.fetchPage(p, i)
 			if err != nil {
@@ -982,7 +1018,7 @@ func (s *Store) Snapshot() (*Snapshot, error) {
 func RestoreSnapshot(snap *Snapshot) *Store {
 	s := New(WithPageSize(snap.pageSize), WithFillFactor(snap.fillFactor))
 	for id, ps := range snap.parts {
-		p := &partition{id: id, mu: shard.New(s.readerShards), nLive: ps.nLive, cursor: ps.cursor, denseFloor: ps.denseFloor, pages: make([]*page.Page, len(ps.pages))}
+		p := &partition{id: id, mu: shard.New(s.readerShards), nLive: ps.nLive, cursor: ps.cursor, denseFloor: ps.denseFloor, mem: ps.mem, pages: make([]*page.Page, len(ps.pages))}
 		if p.cursor < 1 {
 			p.cursor = 1
 		}

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/interleave"
 	"repro/internal/obs"
 	"repro/internal/oid"
 )
@@ -69,6 +70,27 @@ const (
 	// RecCheckpoint marks an action-consistent checkpoint; Active lists
 	// transactions alive at checkpoint time.
 	RecCheckpoint
+	// RecPhysAlloc records allocation of a physical slot for a
+	// logically-addressed object (logical-OID mode): OID is the new
+	// physical address, Obj the logical identity, After the image. The
+	// reference analyzer ignores it — the object's identity and edges are
+	// unchanged; only its placement is new.
+	RecPhysAlloc
+	// RecPhysFree records release of a logically-addressed object's old
+	// physical slot: OID is the physical address, Obj the logical
+	// identity, Before the image. Analyzer-invisible like RecPhysAlloc.
+	RecPhysFree
+	// RecMapSet records a logical→physical map update: Obj moves from
+	// physical address Child to Child2. It touches no page, so redo
+	// replays it unconditionally (the map is rebuilt from checkpoint +
+	// log, never from pages).
+	RecMapSet
+	// RecPartCreate records partition creation (Txn 0, redo-only): OID's
+	// partition field names the partition; Child != 0 marks it
+	// memory-resident inside a disk-backed store.
+	RecPartCreate
+	// RecPartDrop records dropping an empty partition (Txn 0, redo-only).
+	RecPartDrop
 )
 
 var recTypeNames = map[RecType]string{
@@ -76,6 +98,8 @@ var recTypeNames = map[RecType]string{
 	RecUpdate: "Update", RecCreate: "Create", RecDelete: "Delete",
 	RecRefInsert: "RefInsert", RecRefDelete: "RefDelete", RecRefUpdate: "RefUpdate",
 	RecCheckpoint: "Checkpoint",
+	RecPhysAlloc:  "PhysAlloc", RecPhysFree: "PhysFree", RecMapSet: "MapSet",
+	RecPartCreate: "PartCreate", RecPartDrop: "PartDrop",
 }
 
 func (t RecType) String() string {
@@ -99,13 +123,27 @@ type Record struct {
 	Type    RecType
 	Txn     TxnID
 	CLR     bool    // compensation record (redo-only)
-	OID     oid.OID // object affected
+	OID     oid.OID // object affected (always the physical address)
 	Child   oid.OID // referenced object for Ref* records
 	Child2  oid.OID // new referenced object for RecRefUpdate
 	Before  []byte  // undo image
 	After   []byte  // redo image
 	UndoNxt LSN     // CLR: next LSN of this txn to undo
 	Active  []TxnID // checkpoint: active transactions
+	// Obj is the object's logical identity in logical-OID mode (0
+	// otherwise). OID stays the physical address in every record, so
+	// page-level redo/undo is identical in both modes; identity-level
+	// consumers (the reference analyzer, the TRT) use Identity().
+	Obj oid.OID
+}
+
+// Identity returns the object identity the record is about: the logical
+// OID when one is recorded, else the physical address.
+func (r *Record) Identity() oid.OID {
+	if !r.Obj.IsNil() {
+		return r.Obj
+	}
+	return r.OID
 }
 
 // IsRefChange reports whether the record inserts or deletes an object
@@ -292,6 +330,7 @@ func (l *Log) Append(r *Record) (LSN, error) {
 		obs(r)
 	}
 	l.mu.Unlock()
+	interleave.Note(interleave.Append, r.OID.Partition(), int(r.OID.Page()), uint64(r.LSN))
 	return r.LSN, nil
 }
 
@@ -318,6 +357,7 @@ func (l *Log) appendRing(r *Record) (LSN, error) {
 	for l.drained.Load() < uint64(lsn) {
 		l.drainRing()
 	}
+	interleave.Note(interleave.Append, r.OID.Partition(), int(r.OID.Page()), uint64(lsn))
 	return lsn, nil
 }
 
@@ -586,6 +626,7 @@ func encodeBody(r *Record) []byte {
 	put64(uint64(r.Child))
 	put64(uint64(r.Child2))
 	put64(uint64(r.UndoNxt))
+	put64(uint64(r.Obj))
 	putBytes(r.Before)
 	putBytes(r.After)
 	put32(uint32(len(r.Active)))
@@ -661,7 +702,7 @@ func decodeBody(buf []byte) (*Record, error) {
 	fields := []*uint64{
 		(*uint64)(&r.LSN), (*uint64)(&r.Prev), (*uint64)(&r.Txn),
 		(*uint64)(&r.OID), (*uint64)(&r.Child), (*uint64)(&r.Child2),
-		(*uint64)(&r.UndoNxt),
+		(*uint64)(&r.UndoNxt), (*uint64)(&r.Obj),
 	}
 	for _, f := range fields {
 		v, ok := get64()
